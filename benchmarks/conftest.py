@@ -1,0 +1,66 @@
+"""Shared fixtures and reporting helpers for the figure benchmarks.
+
+Every benchmark regenerates one table/figure of the paper: it prints
+the same rows/series the paper reports and writes them under
+``benchmarks/results/`` so the numbers survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.grids.problems import poisson_problem
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def ilu_problem():
+    """Model problem for the ILU experiments (paper: 256^3; counts are
+    measured here and linearly extrapolated)."""
+    return poisson_problem((8, 8, 8), "27pt")
+
+
+@pytest.fixture(scope="session")
+def ilu_problem_7pt():
+    return poisson_problem((8, 8, 8), "7pt")
+
+
+@pytest.fixture(scope="session")
+def ilu_problem_16():
+    """Larger model problem for the bsize sweep (supports groups up
+    to bsize 16)."""
+    return poisson_problem((16, 16, 16), "27pt")
+
+
+@pytest.fixture(scope="session")
+def hpcg_models():
+    """HPCG per-variant kernel-count models at nx=16, 3 levels."""
+    from repro.hpcg.benchmark import build_hpcg_model
+
+    return {
+        v: build_hpcg_model(nx=16, variant=v, n_levels=3, bsize=8,
+                            n_workers=8)
+        for v in ("reference", "mkl", "arm", "cpo", "sell", "dbsr",
+                  "sell-novec", "dbsr-novec", "dbsr-gather")
+    }
+
+
+#: Linear extrapolation factor from the bench problem to the paper's
+#: 256^3 ILU dataset.
+ILU_SCALE = (256 / 8) ** 3
+ILU_SCALE_16 = (256 / 16) ** 3
+
+#: From the nx=16 HPCG model problem to the paper's 192^3 local domain.
+HPCG_NX_MODEL = 16

@@ -1,0 +1,49 @@
+"""Ablation — automatic bsize selection across machines and levels.
+
+The paper (§V-F): bsize should match the platform's SIMD width and
+shrink with the grid on coarse multigrid levels. This ablation prints
+what the tuner picks across the Table I machines and an MG hierarchy.
+"""
+
+from conftest import emit
+
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box27_3d
+from repro.simd.autotune import autotune_bsize
+from repro.simd.machine import TABLE1_MACHINES
+from repro.utils.tables import format_table
+
+LEVELS = ((32, 32, 32), (16, 16, 16), (8, 8, 8), (4, 4, 4))
+
+
+def test_ablation_autotune(benchmark):
+    stencil = box27_3d()
+
+    def run():
+        rows = []
+        for machine in TABLE1_MACHINES:
+            for dtype_bytes, tag in ((8, "f64"), (4, "f32")):
+                picks = [autotune_bsize(StructuredGrid(dims), stencil,
+                                        machine, n_workers=4,
+                                        dtype_bytes=dtype_bytes)
+                         for dims in LEVELS]
+                rows.append([f"{machine.name} ({tag})"]
+                            + [str(p) for p in picks])
+        return rows
+
+    rows = benchmark(run)
+    emit("ablation_autotune", format_table(
+        ["machine"] + [f"{d[0]}^3" for d in LEVELS],
+        rows, title="Ablation: autotuned bsize per machine/MG level "
+        "(4 workers; paper: scale bsize to SIMD width and level "
+        "size)"))
+    for row in rows:
+        picks = [int(p) for p in row[1:]]
+        # bsize never grows on coarser levels.
+        assert all(b >= a for a, b in zip(picks[1:], picks[:-1]))
+    # Wider SIMD earns wider (or equal) vectors on the fine level.
+    intel_f64 = next(r for r in rows if "Intel" in r[0]
+                     and "f64" in r[0])
+    kp_f64 = next(r for r in rows if "KunPeng" in r[0]
+                  and "f64" in r[0])
+    assert int(intel_f64[1]) >= int(kp_f64[1])

@@ -1,0 +1,43 @@
+"""Ablation — offset storage width (§III-B's packing remark).
+
+The paper notes ``blk_offset`` needs only ``log2(bsize)`` bits plus a
+sign, "without the need for the int type". This ablation quantifies
+what int8 packing buys over plain int32 across bsize.
+"""
+
+from conftest import emit
+
+from repro.formats.dbsr import DBSRMatrix
+from repro.grids.problems import poisson_problem
+from repro.ordering.vbmc import build_vbmc
+from repro.utils.tables import format_table
+
+
+def test_ablation_offset_packing(benchmark):
+    problem = poisson_problem((16, 16, 16), "27pt")
+
+    def run():
+        rows = []
+        for bsize in (2, 4, 8, 16):
+            vb = build_vbmc(problem.grid, problem.stencil,
+                            (4, 4, 4) if bsize <= 8 else (2, 2, 2),
+                            bsize)
+            dbsr = DBSRMatrix.from_csr(vb.apply_matrix(problem.matrix),
+                                       bsize)
+            int32 = dbsr.memory_report(offset_itemsize=4)
+            int8 = dbsr.memory_report(offset_itemsize=1)
+            saved = int32.total_bytes - int8.total_bytes
+            rows.append((bsize, dbsr.n_tiles, int32.total_bytes,
+                         int8.total_bytes, saved,
+                         f"{saved / int32.total_bytes * 100:.1f}%"))
+        return rows
+
+    rows = benchmark(run)
+    emit("ablation_offsets", format_table(
+        ["bsize", "tiles", "int32 offsets B", "int8 offsets B",
+         "saved B", "saved %"],
+        rows, title="Ablation: blk_offset packing (int32 vs int8)"))
+    # Packing always helps, proportionally to the tile count.
+    for bsize, tiles, b32, b8, saved, _ in rows:
+        assert saved == 3 * tiles
+        assert b8 < b32

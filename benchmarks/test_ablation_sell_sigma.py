@@ -1,0 +1,42 @@
+"""Ablation — SELL's sigma sorting window (Kreutzer et al.).
+
+Sigma-sorting shrinks SELL padding on ragged rows but reorders rows,
+which is why the SYMGS sweeps of the HPCG variants must run sigma=1.
+This ablation quantifies the padding/σ trade on the HPCG operator so
+the cost of that constraint is on record.
+"""
+
+from conftest import emit
+
+from repro.formats.sell import SELLMatrix
+from repro.grids.problems import poisson_problem
+from repro.utils.tables import format_table
+
+SIGMAS = (1, 8, 32, "n")
+
+
+def test_ablation_sell_sigma(benchmark):
+    problem = poisson_problem((16, 16, 16), "27pt")
+    csr = problem.matrix
+
+    def run():
+        rows = []
+        for sigma in SIGMAS:
+            s = csr.n_rows if sigma == "n" else sigma
+            sell = SELLMatrix(csr, chunk=8, sigma=s)
+            rep = sell.memory_report()
+            rows.append((str(sigma), rep.padding_values,
+                         f"{sell.padding_fraction() * 100:.2f}%",
+                         rep.total_bytes))
+        return rows
+
+    rows = benchmark(run)
+    emit("ablation_sell_sigma", format_table(
+        ["sigma", "padded slots", "padding %", "total bytes"],
+        rows, title="Ablation: SELL-8-sigma padding on the 16^3 "
+        "27-point operator (sigma=1 required for GS sweeps)"))
+    pads = [r[1] for r in rows]
+    assert pads == sorted(pads, reverse=True)  # sorting monotone helps
+    # Structured grids are nearly regular: even sigma=1 padding is
+    # small (the reason SELL was viable for HPCG in the first place).
+    assert float(rows[0][2][:-1]) < 20.0

@@ -1,0 +1,21 @@
+"""Fig. 10 — DBSR-ILU(0) smoothing time versus bsize on Intel.
+
+Paper reference point: performance stabilizes once bsize reaches ~16;
+tiny bsize wastes SIMD width, huge bsize costs padding/parallelism.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig10
+
+
+def test_fig10_bsize_sweep(benchmark):
+    result = benchmark.pedantic(fig10.generate, rounds=1, iterations=1,
+                                kwargs=dict(nx=16, threads=16))
+    emit("fig10_bsize_sweep", fig10.render(result))
+
+    res = result.series["seconds"]
+    # Shape: vectorized blocks beat scalar bsize=1, and the curve
+    # flattens (no catastrophic growth at the largest size).
+    assert res[8] < res[1]
+    assert res[16] < 1.6 * min(res.values())

@@ -1,0 +1,34 @@
+"""Fig. 11 — storage overhead of DBSR vs CSR across bsize, split into
+index bytes, original non-zero value bytes, and zero padding.
+
+Paper reference points: total DBSR storage keeps shrinking with bsize
+(index savings outweigh padding); single precision benefits more
+because indices are a larger share.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig11
+
+
+def test_fig11_storage(benchmark):
+    panels = benchmark.pedantic(fig11.generate, rounds=1, iterations=1,
+                                kwargs=dict(nx=16))
+    emit("fig11_storage", fig11.render(panels))
+
+    res = {prec: panel.series[prec]
+           for panel, prec in zip(panels, ("f64", "f32"))}
+    for prec in ("f64", "f32"):
+        rows = res[prec]
+        idx = [r[2] for r in rows]
+        pad = [r[4] for r in rows]
+        total = [r[5] for r in rows]
+        assert idx == sorted(idx, reverse=True)   # indices shrink
+        assert pad[-1] >= pad[0]                  # padding grows
+        assert total[-1] < total[0]               # net win grows
+        assert total[-1] < rows[-1][1]            # beats CSR
+    # Single precision gains relatively more (indices are a larger
+    # share of the CSR footprint).
+    rel64 = res["f64"][-1][5] / res["f64"][-1][1]
+    rel32 = res["f32"][-1][5] / res["f32"][-1][1]
+    assert rel32 < rel64

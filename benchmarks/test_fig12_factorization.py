@@ -1,0 +1,25 @@
+"""Fig. 12 — ILU(0) factorization cost per strategy, expressed in
+units of one DBSR smoothing sweep.
+
+Paper reference points: MC/BMC factorizations mirror their smoothing
+behaviour; DBSR spends about one smoothing-equivalent on
+factorization; only BJ catches up at high parallelism (but smooths
+poorly); SIMD further accelerates the DBSR factorization.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig12
+
+
+def test_fig12_factorization(benchmark):
+    result = benchmark.pedantic(fig12.generate, rounds=1, iterations=1,
+                                kwargs=dict(nx=8))
+    emit("fig12_factorization", fig12.render(result))
+
+    res = result.series
+    assert res["simd-auto"][-1] <= res["mc"][-1]
+    assert res["simd-auto"][-1] <= res["bmc-fix"][-1]
+    assert res["simd-auto"][-1] < 6.0
+    # SIMD accelerates the DBSR factorization (§V-G last sentence).
+    assert res["simd-auto"][-1] <= res["dbsr-auto"][-1] * 1.001

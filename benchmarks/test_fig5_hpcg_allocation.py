@@ -1,0 +1,30 @@
+"""Fig. 5 — HPCG GFLOPS under different P x T allocation schemes on a
+fully utilized node, for every optimization variant on the three
+single-node platforms.
+
+Paper reference points: DBSR improves CPO by 18.8-23.9 %; 1.47-1.70x
+over HPCG_for_MKL and 2.41-3.40x over HPCG_for_ARM.
+"""
+
+from conftest import HPCG_NX_MODEL, emit
+
+from repro.experiments import fig5
+from repro.hpcg.benchmark import best_allocation
+
+
+def test_fig5_hpcg_allocation(benchmark, hpcg_models):
+    panels = benchmark(fig5.generate, hpcg_models, HPCG_NX_MODEL)
+    emit("fig5_hpcg_allocation", fig5.render(panels))
+
+    # Shape assertions: DBSR wins on every platform, within bands.
+    for machine in fig5.MACHINES:
+        _, _, g_dbsr = best_allocation(machine, hpcg_models["dbsr"])
+        for v in ("reference", "mkl", "arm", "cpo", "sell"):
+            _, _, g_other = best_allocation(machine, hpcg_models[v])
+            assert g_dbsr > g_other, (machine.name, v)
+        _, _, g_cpo = best_allocation(machine, hpcg_models["cpo"])
+        _, _, g_mkl = best_allocation(machine, hpcg_models["mkl"])
+        _, _, g_arm = best_allocation(machine, hpcg_models["arm"])
+        assert 1.1 < g_dbsr / g_cpo < 1.5
+        assert 1.3 < g_dbsr / g_mkl < 1.9
+        assert 2.0 < g_dbsr / g_arm < 3.6

@@ -1,0 +1,27 @@
+"""Fig. 6 — HPCG performance vs thread count (single process).
+
+Paper reference points: DBSR improves CPO by 18.8-36.2 % (x86) and
+15.2-52.2 % (ARM); DBSR vs MKL 1.03-1.70x; DBSR vs ARM 4.32-12.39x.
+The reference and vendor-ARM versions stay flat because their SYMGS
+does not thread inside a process.
+"""
+
+from conftest import HPCG_NX_MODEL, emit
+
+from repro.experiments import fig6
+from repro.simd.machine import INTEL_XEON
+
+
+def test_fig6_hpcg_threads(benchmark, hpcg_models):
+    panels = benchmark(fig6.generate, hpcg_models, HPCG_NX_MODEL)
+    emit("fig6_hpcg_threads", fig6.render(panels))
+
+    intel = next(p for p in panels if "Intel" in p.name)
+    g = {v: intel.series[v] for v in fig6.VARIANTS}
+    # DBSR > CPO > reference at full threads.
+    assert g["dbsr"][-1] > g["cpo"][-1] > g["reference"][-1]
+    assert g["dbsr"][-1] / g["arm"][-1] > 3.0  # paper: 4.32-12.39x
+    # Reference stays flat (serial in-process SYMGS).
+    assert g["reference"][-1] / g["reference"][0] < 2.0
+    # DBSR actually scales.
+    assert g["dbsr"][-1] / g["dbsr"][0] > 5.0

@@ -1,0 +1,23 @@
+"""Fig. 7 — weak scaling of DBSR-optimized HPCG on the Phytium 2000+
+cluster model (8 ranks x 8 cores per node, local 192^3, 1..256 nodes).
+
+Paper reference points: CPO reaches ~5400 GFLOPS at 256 nodes, DBSR
+improves it by 13.3% to a peak of 6119.2 GFLOPS; parallel efficiency
+stays above 90%.
+"""
+
+from conftest import HPCG_NX_MODEL, emit
+
+from repro.experiments import fig7
+
+
+def test_fig7_weak_scaling(benchmark, hpcg_models):
+    result = benchmark(fig7.generate, hpcg_models, HPCG_NX_MODEL)
+    emit("fig7_weak_scaling", fig7.render(result))
+
+    dbsr = result.series["dbsr"]
+    cpo = result.series["cpo"]
+    assert all(p.efficiency > 0.90 for p in dbsr)
+    gain = dbsr[-1].gflops / cpo[-1].gflops
+    assert 1.05 < gain < 1.5  # paper: 1.133
+    assert dbsr[-1].gflops > 1000.0  # thousands of GFLOPS at scale

@@ -1,0 +1,28 @@
+"""Table I — hardware platforms used in evaluation.
+
+Prints the machine-model encoding of the paper's Table I and
+benchmarks the model's kernel-time evaluation (the hot path every
+figure model calls thousands of times).
+"""
+
+from conftest import emit
+
+from repro.experiments import table1
+from repro.simd.counters import OpCounter
+from repro.simd.machine import TABLE1_MACHINES
+
+
+def test_table1_machines(benchmark):
+    emit("table1", table1.generate().render())
+
+    counter = OpCounter(bsize=8, vload=10**6, vfma=10**6,
+                        bytes_vector=8 * 10**6)
+
+    def evaluate():
+        total = 0.0
+        for m in TABLE1_MACHINES:
+            for t in (1, 8, m.cores):
+                total += m.kernel_seconds(counter, threads=t)
+        return total
+
+    assert benchmark(evaluate) > 0

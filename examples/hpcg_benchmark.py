@@ -1,0 +1,55 @@
+"""HPCG benchmark walk-through (the paper's SV-B evaluation).
+
+Runs the full benchmark numerically at laptop scale for every
+optimization variant, then projects node-level GFLOPS on the paper's
+Table I machines with the calibrated performance model, printing the
+Fig. 5-style comparison.
+
+Run:  python examples/hpcg_benchmark.py
+"""
+
+from repro.hpcg import (
+    best_allocation,
+    build_hpcg_model,
+    model_hpcg_gflops,
+    run_hpcg,
+)
+from repro.simd import INTEL_XEON, KUNPENG_920, THUNDER_X2
+from repro.utils.tables import format_table
+
+VARIANTS = ("reference", "mkl", "arm", "cpo", "sell", "dbsr")
+
+
+def main() -> None:
+    # --- Functional correctness: every variant runs the same math.
+    print("Functional HPCG runs (16^3 local domain, 3 MG levels):")
+    for v in ("reference", "cpo", "dbsr"):
+        r = run_hpcg(nx=16, variant=v, n_levels=3, max_iters=50,
+                     tol=1e-9, bsize=8, n_workers=4)
+        print(f"  {v:10s} iters={r.iterations:3d} "
+              f"relres={r.final_relres:.2e} "
+              f"credited GFLOP={r.flops / 1e9:.2f}")
+
+    # --- Performance projection at the paper's 192^3 local domain.
+    print("\nBuilding per-variant kernel-count models (nx=16)...")
+    models = {v: build_hpcg_model(nx=16, variant=v, n_levels=3,
+                                  bsize=8, n_workers=8)
+              for v in VARIANTS}
+
+    for machine in (INTEL_XEON, KUNPENG_920, THUNDER_X2):
+        rows = []
+        for v in VARIANTS:
+            p, t, g = best_allocation(machine, models[v])
+            g_single = model_hpcg_gflops(machine, models[v], 1,
+                                         machine.cores)
+            rows.append((v, f"P{p}xT{t}", f"{g:.1f}",
+                         f"{g_single:.1f}"))
+        print()
+        print(format_table(
+            ["variant", "best alloc", "GFLOPS",
+             "GFLOPS (P=1, all threads)"],
+            rows, title=f"Fig 5/6 projection: {machine.name}"))
+
+
+if __name__ == "__main__":
+    main()

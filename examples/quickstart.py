@@ -1,0 +1,61 @@
+"""Quickstart: the DBSR pipeline in ~40 lines.
+
+Builds a 3-D Poisson problem, applies the paper's vectorized BMC
+reordering, stores the matrix in DBSR, and solves the two triangular
+systems of an ILU(0) preconditioner with the gather-free vector kernel
+of Algorithm 2.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.formats import DBSRMatrix
+from repro.grids import poisson_problem
+from repro.ilu import ilu0_apply_dbsr, ilu0_factorize_dbsr
+from repro.ordering import build_vbmc
+from repro.solvers import preconditioned_richardson
+
+
+def main() -> None:
+    # 1. A structured-grid problem: 16^3 grid, 27-point stencil.
+    problem = poisson_problem((16, 16, 16), "27pt")
+    print(f"problem: n={problem.n}, nnz={problem.matrix.nnz}")
+
+    # 2. Vectorized BMC reordering (SIII-A): 4^3 blocks, vector
+    #    length 8. Same-color blocks are grouped 8 at a time and their
+    #    points interleaved so SIMD lanes line up.
+    vbmc = build_vbmc(problem.grid, problem.stencil,
+                      block_dims=(4, 4, 4), bsize=8)
+    print(f"ordering: {vbmc.n_colors} colors, "
+          f"{vbmc.schedule.n_groups} vector groups, "
+          f"padded {vbmc.n_orig} -> {vbmc.n_padded}")
+
+    # 3. DBSR storage (SIII-B): one diagonal per tile.
+    reordered = vbmc.apply_matrix(problem.matrix)
+    dbsr = DBSRMatrix.from_csr(reordered, bsize=8)
+    rep = dbsr.memory_report(offset_itemsize=1)
+    csr_rep = problem.matrix.memory_report()
+    print(f"storage: DBSR {rep.total_bytes} B vs CSR "
+          f"{csr_rep.total_bytes} B "
+          f"({rep.total_bytes / csr_rep.total_bytes:.2f}x), "
+          f"{dbsr.n_tiles} tiles, {rep.padding_values} padded zeros")
+
+    # 4. Block ILU(0) factorization (Algorithm 4) + smoothing solves
+    #    (Algorithm 2) inside a Richardson iteration.
+    factors = ilu0_factorize_dbsr(dbsr)
+
+    def precondition(r):
+        return vbmc.restrict(ilu0_apply_dbsr(factors, vbmc.extend(r)))
+
+    x, hist = preconditioned_richardson(
+        problem.matrix, problem.rhs, precondition, tol=1e-10,
+        maxiter=200)
+    err = np.abs(x - problem.exact).max()
+    print(f"solve: {hist.iterations} iterations, final residual "
+          f"{hist.final_residual:.2e}, max error {err:.2e}")
+    assert hist.converged and err < 1e-6
+
+
+if __name__ == "__main__":
+    main()

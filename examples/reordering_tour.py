@@ -1,0 +1,61 @@
+"""Reordering tour — the paper's Fig. 2, reproduced in ASCII.
+
+Walks the exact example of the paper: an 8x8 grid with a 9-point
+stencil, showing (a) the lexicographic matrix, (b) classic BMC with
+4x4 blocks, (c) vectorized BMC with vector length 4, and (d) the DBSR
+tile structure, plus the distributed-run substrate for good measure.
+
+Run:  python examples/reordering_tour.py
+"""
+
+import numpy as np
+
+from repro.cluster import build_distributed, distributed_spmv
+from repro.formats import DBSRMatrix
+from repro.grids import StructuredGrid, assemble_csr, box9_2d
+from repro.ordering import build_bmc, build_vbmc
+from repro.utils.rng import make_rng
+from repro.utils.spy import spy, spy_blocks
+
+
+def main() -> None:
+    grid = StructuredGrid((8, 8))
+    stencil = box9_2d()
+    A = assemble_csr(grid, stencil)
+
+    print("(a) lexicographic ordering (paper Fig. 2a):")
+    print(spy(A))
+
+    bmc = build_bmc(grid, stencil, (4, 4))
+    print(f"\n(b) classic BMC, 4x4 blocks, {bmc.n_colors} colors "
+          "(paper Fig. 2b):")
+    print(spy(A.permute(bmc.perm.old_to_new)))
+
+    vb = build_vbmc(grid, stencil, (4, 4), bsize=4)
+    Ap = vb.apply_matrix(A)
+    print(f"\n(c) vectorized BMC, bsize=4 (paper Fig. 2c): "
+          f"{vb.schedule.n_groups} vector groups")
+    print(spy(Ap))
+
+    dbsr = DBSRMatrix.from_csr(Ap, 4)
+    print(f"\n(d) DBSR tile map, {dbsr.n_tiles} tiles "
+          f"(paper Fig. 2d; offsets in "
+          f"[{dbsr.blk_offset.min()}, {dbsr.blk_offset.max()}]):")
+    print(spy_blocks(dbsr))
+
+    # Bonus: the same operator executed across 4 simulated MPI ranks.
+    from repro.grids.problems import Problem
+
+    problem = Problem(grid=grid, stencil=stencil, matrix=A,
+                      rhs=A.matvec(np.ones(grid.n_points)),
+                      exact=np.ones(grid.n_points))
+    dist = build_distributed(problem, 4, proc_grid=(2, 2))
+    x = make_rng().standard_normal(grid.n_points)
+    y = dist.gather(distributed_spmv(dist, dist.scatter(x)))
+    print("\ndistributed SpMV over 2x2 ranks: max|diff| vs global =",
+          f"{np.abs(y - A.matvec(x)).max():.2e}")
+    assert np.allclose(y, A.matvec(x))
+
+
+if __name__ == "__main__":
+    main()

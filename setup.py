@@ -1,0 +1,33 @@
+"""Setuptools entry point.
+
+Package metadata lives here (rather than a ``[project]`` table) because
+the offline environment lacks the ``wheel`` package: with a PEP 621
+``pyproject.toml`` pip insists on building a wheel for editable
+installs, which fails without network access. A plain ``setup.py``
+keeps ``pip install -e .`` on the legacy ``develop`` path that works
+offline. ``pyproject.toml`` still carries the pytest configuration.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DBSR: an efficient storage format for vectorizing sparse "
+        "triangular solvers on structured grids (SC 2024 reproduction)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "dev": ["pytest", "pytest-benchmark", "hypothesis", "scipy"],
+    },
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["dbsr-repro=repro.cli:main"],
+    },
+)

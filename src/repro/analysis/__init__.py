@@ -1,0 +1,31 @@
+"""Numerical analysis utilities.
+
+* :mod:`~repro.analysis.iteration_matrix` — spectral radii of smoother
+  error-propagation operators, quantifying the paper's convergence
+  claims (MC sacrifices convergence, BMC mostly preserves it,
+  vectorized BMC preserves it exactly).
+* :mod:`~repro.analysis.roofline` — arithmetic-intensity / roofline
+  placement of each kernel-format pairing on the Table I machines,
+  explaining *why* the memory-bound regimes of Figs. 5-9 behave as
+  they do.
+"""
+
+from repro.analysis.iteration_matrix import (
+    gs_iteration_matrix,
+    ilu_iteration_matrix,
+    spectral_radius,
+)
+from repro.analysis.roofline import (
+    RooflinePoint,
+    arithmetic_intensity,
+    roofline_point,
+)
+
+__all__ = [
+    "gs_iteration_matrix",
+    "ilu_iteration_matrix",
+    "spectral_radius",
+    "RooflinePoint",
+    "arithmetic_intensity",
+    "roofline_point",
+]

@@ -1,0 +1,79 @@
+"""Roofline placement of kernel/format pairings.
+
+Computes arithmetic intensity (flops per DRAM byte, over-fetch
+included) from the operation counters and places each kernel against a
+machine's compute and bandwidth ceilings — the quantitative form of
+the paper's recurring observation that SpTRSV/SYMGS are memory-bound
+and that DBSR helps by *moving fewer bytes*, not fewer flops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simd.counters import OpCounter
+from repro.simd.machine import MachineModel
+
+
+def arithmetic_intensity(counter: OpCounter,
+                         machine: MachineModel | None = None) -> float:
+    """Flops per byte of DRAM traffic (gather over-fetch applied when
+    a machine is given)."""
+    flops = counter.flops()
+    overfetch = machine.gather_overfetch if machine else 1.0
+    traffic = (counter.total_bytes - counter.bytes_gathered
+               + counter.bytes_gathered * overfetch)
+    return flops / traffic if traffic else float("inf")
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel's position against a machine's roofline.
+
+    Attributes
+    ----------
+    intensity:
+        Flops per DRAM byte.
+    peak_gflops:
+        Machine compute ceiling for this kernel's vector/scalar mix.
+    bw_gflops:
+        Bandwidth ceiling at this intensity
+        (``intensity * peak_bandwidth``).
+    attainable_gflops:
+        ``min(peak, bw)`` — the roofline.
+    memory_bound:
+        Whether the bandwidth ceiling is the binding one.
+    """
+
+    intensity: float
+    peak_gflops: float
+    bw_gflops: float
+
+    @property
+    def attainable_gflops(self) -> float:
+        return min(self.peak_gflops, self.bw_gflops)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.bw_gflops < self.peak_gflops
+
+
+def roofline_point(counter: OpCounter, machine: MachineModel,
+                   threads: int | None = None, dtype_bytes: int = 8,
+                   vectorized: bool = True) -> RooflinePoint:
+    """Place one kernel on ``machine``'s roofline.
+
+    ``peak_gflops`` uses the kernel's own instruction mix (a divide-
+    heavy kernel has a lower ceiling than pure-FMA code), making the
+    placement kernel-specific rather than the generic hardware peak.
+    """
+    t = threads if threads is not None else machine.cores
+    intensity = arithmetic_intensity(counter, machine)
+    comp_secs = machine.compute_seconds(
+        counter, threads=t, dtype_bytes=dtype_bytes,
+        vectorized=vectorized)
+    flops = counter.flops()
+    peak = flops / comp_secs / 1e9 if comp_secs > 0 else float("inf")
+    bw = machine.effective_bandwidth(t) * intensity / 1e9
+    return RooflinePoint(intensity=intensity, peak_gflops=peak,
+                         bw_gflops=bw)

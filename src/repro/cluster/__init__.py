@@ -1,0 +1,48 @@
+"""Distributed weak-scaling model (§V-C, Fig. 7).
+
+The paper scales DBSR-optimized HPCG to a 256-node Phytium 2000+
+cluster (2048 MPI ranks x 8 cores). This package substitutes that
+cluster with an explicit model: 3-D rank decomposition, 27-point halo
+exchange volumes, network latency/bandwidth, and allreduce trees on top
+of the per-node compute projection from :mod:`repro.hpcg`.
+"""
+
+from repro.cluster.decomp import decompose_ranks, halo_neighbor_count
+from repro.cluster.halo import halo_bytes_per_rank, halo_seconds
+from repro.cluster.weakscaling import (
+    NetworkModel,
+    WeakScalingPoint,
+    weak_scaling_sweep,
+)
+from repro.cluster.distributed_solver import (
+    distributed_pcg,
+    local_ilu_preconditioners,
+)
+from repro.cluster.functional import (
+    DistributedProblem,
+    RankDomain,
+    build_distributed,
+    distributed_dot,
+    distributed_residual_norm,
+    distributed_spmv,
+    halo_exchange,
+)
+
+__all__ = [
+    "decompose_ranks",
+    "halo_neighbor_count",
+    "halo_bytes_per_rank",
+    "halo_seconds",
+    "NetworkModel",
+    "WeakScalingPoint",
+    "weak_scaling_sweep",
+    "DistributedProblem",
+    "RankDomain",
+    "build_distributed",
+    "halo_exchange",
+    "distributed_spmv",
+    "distributed_dot",
+    "distributed_residual_norm",
+    "distributed_pcg",
+    "local_ilu_preconditioners",
+]

@@ -1,0 +1,37 @@
+"""3-D rank decomposition (HPCG's ``GenerateGeometry``)."""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def decompose_ranks(n_ranks: int) -> tuple:
+    """Factor ``n_ranks`` into the most cubic ``(px, py, pz)`` grid.
+
+    Matches HPCG's preference for balanced process grids: among all
+    factorizations, minimize the surface-to-volume ratio proxy
+    ``px + py + pz``.
+    """
+    check_positive(n_ranks, "n_ranks")
+    best = None
+    for px in range(1, n_ranks + 1):
+        if n_ranks % px:
+            continue
+        rem = n_ranks // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            pz = rem // py
+            key = (px + py + pz, max(px, py, pz))
+            if best is None or key < best[0]:
+                best = (key, (px, py, pz))
+    return best[1]
+
+
+def halo_neighbor_count(proc_grid: tuple, interior: bool = True) -> int:
+    """Number of 27-stencil neighbors of a rank (26 for an interior
+    rank of a >=3^3 grid; fewer on small/flat grids)."""
+    count = 1
+    for p in proc_grid:
+        count *= 3 if (p >= 3 or not interior) else p
+    return count - 1

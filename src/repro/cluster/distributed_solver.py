@@ -1,0 +1,98 @@
+"""Distributed PCG on the simulated-MPI substrate.
+
+A complete distributed solver built only from the communication
+primitives of :mod:`repro.cluster.functional` (halo exchange,
+allreduce-style dots): preconditioned CG with a rank-local block-Jacobi
+ILU(0) preconditioner — the communication-free preconditioner real
+distributed HPCG-class codes use between halo exchanges. Verifies the
+whole distributed stack end-to-end against the global solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.functional import (
+    DistributedProblem,
+    distributed_dot,
+    distributed_spmv,
+)
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.ilu.ilu0_csr import ilu0_apply_csr, ilu0_factorize_csr
+from repro.solvers.convergence import ConvergenceHistory
+
+
+def local_ilu_preconditioners(dist: DistributedProblem) -> list:
+    """Rank-local ILU(0) factors of each rank's owned diagonal block.
+
+    Couplings to ghost unknowns are dropped — distributed block
+    Jacobi, so applying the preconditioner needs no communication.
+    """
+    factors = []
+    for r in dist.ranks:
+        m = r.matrix
+        rows = np.repeat(np.arange(m.n_rows), np.diff(m.indptr))
+        keep = m.indices < r.n_owned
+        local = CSRMatrix.from_coo(COOMatrix(
+            rows[keep], m.indices[keep], m.data[keep],
+            (r.n_owned, r.n_owned)))
+        factors.append(ilu0_factorize_csr(local))
+    return factors
+
+
+def distributed_pcg(dist: DistributedProblem, b_locals: list,
+                    tol: float = 1e-8, maxiter: int = 500,
+                    precondition: bool = True) -> tuple:
+    """Distributed preconditioned CG.
+
+    Parameters
+    ----------
+    dist:
+        The decomposed problem.
+    b_locals:
+        Per-rank right-hand-side slices.
+    precondition:
+        Apply the rank-local ILU(0) block-Jacobi preconditioner.
+
+    Returns
+    -------
+    (x_locals, history)
+    """
+    factors = local_ilu_preconditioners(dist) if precondition else None
+
+    def apply_m(r_locals: list) -> list:
+        if factors is None:
+            return [r.copy() for r in r_locals]
+        return [ilu0_apply_csr(f, r)
+                for f, r in zip(factors, r_locals)]
+
+    x = [np.zeros(r.n_owned) for r in dist.ranks]
+    res = [bb.copy() for bb in b_locals]
+    bnorm = np.sqrt(distributed_dot(b_locals, b_locals)) or 1.0
+    hist = ConvergenceHistory(tol=tol)
+    hist.record(np.sqrt(distributed_dot(res, res)))
+    z = apply_m(res)
+    p = [zz.copy() for zz in z]
+    rz = distributed_dot(res, z)
+    for _ in range(maxiter):
+        rnorm = np.sqrt(distributed_dot(res, res))
+        if rnorm / bnorm <= tol:
+            hist.converged = True
+            break
+        Ap = distributed_spmv(dist, p)
+        alpha = rz / distributed_dot(p, Ap)
+        for xl, pl, rl, apl in zip(x, p, res, Ap):
+            xl += alpha * pl
+            rl -= alpha * apl
+        hist.record(np.sqrt(distributed_dot(res, res)))
+        z = apply_m(res)
+        rz_new = distributed_dot(res, z)
+        beta = rz_new / rz
+        for pl, zl in zip(p, z):
+            pl[:] = zl + beta * pl
+        rz = rz_new
+    else:
+        hist.converged = (np.sqrt(distributed_dot(res, res))
+                          / bnorm <= tol)
+    return x, hist

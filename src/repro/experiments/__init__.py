@@ -1,0 +1,43 @@
+"""Programmatic regeneration of every paper table and figure.
+
+Each module owns one experiment: ``generate(...)`` runs the
+measurements/models and returns an :class:`ExperimentResult` (or a list
+of panel results), and ``render()`` turns it into the printable table
+the benchmark harness and the ``dbsr-repro figures`` CLI emit.
+
+The pytest benchmarks under ``benchmarks/`` are thin wrappers around
+these functions plus shape assertions; downstream users can rerun any
+experiment with custom sizes/machines directly:
+
+>>> from repro.experiments import fig9
+>>> panel = fig9.generate(nx=8, machine_name="intel", precision="f64")
+>>> print(panel.render())
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    table1,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS"] + \
+    list(ALL_EXPERIMENTS)

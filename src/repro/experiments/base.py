@@ -1,0 +1,69 @@
+"""Shared result container for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure panel.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"fig9_Intel-27pt-f64"``).
+    title:
+        Human-readable caption, including the paper's reference points.
+    headers:
+        Column names of the rendered table.
+    rows:
+        Table body.
+    series:
+        The figure's raw data keyed by series name (for assertions and
+        downstream analysis).
+    notes:
+        Free-form extra lines appended after the table.
+    """
+
+    name: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    series: Dict[str, list] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(self.notes)
+        return text
+
+
+# Shared defaults -----------------------------------------------------------
+
+#: Paper scales the experiments model against.
+PAPER_HPCG_NX = 192
+PAPER_ILU_NX = 256
+
+
+def machine_by_name(name: str):
+    """Resolve a short machine name to a Table I model."""
+    from repro.simd.machine import (
+        INTEL_XEON, KUNPENG_920, PHYTIUM_2000, THUNDER_X2)
+
+    table = {
+        "intel": INTEL_XEON,
+        "kp920": KUNPENG_920,
+        "thunderx2": THUNDER_X2,
+        "phytium": PHYTIUM_2000,
+    }
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; known: {sorted(table)}"
+        ) from None

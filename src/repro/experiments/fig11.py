@@ -1,0 +1,43 @@
+"""Fig. 11 — storage overhead of DBSR vs CSR across bsize.
+
+Paper reference points: the total keeps shrinking with bsize (index
+savings beat padding); single precision benefits relatively more.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.grids.problems import poisson_problem
+from repro.perfmodel.bsize_model import storage_sweep
+
+BSIZES = (1, 2, 4, 8, 16)
+
+
+def generate(nx: int = 16, stencil: str = "27pt",
+             bsizes=BSIZES) -> list:
+    problem = poisson_problem((nx,) * 3, stencil)
+    panels = []
+    series = {}
+    for prec, vbytes in (("f64", 8), ("f32", 4)):
+        rows_raw = storage_sweep(problem, bsizes=bsizes,
+                                 bsize_offset_bytes=1,
+                                 value_bytes=vbytes)
+        series[prec] = rows_raw
+        rows = [(bs, csr_total, idx, nnzb, pad, total,
+                 f"{total / csr_total:.3f}")
+                for (bs, csr_total, idx, nnzb, pad, total) in rows_raw]
+        panels.append(ExperimentResult(
+            name=f"fig11_{prec}",
+            title=f"Fig 11 ({prec}): storage overhead, {nx}^3 "
+                  f"{stencil}",
+            headers=["bsize", "CSR total B", "DBSR index B",
+                     "DBSR nnz B", "DBSR padding B", "DBSR total B",
+                     "DBSR/CSR"],
+            rows=rows,
+            series={prec: rows_raw},
+        ))
+    return panels
+
+
+def render(panels: list) -> str:
+    return "\n\n".join(p.render() for p in panels)

@@ -1,0 +1,47 @@
+"""Fig. 12 — ILU(0) factorization cost in units of one DBSR smoothing.
+
+Paper reference points: DBSR factorizes in about one smoothing; MC/BMC
+cost more; BJ wins only at high parallelism; SIMD accelerates the DBSR
+factorization further.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ExperimentResult,
+    PAPER_ILU_NX,
+    machine_by_name,
+)
+from repro.grids.problems import poisson_problem
+from repro.perfmodel.ilu_model import ilu_factorization_costs
+
+THREADS = (1, 4, 16, 32)
+STRATEGIES = ("bj", "mc", "bmc-fix", "bmc-auto", "dbsr-auto",
+              "simd-auto")
+
+
+def generate(nx: int = 8, machine_name: str = "intel",
+             thread_counts=THREADS, strategies=STRATEGIES,
+             bsize: int = 4, block_points: int = 8) -> ExperimentResult:
+    machine = machine_by_name(machine_name)
+    problem = poisson_problem((nx,) * 3, "27pt")
+    scale = (PAPER_ILU_NX / nx) ** 3
+    res = ilu_factorization_costs(
+        problem, machine, thread_counts=thread_counts,
+        strategies=strategies, bsize=bsize, scale=scale,
+        block_points=block_points)
+    rows = [[name] + [f"{r:.2f}" for r in res[name]]
+            for name in strategies]
+    return ExperimentResult(
+        name="fig12_factorization",
+        title="Fig 12: factorization time in units of one DBSR "
+              f"smoothing ({machine.name}; paper: DBSR ~ 1 smoothing, "
+              "MC/BMC higher, BJ competitive only at high threads)",
+        headers=["strategy"] + [f"T={t}" for t in thread_counts],
+        rows=rows,
+        series=res,
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    return result.render()

@@ -1,0 +1,78 @@
+"""Fig. 5 — HPCG GFLOPS under all full-node P x T allocations.
+
+Paper reference points: DBSR over CPO 1.19-1.24x; over HPCG_for_MKL
+1.47-1.70x; over HPCG_for_ARM 2.41-3.40x.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, PAPER_HPCG_NX
+from repro.hpcg.benchmark import build_hpcg_model, model_hpcg_gflops
+from repro.simd.machine import INTEL_XEON, KUNPENG_920, THUNDER_X2
+
+VARIANTS = ("reference", "mkl", "arm", "cpo", "sell", "dbsr")
+MACHINES = (INTEL_XEON, KUNPENG_920, THUNDER_X2)
+
+
+def allocations(machine):
+    """All P x T schemes that fill the node's cores."""
+    cores = machine.cores
+    return [(p, cores // p) for p in range(1, cores + 1)
+            if cores % p == 0]
+
+
+def build_models(nx: int = 16, n_levels: int = 3, bsize: int = 8,
+                 n_workers: int = 8, variants=VARIANTS) -> dict:
+    """Per-variant HPCG kernel-count models (shared across figures)."""
+    return {v: build_hpcg_model(nx=nx, variant=v, n_levels=n_levels,
+                                bsize=bsize, n_workers=n_workers)
+            for v in variants}
+
+
+def generate(models: dict | None = None, nx_model: int = 16,
+             nx_target: int = PAPER_HPCG_NX) -> list:
+    """One :class:`ExperimentResult` per machine plus a ratio panel."""
+    models = models or build_models(nx=nx_model)
+    panels = []
+    ratio_rows = []
+    for machine in MACHINES:
+        rows = []
+        best = {}
+        allocs = allocations(machine)
+        for v in VARIANTS:
+            series = [(p, t, model_hpcg_gflops(
+                machine, models[v], p, t, nx_target=nx_target,
+                nx_model=nx_model)) for (p, t) in allocs]
+            bp, bt, bg = max(series, key=lambda s: s[2])
+            best[v] = bg
+            rows.append([v] + [f"{g:.1f}" for (_, _, g) in series]
+                        + [f"P{bp}xT{bt}", f"{bg:.1f}"])
+        panels.append(ExperimentResult(
+            name=f"fig5_{machine.name}",
+            title=f"Fig 5: {machine.name}",
+            headers=(["variant"]
+                     + [f"P{p}xT{t}" for (p, t) in allocs]
+                     + ["best", "GFLOPS"]),
+            rows=rows,
+            series={"best": best},
+        ))
+        ratio_rows.append((
+            machine.name,
+            f"{best['dbsr'] / best['cpo']:.2f}",
+            f"{best['dbsr'] / best['mkl']:.2f}",
+            f"{best['dbsr'] / best['arm']:.2f}",
+            f"{best['dbsr'] / best['sell']:.2f}",
+        ))
+    panels.append(ExperimentResult(
+        name="fig5_ratios",
+        title="Fig 5 ratios (paper: dbsr/cpo 1.19-1.24, dbsr/mkl "
+              "1.47-1.70, dbsr/arm 2.41-3.40)",
+        headers=["machine", "dbsr/cpo", "dbsr/mkl", "dbsr/arm",
+                 "dbsr/sell"],
+        rows=ratio_rows,
+    ))
+    return panels
+
+
+def render(panels: list) -> str:
+    return "\n\n".join(p.render() for p in panels)

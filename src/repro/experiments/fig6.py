@@ -1,0 +1,54 @@
+"""Fig. 6 — HPCG vs thread count (single process).
+
+Paper reference points: DBSR over CPO 18.8-36.2 % (x86) / 15.2-52.2 %
+(ARM); over MKL 1.03-1.70x; over ARM 4.32-12.39x; reference/ARM stay
+flat because their SYMGS is serial in-process.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, PAPER_HPCG_NX
+from repro.experiments.fig5 import build_models
+from repro.hpcg.benchmark import model_hpcg_gflops
+from repro.simd.machine import INTEL_XEON, KUNPENG_920, THUNDER_X2
+
+VARIANTS = ("reference", "mkl", "arm", "cpo", "dbsr")
+MACHINES = (INTEL_XEON, KUNPENG_920, THUNDER_X2)
+
+
+def thread_axis(machine) -> list:
+    axis = [1, 2, 4, 8, 16]
+    if machine.cores > 16:
+        axis.append(machine.cores // 2)
+    if machine.cores not in axis:
+        axis.append(machine.cores)
+    return axis
+
+
+def generate(models: dict | None = None, nx_model: int = 16,
+             nx_target: int = PAPER_HPCG_NX) -> list:
+    models = models or build_models(nx=nx_model, variants=VARIANTS)
+    panels = []
+    for machine in MACHINES:
+        axis = thread_axis(machine)
+        rows = []
+        series = {}
+        for v in VARIANTS:
+            vals = [model_hpcg_gflops(machine, models[v], 1, t,
+                                      nx_target=nx_target,
+                                      nx_model=nx_model)
+                    for t in axis]
+            series[v] = vals
+            rows.append([v] + [f"{g:.1f}" for g in vals])
+        panels.append(ExperimentResult(
+            name=f"fig6_{machine.name}",
+            title=f"Fig 6: {machine.name} (single process)",
+            headers=["variant"] + [f"T={t}" for t in axis],
+            rows=rows,
+            series=series,
+        ))
+    return panels
+
+
+def render(panels: list) -> str:
+    return "\n\n".join(p.render() for p in panels)

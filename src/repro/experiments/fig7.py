@@ -1,0 +1,40 @@
+"""Fig. 7 — weak scaling of DBSR-HPCG on the Phytium cluster model.
+
+Paper reference points: CPO ~5400 GFLOPS at 256 nodes, DBSR +13.3 % to
+a 6119.2 GFLOPS peak, parallel efficiency consistently above 90 %.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.weakscaling import weak_scaling_sweep
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig5 import build_models
+
+NODES = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def generate(models: dict | None = None, nx_model: int = 16,
+             node_counts=NODES) -> ExperimentResult:
+    models = models or build_models(nx=nx_model,
+                                    variants=("cpo", "dbsr"))
+    sweeps = {v: weak_scaling_sweep(models[v], node_counts=node_counts,
+                                    nx_model=nx_model)
+              for v in ("cpo", "dbsr")}
+    rows = []
+    for p_cpo, p_dbsr in zip(sweeps["cpo"], sweeps["dbsr"]):
+        rows.append((p_dbsr.nodes, p_dbsr.ranks,
+                     f"{p_cpo.gflops:.1f}", f"{p_dbsr.gflops:.1f}",
+                     f"{p_dbsr.efficiency * 100:.1f}%"))
+    return ExperimentResult(
+        name="fig7_weak_scaling",
+        title="Fig 7: weak scaling on Phytium 2000+ (paper: DBSR peak "
+              "6119.2 GFLOPS, +13.3% over CPO, efficiency > 90%)",
+        headers=["nodes", "ranks", "CPO GFLOPS", "DBSR GFLOPS",
+                 "DBSR efficiency"],
+        rows=rows,
+        series=sweeps,
+    )
+
+
+def render(result: ExperimentResult) -> str:
+    return result.render()

@@ -1,0 +1,42 @@
+"""Sparse matrix storage formats.
+
+Implements every format the paper discusses (Fig. 1) plus the paper's
+contribution:
+
+* :class:`~repro.formats.coo.COOMatrix` — coordinate triplets.
+* :class:`~repro.formats.csr.CSRMatrix` — compressed sparse row.
+* :class:`~repro.formats.dia.DIAMatrix` — diagonal storage.
+* :class:`~repro.formats.bcsr.BCSRMatrix` — block CSR with dense tiles.
+* :class:`~repro.formats.sell.SELLMatrix` — sliced ELLPACK / SELL-C-σ.
+* :class:`~repro.formats.dbsr.DBSRMatrix` — **diagonal block CSR**, the
+  paper's format (§III-B): BCSR tiling where each tile stores a single
+  (offset) diagonal in DIA fashion.
+
+Each format knows how to construct itself from COO/CSR data, convert to
+dense, perform SpMV, and produce a byte-exact :class:`MemoryReport`
+(used to regenerate the paper's Fig. 11).
+"""
+
+from repro.formats.base import MemoryReport, SparseMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.sell import SELLMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.formats.convert import from_dense, to_format
+
+__all__ = [
+    "MemoryReport",
+    "SparseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "DIAMatrix",
+    "ELLMatrix",
+    "BCSRMatrix",
+    "SELLMatrix",
+    "DBSRMatrix",
+    "from_dense",
+    "to_format",
+]

@@ -1,0 +1,123 @@
+"""Abstract base class and memory accounting for sparse formats."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+INDEX_DTYPE = np.int32
+
+
+@dataclass
+class MemoryReport:
+    """Byte-exact storage accounting for one sparse matrix instance.
+
+    The paper's Fig. 11 compares CSR and DBSR storage split into index
+    bytes and value bytes, with the value bytes further split into
+    original non-zeros and zero padding.
+
+    Attributes
+    ----------
+    format_name:
+        Human-readable name of the storage format.
+    arrays:
+        Bytes per named storage array (e.g. ``row_ptr``, ``values``).
+    nnz:
+        Number of original non-zero matrix entries stored.
+    stored_values:
+        Number of value slots actually allocated (>= nnz when the
+        format pads).
+    value_itemsize:
+        Bytes per stored value (8 for float64, 4 for float32).
+    """
+
+    format_name: str
+    arrays: Dict[str, int] = field(default_factory=dict)
+    nnz: int = 0
+    stored_values: int = 0
+    value_itemsize: int = 8
+
+    @property
+    def index_bytes(self) -> int:
+        """Total bytes spent on anything that is not a matrix value."""
+        return sum(
+            b for name, b in self.arrays.items() if name != "values"
+        )
+
+    @property
+    def value_bytes(self) -> int:
+        """Bytes spent on stored values, padding included."""
+        return self.arrays.get("values", 0)
+
+    @property
+    def padding_values(self) -> int:
+        """Number of explicit zero value slots introduced by padding."""
+        return self.stored_values - self.nnz
+
+    @property
+    def padding_bytes(self) -> int:
+        """Bytes wasted on zero padding in the value array."""
+        return self.padding_values * self.value_itemsize
+
+    @property
+    def total_bytes(self) -> int:
+        """Total storage footprint in bytes."""
+        return sum(self.arrays.values())
+
+    def as_row(self) -> tuple:
+        """Tabular row used by the Fig. 11 benchmark harness."""
+        return (
+            self.format_name,
+            self.index_bytes,
+            self.nnz * self.value_itemsize,
+            self.padding_bytes,
+            self.total_bytes,
+        )
+
+
+class SparseMatrix(abc.ABC):
+    """Common interface for all sparse matrix storage formats.
+
+    Subclasses store a square or rectangular sparse matrix and provide
+    SpMV, densification, and storage accounting. Construction-time
+    validation is thorough; kernels assume valid state.
+    """
+
+    shape: tuple
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored original non-zeros."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Return the dense ``(n_rows, n_cols)`` ndarray equivalent."""
+
+    @abc.abstractmethod
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x`` as a new 1-D array."""
+
+    @abc.abstractmethod
+    def memory_report(self) -> MemoryReport:
+        """Return the byte-exact storage accounting for this instance."""
+
+    # Convenience -----------------------------------------------------
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(np.asarray(x))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(shape={self.shape}, nnz={self.nnz})"
+        )

@@ -1,0 +1,63 @@
+"""Format conversion helpers.
+
+Centralizes the COO-hub conversion paths so callers can move between
+formats by name (used by the format-tour example and the Fig. 11
+storage sweep).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.ell import ELLMatrix
+from repro.formats.sell import SELLMatrix
+
+
+def from_dense(dense: np.ndarray) -> CSRMatrix:
+    """Build a CSR matrix from a dense array (zeros dropped)."""
+    return CSRMatrix.from_dense(np.asarray(dense))
+
+
+def to_format(csr: CSRMatrix, name: str, **kwargs):
+    """Convert ``csr`` to the named format.
+
+    Parameters
+    ----------
+    csr:
+        Source matrix.
+    name:
+        One of ``"coo"``, ``"csr"``, ``"dia"``, ``"bcsr"``, ``"sell"``,
+        ``"sell-c-sigma"``, ``"dbsr"`` (case-insensitive).
+    kwargs:
+        Format-specific options: ``bsize`` for BCSR/DBSR, ``chunk`` and
+        ``sigma`` for SELL variants.
+    """
+    key = name.lower()
+    if key == "coo":
+        return csr.to_coo()
+    if key == "csr":
+        return csr
+    if key == "dia":
+        return DIAMatrix.from_coo(csr.to_coo())
+    if key == "ell":
+        return ELLMatrix(csr)
+    if key == "bcsr":
+        return BCSRMatrix.from_csr(csr, kwargs.get("bsize", 4))
+    if key == "sell":
+        return SELLMatrix(csr, chunk=kwargs.get("chunk", 8), sigma=1)
+    if key in ("sell-c-sigma", "sellcs"):
+        chunk = kwargs.get("chunk", 8)
+        sigma = kwargs.get("sigma", chunk * 4)
+        return SELLMatrix(csr, chunk=chunk, sigma=sigma)
+    if key == "dbsr":
+        return DBSRMatrix.from_csr(csr, kwargs.get("bsize", 4))
+    raise ValueError(f"unknown format name: {name!r}")
+
+
+FORMAT_NAMES = ("coo", "csr", "dia", "ell", "bcsr", "sell",
+                "sell-c-sigma", "dbsr")

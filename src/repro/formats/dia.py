@@ -1,0 +1,105 @@
+"""Diagonal (DIA) sparse format.
+
+DIA stores each populated diagonal as a dense row. It is the natural
+format for stencil matrices in their *original* lexicographic ordering
+(§II-A) and one of the two parents of DBSR, which stores a single DIA
+diagonal inside every BCSR tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, MemoryReport, SparseMatrix
+from repro.utils.validation import require
+
+
+class DIAMatrix(SparseMatrix):
+    """Sparse matrix stored by diagonals.
+
+    Parameters
+    ----------
+    offsets:
+        Sorted array of diagonal offsets (``col - row``).
+    data:
+        Array of shape ``(len(offsets), n_rows)``; ``data[k, i]`` holds
+        ``A[i, i + offsets[k]]`` (zero where out of range).
+    shape:
+        Matrix shape.
+    """
+
+    def __init__(self, offsets, data, shape):
+        offsets = np.asarray(offsets, dtype=INDEX_DTYPE)
+        data = np.asarray(data)
+        n_rows, n_cols = int(shape[0]), int(shape[1])
+        require(offsets.ndim == 1, "offsets must be 1-D")
+        require(data.shape == (len(offsets), n_rows),
+                "data must be (n_diags, n_rows)")
+        require(len(np.unique(offsets)) == len(offsets),
+                "offsets must be unique")
+        self.shape = (n_rows, n_cols)
+        order = np.argsort(offsets)
+        self.offsets = offsets[order]
+        self.data = np.ascontiguousarray(data[order])
+        self._mask_out_of_range()
+
+    def _mask_out_of_range(self) -> None:
+        """Zero slots that fall outside the matrix."""
+        n_rows, n_cols = self.shape
+        rows = np.arange(n_rows)
+        for k, off in enumerate(self.offsets):
+            cols = rows + off
+            bad = (cols < 0) | (cols >= n_cols)
+            self.data[k, bad] = 0.0
+
+    @classmethod
+    def from_coo(cls, coo) -> "DIAMatrix":
+        """Build from COO, allocating one dense row per used diagonal."""
+        offs = np.unique(coo.cols.astype(np.int64) - coo.rows)
+        data = np.zeros((len(offs), coo.n_rows), dtype=coo.values.dtype)
+        idx = np.searchsorted(offs, coo.cols.astype(np.int64) - coo.rows)
+        data[idx, coo.rows] = coo.values
+        return cls(offs, data, coo.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def n_diags(self) -> int:
+        return len(self.offsets)
+
+    def to_dense(self) -> np.ndarray:
+        n_rows, n_cols = self.shape
+        dense = np.zeros(self.shape, dtype=self.data.dtype)
+        rows = np.arange(n_rows)
+        for k, off in enumerate(self.offsets):
+            cols = rows + off
+            valid = (cols >= 0) & (cols < n_cols)
+            dense[rows[valid], cols[valid]] = self.data[k, valid]
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        require(x.shape == (self.n_cols,), "x has wrong length")
+        n_rows = self.n_rows
+        y = np.zeros(n_rows, dtype=np.result_type(self.data, x))
+        for k, off in enumerate(self.offsets):
+            # Row range where column i+off is valid.
+            lo = max(0, -off)
+            hi = min(n_rows, self.n_cols - off)
+            if hi > lo:
+                y[lo:hi] += self.data[k, lo:hi] * x[lo + off:hi + off]
+        return y
+
+    def memory_report(self) -> MemoryReport:
+        return MemoryReport(
+            format_name="DIA",
+            arrays={
+                "offsets": self.offsets.nbytes,
+                "values": self.data.nbytes,
+            },
+            nnz=self.nnz,
+            stored_values=self.data.size,
+            value_itemsize=self.data.itemsize,
+        )

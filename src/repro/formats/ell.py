@@ -1,0 +1,78 @@
+"""ELLPACK (ELL) sparse format.
+
+The ancestor of SELL: every row is padded to the global maximum row
+length and the matrix is stored column-major, so row `i` of column
+slot `j` sits at `j * n + i`. Perfectly regular (one width for the
+whole matrix) but ruinously padded when row lengths vary — the problem
+SELL's per-chunk widths fix (§II-A lineage). Included for the storage
+comparison and as the simplest vector-friendly baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, MemoryReport, SparseMatrix
+from repro.utils.validation import require
+
+
+class ELLMatrix(SparseMatrix):
+    """Sparse matrix in ELLPACK layout.
+
+    Parameters
+    ----------
+    csr:
+        Source :class:`~repro.formats.csr.CSRMatrix`.
+    """
+
+    def __init__(self, csr):
+        self.shape = csr.shape
+        n = csr.n_rows
+        lengths = np.diff(csr.indptr)
+        self.width = int(lengths.max()) if n else 0
+        self.colidx = np.zeros((self.width, n), dtype=INDEX_DTYPE)
+        self.vals = np.zeros((self.width, n), dtype=csr.data.dtype)
+        for i in range(n):
+            cols, vals = csr.row(i)
+            k = len(cols)
+            self.colidx[:k, i] = cols
+            self.vals[:k, i] = vals
+            # Padding slots self-reference for gather safety.
+            self.colidx[k:, i] = min(i, self.n_cols - 1)
+        self._nnz = csr.nnz
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.vals.dtype)
+        n = self.n_rows
+        for j in range(self.width):
+            nz = self.vals[j] != 0
+            dense[np.arange(n)[nz], self.colidx[j][nz]] = self.vals[j][nz]
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        require(x.shape == (self.n_cols,), "x has wrong length")
+        y = np.zeros(self.n_rows, dtype=np.result_type(self.vals, x))
+        for j in range(self.width):
+            y += self.vals[j] * x[self.colidx[j]]  # full-height gather
+        return y
+
+    def padding_fraction(self) -> float:
+        total = self.vals.size
+        return 0.0 if total == 0 else 1.0 - self.nnz / total
+
+    def memory_report(self) -> MemoryReport:
+        return MemoryReport(
+            format_name="ELL",
+            arrays={
+                "col_ind": self.colidx.nbytes,
+                "values": self.vals.nbytes,
+            },
+            nnz=self.nnz,
+            stored_values=self.vals.size,
+            value_itemsize=self.vals.itemsize,
+        )

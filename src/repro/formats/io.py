@@ -1,0 +1,97 @@
+"""Matrix Market (.mtx) I/O.
+
+COO "is the default storage format for .mtx text" (paper §II-A); this
+module reads and writes the coordinate MatrixMarket dialect so external
+matrices (e.g. SuiteSparse structured-grid problems) can be pushed
+through the DBSR pipeline.
+
+Supported: ``matrix coordinate real|integer general|symmetric`` and
+``matrix coordinate pattern general|symmetric`` (pattern entries get
+value 1.0). Writing always emits ``coordinate real general``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.utils.validation import require
+
+_HEADER = "%%MatrixMarket"
+
+
+def read_matrix_market(path_or_file) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a :class:`COOMatrix`.
+
+    Parameters
+    ----------
+    path_or_file:
+        File path or an open text-file object.
+    """
+    if hasattr(path_or_file, "read"):
+        lines = path_or_file.read().splitlines()
+    else:
+        with open(path_or_file) as fh:
+            lines = fh.read().splitlines()
+    require(bool(lines), "empty MatrixMarket file")
+    header = lines[0].split()
+    require(len(header) >= 5 and header[0] == _HEADER,
+            "missing MatrixMarket header")
+    obj, fmt, field, symmetry = (header[1].lower(), header[2].lower(),
+                                 header[3].lower(), header[4].lower())
+    require(obj == "matrix", f"unsupported object {obj!r}")
+    require(fmt == "coordinate", f"unsupported format {fmt!r}")
+    require(field in ("real", "integer", "pattern"),
+            f"unsupported field {field!r}")
+    require(symmetry in ("general", "symmetric"),
+            f"unsupported symmetry {symmetry!r}")
+
+    body = [ln for ln in lines[1:]
+            if ln.strip() and not ln.lstrip().startswith("%")]
+    require(bool(body), "missing size line")
+    n_rows, n_cols, nnz = (int(tok) for tok in body[0].split()[:3])
+    entries = body[1:]
+    require(len(entries) == nnz,
+            f"expected {nnz} entries, found {len(entries)}")
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz, dtype=np.float64)
+    for k, line in enumerate(entries):
+        tok = line.split()
+        rows[k] = int(tok[0]) - 1  # 1-based in the file
+        cols[k] = int(tok[1]) - 1
+        vals[k] = 1.0 if field == "pattern" else float(tok[2])
+
+    if symmetry == "symmetric":
+        off = rows != cols
+        rows = np.concatenate([rows, cols[off]])
+        cols = np.concatenate([cols, rows[:nnz][off]])
+        vals = np.concatenate([vals, vals[off]])
+    return COOMatrix(rows, cols, vals, (n_rows, n_cols))
+
+
+def write_matrix_market(matrix, path_or_file,
+                        comment: str | None = None) -> None:
+    """Write any :class:`~repro.formats.base.SparseMatrix` as
+    ``coordinate real general`` MatrixMarket text."""
+    coo = matrix if isinstance(matrix, COOMatrix) else _as_coo(matrix)
+    lines = [f"{_HEADER} matrix coordinate real general"]
+    if comment:
+        for ln in comment.splitlines():
+            lines.append(f"% {ln}")
+    lines.append(f"{coo.n_rows} {coo.n_cols} {coo.nnz}")
+    for r, c, v in zip(coo.rows, coo.cols, coo.values):
+        lines.append(f"{int(r) + 1} {int(c) + 1} {float(v)!r}")
+    text = "\n".join(lines) + "\n"
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        with open(path_or_file, "w") as fh:
+            fh.write(text)
+
+
+def _as_coo(matrix) -> COOMatrix:
+    if hasattr(matrix, "to_coo"):
+        return matrix.to_coo()
+    return COOMatrix.from_dense(matrix.to_dense())

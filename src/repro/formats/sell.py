@@ -1,0 +1,156 @@
+"""Sliced ELLPACK (SELL) and SELL-C-sigma formats.
+
+SELL is the main vectorization-oriented competitor the paper measures
+against (Fig. 8). The matrix is cut into chunks of ``C`` consecutive
+rows; each chunk is stored column-major and padded to the length of its
+longest row, so a SIMD unit can process ``C`` rows per instruction —
+but the ``x`` accesses require a *gather*. SELL-C-sigma additionally
+sorts rows by length within windows of ``sigma`` rows to reduce padding
+(Kreutzer et al., SISC 2014).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.base import INDEX_DTYPE, MemoryReport, SparseMatrix
+from repro.utils.validation import check_positive, require
+
+
+class SELLMatrix(SparseMatrix):
+    """Sparse matrix in SELL-C-sigma layout.
+
+    Parameters
+    ----------
+    csr:
+        Source :class:`~repro.formats.csr.CSRMatrix`.
+    chunk:
+        Chunk height ``C`` (the SIMD width in elements).
+    sigma:
+        Sorting window; ``1`` gives plain SELL, ``n_rows`` gives fully
+        sorted SELL-C-sigma. Must be a multiple of ``chunk`` (or 1).
+
+    Notes
+    -----
+    Rows are permuted only *within* sigma windows; ``row_order[slot]``
+    gives the original row stored in that slot. SpMV output is returned
+    in the original row order.
+    """
+
+    def __init__(self, csr, chunk: int = 8, sigma: int = 1):
+        chunk = check_positive(chunk, "chunk")
+        sigma = check_positive(sigma, "sigma")
+        require(sigma == 1 or sigma % chunk == 0,
+                "sigma must be 1 or a multiple of chunk")
+        self.shape = csr.shape
+        self.chunk = chunk
+        self.sigma = sigma
+        n = csr.n_rows
+        lengths = np.diff(csr.indptr)
+
+        # sigma-sort: descending row length inside each sigma window.
+        row_order = np.arange(n, dtype=INDEX_DTYPE)
+        for start in range(0, n, sigma):
+            stop = min(start + sigma, n)
+            window = np.argsort(-lengths[start:stop], kind="stable")
+            row_order[start:stop] = start + window
+        self.row_order = row_order
+
+        n_chunks = (n + chunk - 1) // chunk
+        self.n_chunks = n_chunks
+        widths = np.zeros(n_chunks, dtype=INDEX_DTYPE)
+        for ci in range(n_chunks):
+            slot_rows = row_order[ci * chunk:(ci + 1) * chunk]
+            widths[ci] = lengths[slot_rows].max() if len(slot_rows) else 0
+        self.widths = widths
+        chunk_ptr = np.zeros(n_chunks + 1, dtype=np.int64)
+        np.cumsum(widths.astype(np.int64) * chunk, out=chunk_ptr[1:])
+        self.chunk_ptr = chunk_ptr
+
+        total = int(chunk_ptr[-1])
+        colidx = np.zeros(total, dtype=INDEX_DTYPE)
+        vals = np.zeros(total, dtype=csr.data.dtype)
+        for ci in range(n_chunks):
+            base = chunk_ptr[ci]
+            w = widths[ci]
+            for lane in range(chunk):
+                slot = ci * chunk + lane
+                if slot >= n:
+                    continue
+                r = row_order[slot]
+                cols_r, vals_r = csr.row(r)
+                k = len(cols_r)
+                # Column-major layout: entry j of lane sits at
+                # base + j*chunk + lane.
+                pos = base + np.arange(k) * chunk + lane
+                colidx[pos] = cols_r
+                vals[pos] = vals_r
+                # Padding lanes point at the lane's own row (safe gather).
+                pad = base + np.arange(k, w) * chunk + lane
+                colidx[pad] = min(r, self.n_cols - 1)
+        self.colidx = colidx
+        self.vals = vals
+        self._nnz = csr.nnz
+
+    @property
+    def nnz(self) -> int:
+        return self._nnz
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.vals.dtype)
+        n = self.n_rows
+        for ci in range(self.n_chunks):
+            base = self.chunk_ptr[ci]
+            w = self.widths[ci]
+            for lane in range(self.chunk):
+                slot = ci * self.chunk + lane
+                if slot >= n:
+                    continue
+                r = self.row_order[slot]
+                pos = base + np.arange(w) * self.chunk + lane
+                cols = self.colidx[pos]
+                v = self.vals[pos]
+                nz = v != 0
+                dense[r, cols[nz]] = v[nz]
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        require(x.shape == (self.n_cols,), "x has wrong length")
+        n = self.n_rows
+        y = np.zeros(n, dtype=np.result_type(self.vals, x))
+        for ci in range(self.n_chunks):
+            base = self.chunk_ptr[ci]
+            w = int(self.widths[ci])
+            lo = ci * self.chunk
+            hi = min(lo + self.chunk, n)
+            lanes = hi - lo
+            acc = np.zeros(lanes, dtype=y.dtype)
+            for j in range(w):
+                pos = base + j * self.chunk
+                cols = self.colidx[pos:pos + lanes]
+                acc += self.vals[pos:pos + lanes] * x[cols]  # gather
+            y[self.row_order[lo:hi]] = acc
+        return y
+
+    def padding_fraction(self) -> float:
+        """Fraction of stored value slots that are padding."""
+        total = int(self.chunk_ptr[-1])
+        return 0.0 if total == 0 else 1.0 - self.nnz / total
+
+    def memory_report(self) -> MemoryReport:
+        name = (f"SELL-{self.chunk}" if self.sigma == 1
+                else f"SELL-{self.chunk}-{self.sigma}")
+        return MemoryReport(
+            format_name=name,
+            arrays={
+                "chunk_ptr": self.chunk_ptr.nbytes,
+                "widths": self.widths.nbytes,
+                "row_order": self.row_order.nbytes,
+                "col_ind": self.colidx.nbytes,
+                "values": self.vals.nbytes,
+            },
+            nnz=self.nnz,
+            stored_values=self.vals.size,
+            value_itemsize=self.vals.itemsize,
+        )

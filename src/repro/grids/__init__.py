@@ -1,0 +1,36 @@
+"""Structured grids, stencils, and sparse matrix assembly.
+
+Provides the problem generators behind every experiment in the paper:
+2-D 5/9-point and 3-D 7/27-point stencil discretizations on regular
+grids (§II-B, §V-A), the HPCG 27-point Poisson problem, and the grid
+coarsening used by the geometric multigrid hierarchy.
+"""
+
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import (
+    Stencil,
+    box9_2d,
+    box27_3d,
+    star5_2d,
+    star7_3d,
+    stencil_by_name,
+)
+from repro.grids.assembly import assemble_csr
+from repro.grids.problems import Problem, hpcg_problem, poisson_problem
+from repro.grids.coarsen import coarsen_grid, fine_to_coarse_map
+
+__all__ = [
+    "StructuredGrid",
+    "Stencil",
+    "star5_2d",
+    "box9_2d",
+    "star7_3d",
+    "box27_3d",
+    "stencil_by_name",
+    "assemble_csr",
+    "Problem",
+    "poisson_problem",
+    "hpcg_problem",
+    "coarsen_grid",
+    "fine_to_coarse_map",
+]

@@ -1,0 +1,52 @@
+"""Grid coarsening for geometric multigrid.
+
+HPCG coarsens by a factor of two per dimension, keeping every even
+point, and re-discretizes the operator on the coarse grid. Both pieces
+live here; the inter-grid transfer operators built on top are in
+:mod:`repro.multigrid.transfer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids.grid import StructuredGrid
+from repro.utils.validation import require
+
+
+def coarsen_grid(grid: StructuredGrid, factor: int = 2) -> StructuredGrid:
+    """Return the grid coarsened by ``factor`` in every dimension."""
+    require(factor >= 2, "coarsening factor must be >= 2")
+    for d in grid.dims:
+        require(d % factor == 0,
+                f"dim {d} not divisible by coarsening factor {factor}")
+    return StructuredGrid(tuple(d // factor for d in grid.dims))
+
+
+def fine_to_coarse_map(fine: StructuredGrid, coarse: StructuredGrid,
+                       factor: int = 2) -> np.ndarray:
+    """Fine ids of the points injected into each coarse point.
+
+    Returns ``f2c`` of length ``coarse.n_points`` where ``f2c[ic]`` is
+    the fine-grid id of coarse point ``ic`` (the even-index corner of
+    its cell), matching HPCG's injection operator.
+    """
+    require(fine.ndim == coarse.ndim, "dimensionality mismatch")
+    for fd, cd in zip(fine.dims, coarse.dims):
+        require(fd == cd * factor, "grids are not factor-related")
+    coarse_coords = coarse.coords_array()  # (nc, ndim)
+    fine_ids = np.zeros(coarse.n_points, dtype=np.int64)
+    for axis in range(fine.ndim):
+        fine_ids += (coarse_coords[:, axis] * factor) * fine.strides[axis]
+    return fine_ids
+
+
+def max_coarsen_levels(grid: StructuredGrid, factor: int = 2,
+                       min_dim: int = 2) -> int:
+    """Number of coarsening steps possible before any dim gets too small."""
+    levels = 0
+    dims = list(grid.dims)
+    while all(d % factor == 0 and d // factor >= min_dim for d in dims):
+        dims = [d // factor for d in dims]
+        levels += 1
+    return levels

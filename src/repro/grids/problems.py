@@ -1,0 +1,79 @@
+"""Linear-system problem generators.
+
+Bundles a grid, its operator, and HPCG-style right-hand sides. The
+HPCG generator mirrors the official benchmark: 27-point operator,
+``b = A @ 1`` so the exact solution is the all-ones vector, zero
+initial guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import Stencil, box27_3d, star5_2d, stencil_by_name
+
+
+@dataclass
+class Problem:
+    """A structured-grid linear system ``A x = b``.
+
+    Attributes
+    ----------
+    grid:
+        The underlying structured grid.
+    stencil:
+        Stencil used to assemble ``matrix``.
+    matrix:
+        Operator in CSR format, lexicographic ordering.
+    rhs:
+        Right-hand side.
+    exact:
+        Known exact solution when available (``None`` otherwise).
+    """
+
+    grid: StructuredGrid
+    stencil: Stencil
+    matrix: CSRMatrix
+    rhs: np.ndarray
+    exact: np.ndarray | None = field(default=None)
+
+    @property
+    def n(self) -> int:
+        return self.grid.n_points
+
+    def residual_norm(self, x: np.ndarray) -> float:
+        """Euclidean norm of ``b - A x``."""
+        return float(np.linalg.norm(self.rhs - self.matrix.matvec(x)))
+
+
+def poisson_problem(dims, stencil: Stencil | str | None = None,
+                    dtype=np.float64) -> Problem:
+    """Poisson-type problem on a grid of extents ``dims``.
+
+    The default stencil is chosen by dimensionality (5-point in 2-D,
+    27-point in 3-D). ``b`` is set so that the exact solution is the
+    all-ones vector, as in HPCG.
+    """
+    grid = StructuredGrid(dims)
+    if stencil is None:
+        stencil = star5_2d() if grid.ndim == 2 else box27_3d()
+    elif isinstance(stencil, str):
+        stencil = stencil_by_name(stencil)
+    matrix = assemble_csr(grid, stencil, dtype=dtype)
+    exact = np.ones(grid.n_points, dtype=dtype)
+    rhs = matrix.matvec(exact)
+    return Problem(grid=grid, stencil=stencil, matrix=matrix, rhs=rhs,
+                   exact=exact)
+
+
+def hpcg_problem(nx: int, ny: int | None = None, nz: int | None = None,
+                 dtype=np.float64) -> Problem:
+    """The HPCG local problem: 27-point stencil on an ``nx*ny*nz`` grid."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    return poisson_problem((nx, ny, nz), box27_3d(), dtype=dtype)

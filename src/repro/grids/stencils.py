@@ -1,0 +1,135 @@
+"""Stencil library.
+
+The paper evaluates 27-point and 7-point 3-D stencils (HPCG and the
+ILU(0) study) and motivates the reordering with a 9-point 2-D example
+(Fig. 2). All four appear here with the standard Laplacian-style
+weights (diagonal = neighbor count, off-diagonal = -1), which is the
+HPCG operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """A finite-difference stencil.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"star7_3d"``).
+    offsets:
+        ``(k, ndim)`` array of integer offsets including ``(0, ..., 0)``.
+    weights:
+        Length-``k`` coefficients aligned with ``offsets``.
+    """
+
+    name: str
+    offsets: tuple
+    weights: tuple
+
+    def __post_init__(self):
+        require(len(self.offsets) == len(self.weights),
+                "offsets/weights length mismatch")
+        require(len(set(self.offsets)) == len(self.offsets),
+                "duplicate stencil offsets")
+        arities = {len(o) for o in self.offsets}
+        require(len(arities) == 1, "mixed offset arities")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offsets[0])
+
+    @property
+    def n_points(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def reach(self) -> int:
+        """Chebyshev radius: max |offset| component over all offsets."""
+        return max(max(abs(c) for c in o) for o in self.offsets)
+
+    def is_symmetric(self) -> bool:
+        """True when every offset's negation is present with equal weight."""
+        table = dict(zip(self.offsets, self.weights))
+        return all(
+            tuple(-c for c in off) in table
+            and table[tuple(-c for c in off)] == w
+            for off, w in table.items()
+        )
+
+    def center_weight(self) -> float:
+        """Weight of the (0, ..., 0) offset."""
+        zero = tuple(0 for _ in range(self.ndim))
+        return dict(zip(self.offsets, self.weights))[zero]
+
+
+def _star(ndim: int, center: float) -> Stencil:
+    offsets = [tuple(0 for _ in range(ndim))]
+    weights = [center]
+    for axis in range(ndim):
+        for sign in (-1, 1):
+            off = [0] * ndim
+            off[axis] = sign
+            offsets.append(tuple(off))
+            weights.append(-1.0)
+    return Stencil(f"star{2 * ndim + 1}_{ndim}d",
+                   tuple(offsets), tuple(weights))
+
+
+def _box(ndim: int, center: float) -> Stencil:
+    offsets, weights = [], []
+    for off in product((-1, 0, 1), repeat=ndim):
+        offsets.append(off)
+        weights.append(center if all(c == 0 for c in off) else -1.0)
+    return Stencil(f"box{3 ** ndim}_{ndim}d", tuple(offsets),
+                   tuple(weights))
+
+
+def star5_2d() -> Stencil:
+    """2-D 5-point Laplacian (diag 4, off-diag -1)."""
+    return _star(2, 4.0)
+
+
+def box9_2d() -> Stencil:
+    """2-D 9-point stencil of the paper's Fig. 2 (diag 8, off-diag -1)."""
+    return _box(2, 8.0)
+
+
+def star7_3d() -> Stencil:
+    """3-D 7-point Laplacian (diag 6, off-diag -1)."""
+    return _star(3, 6.0)
+
+
+def box27_3d() -> Stencil:
+    """HPCG's 3-D 27-point operator (diag 26, off-diag -1)."""
+    return _box(3, 26.0)
+
+
+_REGISTRY = {
+    "star5_2d": star5_2d,
+    "box9_2d": box9_2d,
+    "star7_3d": star7_3d,
+    "box27_3d": box27_3d,
+    "5pt": star5_2d,
+    "9pt": box9_2d,
+    "7pt": star7_3d,
+    "27pt": box27_3d,
+}
+
+
+def stencil_by_name(name: str) -> Stencil:
+    """Look up a predefined stencil by name or alias."""
+    try:
+        return _REGISTRY[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown stencil {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

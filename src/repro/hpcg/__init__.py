@@ -1,0 +1,34 @@
+"""The HPCG benchmark (§II-C, §V-B..D).
+
+A faithful re-implementation of the benchmark's computational core:
+27-point operator, 4-level geometric multigrid preconditioner with
+SYMGS smoothing, preconditioned CG driver, and the official FLOP
+accounting — plus the storage/ordering *variants* the paper compares
+(reference, vendor-style, CPO, SELL, DBSR) and the machine-model
+GFLOPS projection that regenerates Figs. 5, 6 and 8.
+"""
+
+from repro.hpcg.flops import hpcg_flops_per_iteration, hpcg_total_flops
+from repro.hpcg.variants import HPCGVariant, VARIANTS, get_variant
+from repro.hpcg.benchmark import (
+    HPCGModel,
+    HPCGResult,
+    best_allocation,
+    build_hpcg_model,
+    model_hpcg_gflops,
+    run_hpcg,
+)
+
+__all__ = [
+    "hpcg_flops_per_iteration",
+    "hpcg_total_flops",
+    "HPCGVariant",
+    "VARIANTS",
+    "get_variant",
+    "HPCGModel",
+    "HPCGResult",
+    "run_hpcg",
+    "build_hpcg_model",
+    "model_hpcg_gflops",
+    "best_allocation",
+]

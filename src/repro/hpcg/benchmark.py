@@ -1,0 +1,280 @@
+"""HPCG driver: functional runs and machine-model GFLOPS projection.
+
+Two modes:
+
+* :func:`run_hpcg` executes the full benchmark numerically (setup, MG
+  hierarchy, 50 PCG iterations) at a tractable problem size and checks
+  convergence — the correctness side.
+* :func:`model_hpcg_gflops` projects node-level GFLOPS for a variant /
+  machine / (processes x threads) allocation from measured operation
+  counts, scaled to the paper's 192-cubed local domain — the
+  performance side behind Figs. 5, 6 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grids.problems import Problem, hpcg_problem
+from repro.hpcg.flops import hpcg_flops_per_iteration
+from repro.hpcg.variants import HPCGVariant, get_variant
+from repro.kernels.counts import dot_counts, spmv_csr_counts, waxpby_counts
+from repro.multigrid.hierarchy import build_hierarchy, hierarchy_levels
+from repro.multigrid.smoothers import make_smoother
+from repro.multigrid.vcycle import MGPreconditioner
+from repro.perfmodel.specs import KernelSpec
+from repro.simd.counters import OpCounter
+from repro.simd.machine import MachineModel
+from repro.solvers.pcg import pcg
+from repro.utils.validation import check_positive, require
+
+
+@dataclass
+class HPCGResult:
+    """Outcome of a functional HPCG run.
+
+    Attributes
+    ----------
+    iterations:
+        PCG iterations executed.
+    final_relres:
+        Final relative residual.
+    flops:
+        Officially credited flops.
+    converged:
+        Whether the target tolerance was reached.
+    """
+
+    iterations: int
+    final_relres: float
+    flops: int
+    converged: bool
+
+
+def run_hpcg(nx: int = 16, variant: str = "dbsr", n_levels: int = 3,
+             max_iters: int = 50, tol: float = 1e-9,
+             bsize: int = 4, n_workers: int = 4) -> HPCGResult:
+    """Execute the benchmark numerically on an ``nx``-cubed local grid.
+
+    Uses the named variant's smoother in the MG preconditioner; all
+    variants must converge to the same residual (they perform the same
+    math in different storage/orderings), which the tests assert.
+    """
+    problem = hpcg_problem(nx)
+    v = get_variant(variant)
+
+    def factory(grid, stencil, matrix):
+        return make_smoother(v.smoother_kind, grid, stencil, matrix,
+                             bsize=bsize, n_workers=n_workers)
+
+    top = build_hierarchy(problem.grid, problem.stencil, factory,
+                          n_levels=n_levels, matrix=problem.matrix)
+    M = MGPreconditioner(top)
+    x, hist = pcg(problem.matrix, problem.rhs, M, tol=tol,
+                  maxiter=max_iters)
+    flops = hist.iterations * hpcg_flops_per_iteration(
+        problem.n, problem.matrix.nnz, n_levels)
+    relres = hist.final_residual / (hist.initial_residual or 1.0)
+    return HPCGResult(iterations=hist.iterations, final_relres=relres,
+                      flops=flops, converged=hist.converged)
+
+
+# --- Machine-model projection ------------------------------------------
+
+@dataclass
+class HPCGModel:
+    """Per-iteration kernel specs of one variant on one local domain."""
+
+    variant: HPCGVariant
+    specs: list = field(default_factory=list)
+    n_local: int = 0
+    nnz_local: int = 0
+    parallelism: float = 1.0
+    barriers: int = 0
+
+    def node_seconds_per_iteration(
+            self, machine: MachineModel, processes: int, threads: int,
+            scale: float = 1.0, dtype_bytes: int = 8,
+            halo_seconds: float = 0.0) -> float:
+        """Modeled per-iteration wall time for ``processes x threads``.
+
+        All processes execute concurrently: total work is
+        ``processes x`` local counts over ``processes*threads`` cores,
+        sharing the machine bandwidth; color barriers are per-process
+        (overlapped across processes). A kernel whose scaled working
+        set fits in LLC is treated as cache resident (the coarse MG
+        levels — where vectorization pays most, since compute rather
+        than DRAM bandwidth bounds them).
+        """
+        total = 0.0
+        cores = processes * threads
+        l3_bytes = machine.l3_mb * 1e6
+        for spec in self.specs:
+            par = spec.parallelism * (scale if spec.parallelism_scales
+                                      else 1.0)
+            c = spec.counter.scaled(scale * processes)
+            c.bytes_vector = int(
+                c.bytes_vector * self.variant.fusion_traffic_factor)
+            resident = 0.9 if (l3_bytes > 0
+                               and c.total_bytes < 0.8 * l3_bytes) else 0.0
+            total += machine.kernel_seconds(
+                c, threads=cores, dtype_bytes=dtype_bytes,
+                vectorized=spec.vectorized,
+                use_gather_hw=spec.use_gather_hw,
+                parallelism=par * processes,
+                n_barriers=spec.barriers,
+                cache_resident_fraction=resident,
+            )
+        return total + halo_seconds
+
+
+def build_hpcg_model(nx: int, variant: str, n_levels: int = 3,
+                     bsize: int = 8, n_workers: int = 8) -> HPCGModel:
+    """Measure per-iteration kernel counts of a variant at size ``nx``.
+
+    The model problem is built small (structures are real); callers
+    scale counts to the paper's ``nx = 192`` local domain via the
+    ``scale`` argument of
+    :meth:`HPCGModel.node_seconds_per_iteration`.
+    """
+    check_positive(nx, "nx")
+    v = get_variant(variant)
+    problem = hpcg_problem(nx)
+
+    def factory(grid, stencil, matrix):
+        return make_smoother(v.smoother_kind, grid, stencil, matrix,
+                             bsize=bsize, n_workers=n_workers)
+
+    top = build_hierarchy(problem.grid, problem.stencil, factory,
+                          n_levels=n_levels, matrix=problem.matrix)
+    levels = hierarchy_levels(top)
+    model = HPCGModel(variant=v, n_local=problem.n,
+                      nnz_local=problem.matrix.nnz)
+
+    # Top-level SpMV (CG) + dots + waxpbys, in the variant's own
+    # storage format (DBSR SpMV is gather-free, SELL SpMV gathers).
+    model.specs.append(KernelSpec(
+        counter=_spmv_counts_for(top.smoother, problem.matrix),
+        parallelism=float(problem.n), barriers=0,
+        vectorized=v.vectorized, use_gather_hw=v.use_gather_hw,
+    ))
+    vec = OpCounter(bsize=1)
+    vec.merge(dot_counts(problem.n))
+    vec.merge(dot_counts(problem.n))
+    vec.merge(dot_counts(problem.n))
+    vec.merge(waxpby_counts(problem.n))
+    vec.merge(waxpby_counts(problem.n))
+    vec.merge(waxpby_counts(problem.n))
+    model.specs.append(KernelSpec(
+        counter=vec, parallelism=float(problem.n), barriers=0,
+        vectorized=v.vectorized,
+    ))
+
+    # MG levels: pre+post SYMGS and residual SpMV per level, single
+    # SYMGS on the coarsest.
+    for depth, lvl in enumerate(levels):
+        smoother = lvl.smoother
+        sweeps = 1 if depth == len(levels) - 1 else 2
+        symgs = smoother.op_counts().scaled(float(sweeps))
+        if v.force_gather and hasattr(smoother, "dbsr"):
+            # Fig. 8: pretend the x loads of Algorithm 2 were gathers.
+            n_xloads = smoother.dbsr.n_tiles * 2 * sweeps
+            item = smoother.dbsr.values.itemsize
+            symgs.vgather += n_xloads
+            symgs.vload -= n_xloads
+            moved = n_xloads * smoother.dbsr.bsize * item
+            symgs.bytes_gathered += moved
+            symgs.bytes_vector -= moved
+        serial = v.process_parallel_only
+        model.specs.append(KernelSpec(
+            counter=symgs,
+            parallelism=(1.0 if serial else
+                         float(getattr(smoother, "parallelism", 1.0))),
+            barriers=sweeps * smoother.barriers(),
+            vectorized=v.vectorized,
+            use_gather_hw=v.use_gather_hw,
+            parallelism_scales=not serial,
+        ))
+        if depth != len(levels) - 1:
+            model.specs.append(KernelSpec(
+                counter=spmv_csr_counts(lvl.matrix),
+                parallelism=float(lvl.n), barriers=0,
+                vectorized=v.vectorized,
+                use_gather_hw=v.use_gather_hw,
+            ))
+    model.parallelism = min(
+        getattr(l.smoother, "parallelism", 1.0) for l in levels)
+    model.barriers = sum(
+        (1 if d == len(levels) - 1 else 2) * l.smoother.barriers()
+        for d, l in enumerate(levels))
+    return model
+
+
+def _spmv_counts_for(smoother, csr_matrix) -> OpCounter:
+    """SpMV counts in the storage format the variant actually uses."""
+    from repro.kernels.counts import spmv_dbsr_counts, spmv_sell_counts
+
+    if hasattr(smoother, "dbsr"):
+        return spmv_dbsr_counts(smoother.dbsr)
+    if hasattr(smoother, "sell"):
+        return spmv_sell_counts(smoother.sell)
+    return spmv_csr_counts(csr_matrix)
+
+
+def _halo_seconds(machine: MachineModel, processes: int, nx_local: int,
+                  dtype_bytes: int = 8) -> float:
+    """Intra-node halo exchange + allreduce cost per CG iteration.
+
+    26-neighbor halo of a cubic local domain, exchanged through shared
+    memory, plus two latency-bound allreduces.
+    """
+    if processes <= 1:
+        return 0.0
+    import math
+
+    face = nx_local * nx_local * dtype_bytes
+    halo_bytes = processes * 6 * face * 1.2  # edges/corners ~20%
+    bw = machine.effective_bandwidth(machine.cores)
+    latency = 1e-6 * 26 * math.log2(processes + 1)
+    allreduce = 2 * 5e-6 * math.log2(processes + 1)
+    return halo_bytes / bw + latency + allreduce
+
+
+def model_hpcg_gflops(machine: MachineModel, model: HPCGModel,
+                      processes: int, threads: int,
+                      nx_target: int = 192, nx_model: int | None = None,
+                      dtype_bytes: int = 8) -> float:
+    """Projected node GFLOPS for an allocation (Fig. 5/6 data point)."""
+    nx_model_val = nx_model if nx_model is not None else round(
+        model.n_local ** (1 / 3))
+    scale = (nx_target / nx_model_val) ** 3
+    n_target = model.n_local * scale
+    nnz_target = model.nnz_local * scale
+    flops = processes * hpcg_flops_per_iteration(
+        int(n_target), int(nnz_target),
+        n_levels=4)
+    halo = _halo_seconds(machine, processes, nx_target, dtype_bytes)
+    secs = model.node_seconds_per_iteration(
+        machine, processes, threads, scale=scale,
+        dtype_bytes=dtype_bytes, halo_seconds=halo)
+    secs *= model.variant.time_inefficiency
+    return flops / secs / 1e9
+
+
+def best_allocation(machine: MachineModel, model: HPCGModel,
+                    nx_target: int = 192) -> tuple:
+    """Best (processes, threads, gflops) with all cores busy (Fig. 5)."""
+    cores = machine.cores
+    best = None
+    p = 1
+    while p <= cores:
+        if cores % p == 0:
+            t = cores // p
+            g = model_hpcg_gflops(machine, model, p, t,
+                                  nx_target=nx_target)
+            if best is None or g > best[2]:
+                best = (p, t, g)
+        p += 1
+    return best

@@ -1,0 +1,117 @@
+"""HPCG optimization variants (§V-B).
+
+====================  =====================================================
+``reference``         Official HPCG-3.1 semantics: lexicographic CSR,
+                      serial SYMGS inside each MPI process.
+``mkl``               Vendor-style x86 version: BMC-parallel smoothing over
+                      a SELL-like vectorized layout (hardware gathers).
+``arm``               Vendor-style ARM version: BMC-parallel CSR smoothing,
+                      no SIMD, conservative tuning.
+``cpo``               State-of-the-art multicore optimizations of [24],
+                      [25]: BMC-AUTO ordering, scalar CSR kernels, deep
+                      kernel fusion (reduced vector traffic).
+``sell``              CPO + SELL storage with SIMD gathers (Fig. 8).
+``dbsr``              CPO + vectorized BMC + DBSR, gather-free SIMD —
+                      the paper's contribution.
+====================  =====================================================
+
+The two vendor entries model closed-source binaries we cannot rebuild;
+they reuse this library's own BMC/SELL/CSR code paths with documented
+efficiency assumptions (see DESIGN.md §2 and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class HPCGVariant:
+    """Configuration of one HPCG optimization variant.
+
+    Attributes
+    ----------
+    name:
+        Variant key.
+    smoother_kind:
+        Which smoother the MG hierarchy uses (``csr``, ``bmc``,
+        ``sell``, ``dbsr``).
+    vectorized:
+        Whether kernels issue SIMD instructions in the model.
+    use_gather_hw:
+        Whether SIMD gathers use the hardware gather instruction
+        (only relevant when the smoother's counts contain gathers).
+    fusion_traffic_factor:
+        Multiplier on vector-stream traffic from kernel fusion (the
+        CPO deep-fusion optimization; 1.0 = no fusion).
+    process_parallel_only:
+        ``True`` when SYMGS is serial inside a process (reference
+        semantics), so threads only help SpMV/vector kernels.
+    force_gather:
+        Replace DBSR's contiguous x loads with gathers — the paper's
+        Fig. 8 "what if DBSR did not avoid the gather" experiment.
+    time_inefficiency:
+        Multiplier on modeled time for closed-source vendor binaries
+        whose internals we cannot rebuild (documented assumption; see
+        EXPERIMENTS.md). 1.0 for everything built from this library.
+    """
+
+    name: str
+    smoother_kind: str
+    vectorized: bool
+    use_gather_hw: bool = True
+    fusion_traffic_factor: float = 1.0
+    process_parallel_only: bool = False
+    force_gather: bool = False
+    time_inefficiency: float = 1.0
+
+
+VARIANTS = {
+    "reference": HPCGVariant(
+        name="reference", smoother_kind="csr", vectorized=False,
+        process_parallel_only=True,
+    ),
+    "mkl": HPCGVariant(
+        name="mkl", smoother_kind="sell", vectorized=True,
+        use_gather_hw=True, fusion_traffic_factor=0.95,
+        time_inefficiency=1.15,
+    ),
+    "arm": HPCGVariant(
+        name="arm", smoother_kind="csr", vectorized=False,
+        fusion_traffic_factor=1.1, process_parallel_only=True,
+        time_inefficiency=1.9,
+    ),
+    "cpo": HPCGVariant(
+        name="cpo", smoother_kind="bmc", vectorized=False,
+        fusion_traffic_factor=0.8,
+    ),
+    "sell": HPCGVariant(
+        name="sell", smoother_kind="sell", vectorized=True,
+        use_gather_hw=True, fusion_traffic_factor=0.8,
+    ),
+    "sell-novec": HPCGVariant(
+        name="sell-novec", smoother_kind="sell", vectorized=False,
+        fusion_traffic_factor=0.8,
+    ),
+    "dbsr": HPCGVariant(
+        name="dbsr", smoother_kind="dbsr", vectorized=True,
+        fusion_traffic_factor=0.8,
+    ),
+    "dbsr-novec": HPCGVariant(
+        name="dbsr-novec", smoother_kind="dbsr", vectorized=False,
+        fusion_traffic_factor=0.8,
+    ),
+    "dbsr-gather": HPCGVariant(
+        name="dbsr-gather", smoother_kind="dbsr", vectorized=True,
+        fusion_traffic_factor=0.8, force_gather=True,
+    ),
+}
+
+
+def get_variant(name: str) -> HPCGVariant:
+    """Look up a variant by name."""
+    require(name in VARIANTS,
+            f"unknown variant {name!r}; known: {sorted(VARIANTS)}")
+    return VARIANTS[name]

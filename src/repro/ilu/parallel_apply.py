@@ -1,0 +1,61 @@
+"""Thread-parallel application of the DBSR block ILU(0) factors.
+
+Connects the color-barrier executor of :mod:`repro.parallel` to the
+factored DBSR skeleton: the forward unit-lower solve runs groups of a
+color concurrently (colors ascending), the backward upper solve runs
+colors descending — bit-identical to the sequential
+:func:`repro.ilu.ilu0_dbsr.ilu0_apply_dbsr` (tested), demonstrating
+that the paper's smoothing phase parallelizes exactly as claimed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ilu.ilu0_dbsr import DBSRILUFactors
+from repro.ordering.vbmc import ColorSchedule
+from repro.parallel.executor import ColorParallelExecutor
+from repro.utils.validation import require
+
+
+def ilu0_apply_dbsr_parallel(factors: DBSRILUFactors, r: np.ndarray,
+                             schedule: ColorSchedule,
+                             n_workers: int = 2) -> np.ndarray:
+    """Solve ``L U z = r`` with group-parallel sweeps."""
+    m = factors.matrix
+    bs = m.bsize
+    n = m.n_rows
+    require(r.shape == (n,), "r has wrong length")
+    require(schedule.bsize == bs, "schedule bsize mismatch")
+    blk_ptr = m.blk_ptr
+    dia_ptr = factors.dia_ptr
+    values = m.values
+    anchors = m.anchors + bs
+    r2 = np.asarray(r).reshape(-1, bs)
+
+    yp = np.zeros(n + 2 * bs, dtype=np.result_type(values, r))
+
+    def forward_task(group: int) -> None:
+        for i in schedule.block_rows_of_group(group):
+            acc = r2[i].astype(yp.dtype, copy=True)
+            for p in range(int(blk_ptr[i]), int(dia_ptr[i])):
+                a = anchors[p]
+                acc -= values[p] * yp[a:a + bs]
+            yp[bs + i * bs:bs + (i + 1) * bs] = acc
+
+    zp = np.zeros_like(yp)
+
+    def backward_task(group: int) -> None:
+        rows = schedule.block_rows_of_group(group)
+        for i in reversed(rows):
+            acc = yp[bs + i * bs:bs + (i + 1) * bs].copy()
+            for p in range(int(dia_ptr[i]) + 1, int(blk_ptr[i + 1])):
+                a = anchors[p]
+                acc -= values[p] * zp[a:a + bs]
+            acc /= values[int(dia_ptr[i])]
+            zp[bs + i * bs:bs + (i + 1) * bs] = acc
+
+    with ColorParallelExecutor(schedule, n_workers) as ex:
+        ex.run_forward(forward_task)
+        ex.run_backward(backward_task)
+    return zp[bs:bs + n].copy()

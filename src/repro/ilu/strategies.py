@@ -1,0 +1,250 @@
+"""Named ILU(0) parallel strategies — the contenders of Figs. 9 and 12.
+
+Every strategy prepares an ILU(0) preconditioner for a structured-grid
+problem and exposes a uniform interface:
+
+* ``factorize()``     — build the factors (timed / counted by callers).
+* ``apply(r)``        — one preconditioner application ``z = M^{-1} r``
+  *in the original lexicographic ordering* (reordering is internal).
+* model metadata      — exploitable parallelism, barriers per apply,
+  whether the kernel vectorizes, and operation counts — consumed by
+  :mod:`repro.perfmodel` to regenerate the paper's speedup figures.
+
+Strategies (names as in §V-E):
+
+========== =========================================================
+``serial``   Algorithm 3 on the natural ordering, serial solves.
+``bj``       Block Jacobi: one decoupled ILU(0) chunk per worker.
+``mc``       Point multi-color reordering + scalar ILU(0).
+``bmc-fix``  BMC reordering, fixed 64-point blocks.
+``bmc-auto`` BMC reordering, resource-adaptive blocks.
+``dbsr-fix`` Vectorized BMC + DBSR block ILU(0) (Alg. 4), FIX blocks.
+``dbsr-auto``Same with AUTO blocks.
+``simd-fix`` ``dbsr-fix`` with SIMD execution enabled in the model.
+``simd-auto````dbsr-auto`` with SIMD execution enabled in the model.
+========== =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.grids.problems import Problem
+from repro.ilu.block_jacobi import (
+    BlockJacobiILU,
+    block_jacobi_apply,
+    block_jacobi_ilu0,
+)
+from repro.ilu.ilu0_csr import ILUFactors, ilu0_apply_csr, ilu0_factorize_csr
+from repro.ilu.ilu0_dbsr import (
+    DBSRILUFactors,
+    ilu0_apply_dbsr,
+    ilu0_factorize_dbsr,
+)
+from repro.kernels.counts import sptrsv_csr_counts, sptrsv_dbsr_counts
+from repro.ordering.blocks import auto_block_dims, fixed_block_dims
+from repro.ordering.bmc import build_bmc
+from repro.ordering.vbmc import build_vbmc
+from repro.simd.counters import OpCounter
+from repro.utils.validation import require
+
+STRATEGY_NAMES = (
+    "serial", "bj", "mc", "bmc-fix", "bmc-auto",
+    "dbsr-fix", "dbsr-auto", "simd-fix", "simd-auto",
+)
+
+
+@dataclass
+class ILUStrategy:
+    """A prepared ILU(0) strategy instance.
+
+    Call :meth:`factorize` once, then :meth:`apply` per iteration.
+    """
+
+    name: str
+    problem: Problem
+    n_workers: int
+    bsize: int
+    vectorized: bool
+    # Populated by setup/factorize.
+    _perm_forward: object = field(default=None, repr=False)
+    _perm_backward: object = field(default=None, repr=False)
+    _matrix_reordered: CSRMatrix | None = field(default=None, repr=False)
+    _dbsr_matrix: DBSRMatrix | None = field(default=None, repr=False)
+    _factors: object = field(default=None, repr=False)
+    _bj: BlockJacobiILU | None = field(default=None, repr=False)
+    n_colors: int = 1
+    parallelism: float = 1.0
+    factor_counter: OpCounter | None = field(default=None, repr=False)
+
+    # -- lifecycle ------------------------------------------------------
+    def factorize(self) -> None:
+        """Build the ILU(0) factors for this strategy."""
+        if self._bj is not None or self.name == "bj":
+            self.factor_counter = OpCounter(bsize=1)
+            self._bj = block_jacobi_ilu0(
+                self._matrix_reordered,
+                min(self.n_workers, self.problem.n),
+                counter=self.factor_counter,
+            )
+        elif self._dbsr_matrix is not None:
+            self.factor_counter = OpCounter(bsize=self.bsize)
+            self._factors = ilu0_factorize_dbsr(
+                self._dbsr_matrix, counter=self.factor_counter)
+        else:
+            self.factor_counter = OpCounter(bsize=1)
+            self._factors = ilu0_factorize_csr(
+                self._matrix_reordered, counter=self.factor_counter)
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Apply ``M^{-1}`` to ``r`` (original ordering in and out)."""
+        rp = self._to_internal(r)
+        if self._bj is not None:
+            zp = block_jacobi_apply(self._bj, rp)
+        elif self._dbsr_matrix is not None:
+            require(self._factors is not None, "factorize() first")
+            zp = ilu0_apply_dbsr(self._factors, rp)
+        else:
+            require(self._factors is not None, "factorize() first")
+            zp = ilu0_apply_csr(self._factors, rp)
+        return self._to_original(zp)
+
+    # -- model metadata ---------------------------------------------------
+    def smoothing_counter(self) -> OpCounter:
+        """Operation counts of one preconditioner application."""
+        if self._dbsr_matrix is not None:
+            f = self._factors
+            lower = _dbsr_part(f, lower=True)
+            upper = _dbsr_part(f, lower=False)
+            c = sptrsv_dbsr_counts(lower, divide=False)
+            c.merge(sptrsv_dbsr_counts(upper, divide=True))
+            return c
+        if self._bj is not None:
+            total = OpCounter(bsize=1)
+            for fac in self._bj.factors:
+                total.merge(sptrsv_csr_counts(fac.lower, divide=False))
+                total.merge(sptrsv_csr_counts(fac.upper, divide=True))
+            return total
+        f = self._factors
+        c = sptrsv_csr_counts(f.lower, divide=False)
+        c.merge(sptrsv_csr_counts(f.upper, divide=True))
+        return c
+
+    def barriers_per_apply(self) -> int:
+        """Color synchronizations per preconditioner application
+        (forward + backward sweep)."""
+        if self.name == "serial":
+            return 0
+        if self._bj is not None:
+            return 0
+        return 2 * self.n_colors
+
+    # -- internals --------------------------------------------------------
+    def _to_internal(self, r: np.ndarray) -> np.ndarray:
+        if self._perm_forward is None:
+            return np.asarray(r)
+        return self._perm_forward(r)
+
+    def _to_original(self, z: np.ndarray) -> np.ndarray:
+        if self._perm_backward is None:
+            return z
+        return self._perm_backward(z)
+
+
+def _dbsr_part(factors: DBSRILUFactors, lower: bool) -> DBSRMatrix:
+    """Strictly-lower or diag+upper part of factored DBSR (tile subset)."""
+    m = factors.matrix
+    keep = []
+    for i in range(m.brow):
+        lo, hi = int(m.blk_ptr[i]), int(m.blk_ptr[i + 1])
+        dp = int(factors.dia_ptr[i])
+        keep.extend(range(lo, dp) if lower else range(dp, hi))
+    keep = np.asarray(keep, dtype=np.int64)
+    counts = np.zeros(m.brow, dtype=np.int64)
+    for i in range(m.brow):
+        lo, hi = int(m.blk_ptr[i]), int(m.blk_ptr[i + 1])
+        dp = int(factors.dia_ptr[i])
+        counts[i] = (dp - lo) if lower else (hi - dp)
+    blk_ptr = np.zeros(m.brow + 1, dtype=np.int64)
+    np.cumsum(counts, out=blk_ptr[1:])
+    return DBSRMatrix(
+        blk_ptr, m.blk_ind[keep], m.blk_offset[keep],
+        m.values[keep], m.shape,
+    )
+
+
+def make_strategy(name: str, problem: Problem, n_workers: int = 1,
+                  bsize: int = 8, block_points: int = 64) -> ILUStrategy:
+    """Prepare the named strategy for ``problem``.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`STRATEGY_NAMES`.
+    problem:
+        Structured-grid problem (used for geometry-aware reorderings).
+    n_workers:
+        Worker count for BJ chunking and AUTO block sizing.
+    bsize:
+        Vector length for the DBSR/SIMD strategies.
+    block_points:
+        Target block volume of the FIX schemes (paper: 64).
+    """
+    name = name.lower()
+    require(name in STRATEGY_NAMES, f"unknown strategy {name!r}")
+    grid, stencil, A = problem.grid, problem.stencil, problem.matrix
+
+    if name == "serial":
+        s = ILUStrategy(name=name, problem=problem, n_workers=1,
+                        bsize=1, vectorized=False)
+        s._matrix_reordered = A
+        s.parallelism = 1.0
+        return s
+
+    if name == "bj":
+        s = ILUStrategy(name=name, problem=problem, n_workers=n_workers,
+                        bsize=1, vectorized=False)
+        s._matrix_reordered = A
+        s.parallelism = float(n_workers)
+        return s
+
+    if name in ("mc", "bmc-fix", "bmc-auto"):
+        if name == "mc":
+            block_dims = tuple(1 for _ in grid.dims)
+        elif name == "bmc-fix":
+            block_dims = fixed_block_dims(grid, block_points)
+        else:
+            block_dims = auto_block_dims(grid, n_workers)
+        bmc = build_bmc(grid, stencil, block_dims)
+        s = ILUStrategy(name=name, problem=problem, n_workers=n_workers,
+                        bsize=1, vectorized=False)
+        s._matrix_reordered = A.permute(bmc.perm.old_to_new)
+        s._perm_forward = bmc.perm.forward
+        s._perm_backward = bmc.perm.backward
+        s.n_colors = bmc.n_colors
+        counts = np.diff(bmc.color_block_ptr)
+        s.parallelism = float(counts.min()) if len(counts) else 1.0
+        return s
+
+    # DBSR / SIMD strategies.
+    vectorized = name.startswith("simd")
+    if name.endswith("fix"):
+        block_dims = fixed_block_dims(grid, block_points)
+    else:
+        block_dims = auto_block_dims(grid, n_workers, bsize=bsize)
+    vb = build_vbmc(grid, stencil, block_dims, bsize)
+    s = ILUStrategy(name=name, problem=problem, n_workers=n_workers,
+                    bsize=bsize, vectorized=vectorized)
+    Ap = vb.apply_matrix(A)
+    s._matrix_reordered = Ap
+    s._dbsr_matrix = DBSRMatrix.from_csr(Ap, bsize)
+    s._perm_forward = vb.extend
+    s._perm_backward = vb.restrict
+    s.n_colors = vb.n_colors
+    groups = np.diff(vb.schedule.color_group_ptr)
+    s.parallelism = float(groups.min()) if len(groups) else 1.0
+    return s

@@ -1,0 +1,81 @@
+"""Serial CSR sparse triangular solves (the paper's Algorithm 1).
+
+These are the correctness references for every other SpTRSV in the
+library and the serial baseline of the Fig. 9 speedup plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.utils.validation import require
+
+
+def sptrsv_csr(lower: CSRMatrix, diag: np.ndarray, b: np.ndarray,
+               unit_diag: bool = False) -> np.ndarray:
+    """Solve ``(L + D) x = b`` with ``L`` strictly lower triangular.
+
+    Parameters
+    ----------
+    lower:
+        Strictly lower-triangular CSR matrix (entries with
+        ``col >= row`` are rejected).
+    diag:
+        Diagonal entries ``D`` (ignored when ``unit_diag``).
+    b:
+        Right-hand side.
+    unit_diag:
+        Solve ``(L + I) x = b`` instead (the ILU ``L`` factor).
+
+    Notes
+    -----
+    This is Algorithm 1: a strict serial dependence from row ``i`` on
+    all earlier rows it references.
+    """
+    n = lower.n_rows
+    b = np.asarray(b)
+    require(b.shape == (n,), "b has wrong length")
+    _check_strictly_lower(lower)
+    x = np.zeros(n, dtype=np.result_type(lower.data, b))
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        temp = b[i] - data[lo:hi] @ x[indices[lo:hi]]
+        x[i] = temp if unit_diag else temp / diag[i]
+    return x
+
+
+def sptrsv_csr_upper(upper: CSRMatrix, diag: np.ndarray, b: np.ndarray,
+                     unit_diag: bool = False) -> np.ndarray:
+    """Solve ``(D + U) x = b`` with ``U`` strictly upper triangular."""
+    n = upper.n_rows
+    b = np.asarray(b)
+    require(b.shape == (n,), "b has wrong length")
+    _check_strictly_upper(upper)
+    x = np.zeros(n, dtype=np.result_type(upper.data, b))
+    indptr, indices, data = upper.indptr, upper.indices, upper.data
+    for i in range(n - 1, -1, -1):
+        lo, hi = indptr[i], indptr[i + 1]
+        temp = b[i] - data[lo:hi] @ x[indices[lo:hi]]
+        x[i] = temp if unit_diag else temp / diag[i]
+    return x
+
+
+def _check_strictly_lower(m: CSRMatrix) -> None:
+    rows = np.repeat(np.arange(m.n_rows), np.diff(m.indptr))
+    require(bool(np.all(m.indices < rows)),
+            "matrix is not strictly lower triangular")
+
+
+def _check_strictly_upper(m: CSRMatrix) -> None:
+    rows = np.repeat(np.arange(m.n_rows), np.diff(m.indptr))
+    require(bool(np.all(m.indices > rows)),
+            "matrix is not strictly upper triangular")
+
+
+def split_triangular(matrix: CSRMatrix) -> tuple:
+    """Split a square CSR matrix into ``(L_strict, diag, U_strict)``."""
+    require(matrix.n_rows == matrix.n_cols, "matrix must be square")
+    return (matrix.tril(strict=True), matrix.diagonal(),
+            matrix.triu(strict=True))

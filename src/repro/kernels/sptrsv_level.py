@@ -1,0 +1,67 @@
+"""Level-scheduled sparse triangular solve.
+
+Level scheduling (Anderson & Saad [12]) is the classic alternative to
+reordering: rows are grouped into *levels* such that every row depends
+only on rows in earlier levels, so each level can be processed in
+parallel. The paper's related-work section contrasts this with
+DBSR's reordering approach; it appears here both as a correctness
+cross-check and as a baseline whose synchronization count (one barrier
+per level, often hundreds) the performance model can compare against
+BMC's one-per-color.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.utils.validation import require
+
+
+def build_levels(lower: CSRMatrix) -> list:
+    """Compute dependency levels of a strictly lower triangular matrix.
+
+    Returns a list of index arrays; level ``k`` rows depend only on
+    rows in levels ``< k``. The number of levels equals the length of
+    the longest dependency chain — for a lexicographically ordered
+    structured grid this is O(grid diameter), which is why level
+    scheduling alone exposes poor parallelism on these problems.
+    """
+    n = lower.n_rows
+    level = np.zeros(n, dtype=np.int64)
+    indptr, indices = lower.indptr, lower.indices
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        if hi > lo:
+            level[i] = level[indices[lo:hi]].max() + 1
+    n_levels = int(level.max()) + 1 if n else 0
+    return [np.flatnonzero(level == k) for k in range(n_levels)]
+
+
+def sptrsv_levels(lower: CSRMatrix, diag: np.ndarray, b: np.ndarray,
+                  levels: list | None = None,
+                  unit_diag: bool = False) -> np.ndarray:
+    """Solve ``(L + D) x = b`` processing one level at a time.
+
+    Rows within a level are computed with vectorized numpy (they are
+    mutually independent), emulating the parallel-for over a level.
+    """
+    n = lower.n_rows
+    b = np.asarray(b)
+    require(b.shape == (n,), "b has wrong length")
+    if levels is None:
+        levels = build_levels(lower)
+    x = np.zeros(n, dtype=np.result_type(lower.data, b))
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for rows in levels:
+        # Rows in a level are independent; compute their dot products
+        # against already-final x entries.
+        sums = np.zeros(len(rows), dtype=x.dtype)
+        for k, i in enumerate(rows):
+            lo, hi = indptr[i], indptr[i + 1]
+            sums[k] = data[lo:hi] @ x[indices[lo:hi]]
+        if unit_diag:
+            x[rows] = b[rows] - sums
+        else:
+            x[rows] = (b[rows] - sums) / diag[rows]
+    return x

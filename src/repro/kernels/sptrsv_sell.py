@@ -1,0 +1,86 @@
+"""Triangular solves in SELL layout.
+
+The SELL-based SYMGS of Park et al. ultimately rests on chunk-wise
+triangular sweeps; these are those sweeps in isolation, the direct
+SELL counterpart of Algorithm 2 (and the Fig. 8 comparison at kernel
+granularity). Chunks must be lane-independent — a vectorized-BMC
+ordering with ``chunk == bsize`` — and, being SELL, every ``x`` access
+is a gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.sell import SELLMatrix
+from repro.simd.engine import VectorEngine
+from repro.utils.validation import require
+
+
+def _sell_tri_sweep(sell: SELLMatrix, diag, b, x, forward: bool,
+                    unit_diag: bool,
+                    engine: VectorEngine | None) -> None:
+    n = sell.n_rows
+    C = sell.chunk
+    rng = range(sell.n_chunks) if forward \
+        else range(sell.n_chunks - 1, -1, -1)
+    for ci in rng:
+        base = int(sell.chunk_ptr[ci])
+        w = int(sell.widths[ci])
+        lo = ci * C
+        hi = min(lo + C, n)
+        lanes = hi - lo
+        if engine is None:
+            acc = b[lo:hi].astype(x.dtype, copy=True)
+            for j in range(w):
+                pos = base + j * C
+                cols = sell.colidx[pos:pos + lanes]
+                acc -= sell.vals[pos:pos + lanes] * x[cols]
+            x[lo:hi] = acc if unit_diag else acc / diag[lo:hi]
+        else:
+            acc = engine.load(b, lo).astype(x.dtype)[:lanes]
+            for j in range(w):
+                pos = base + j * C
+                cols = sell.colidx[pos:pos + lanes]
+                engine.counter.bytes_index += cols.nbytes
+                vals = engine.load_values(sell.vals, pos)[:lanes]
+                acc = engine.fnma(acc, vals, engine.gather(x, cols))
+            if not unit_diag:
+                acc = engine.div(acc, engine.load(diag, lo)[:lanes])
+            engine.store(x, lo, acc)
+
+
+def sptrsv_sell_lower(sell: SELLMatrix, b: np.ndarray,
+                      diag: np.ndarray | None = None,
+                      engine: VectorEngine | None = None) -> np.ndarray:
+    """Solve ``(L + D) x = b`` with a strictly-lower SELL matrix.
+
+    ``diag=None`` solves the unit-diagonal system. Requires
+    ``sigma == 1`` (sorting would break the sweep order).
+    """
+    require(sell.sigma == 1, "triangular sweeps need sigma=1")
+    n = sell.n_rows
+    require(b.shape == (n,), "b has wrong length")
+    if engine is not None:
+        require(engine.bsize == sell.chunk,
+                "engine width must equal chunk")
+    x = np.zeros(n, dtype=np.result_type(sell.vals, b))
+    _sell_tri_sweep(sell, diag, b, x, forward=True,
+                    unit_diag=diag is None, engine=engine)
+    return x
+
+
+def sptrsv_sell_upper(sell: SELLMatrix, b: np.ndarray,
+                      diag: np.ndarray | None = None,
+                      engine: VectorEngine | None = None) -> np.ndarray:
+    """Solve ``(D + U) x = b`` with a strictly-upper SELL matrix."""
+    require(sell.sigma == 1, "triangular sweeps need sigma=1")
+    n = sell.n_rows
+    require(b.shape == (n,), "b has wrong length")
+    if engine is not None:
+        require(engine.bsize == sell.chunk,
+                "engine width must equal chunk")
+    x = np.zeros(n, dtype=np.result_type(sell.vals, b))
+    _sell_tri_sweep(sell, diag, b, x, forward=False,
+                    unit_diag=diag is None, engine=engine)
+    return x

@@ -1,0 +1,85 @@
+"""SYMGS in SELL layout (Park et al.'s Xeon Phi approach, §I/§VI).
+
+The matrix is stored in SELL with chunk height equal to the vector
+length over a *vectorized-BMC-ordered* matrix, so the rows of each
+chunk are mutually independent (same intra-block position of
+same-color blocks) and a chunk can be updated as one vector — but the
+``x`` accesses are *gathers*, the overhead DBSR exists to eliminate
+(Fig. 8).
+
+Preconditions mirror the DBSR kernels: within a chunk the only
+self-coupling is the main diagonal. ``sigma`` must be 1 (row sorting
+would break the color schedule).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.sell import SELLMatrix
+from repro.simd.engine import VectorEngine
+from repro.utils.validation import require
+
+
+def _sell_gs_sweep(sell: SELLMatrix, diag: np.ndarray, x: np.ndarray,
+                   b: np.ndarray, forward: bool,
+                   engine: VectorEngine | None = None) -> None:
+    n = sell.n_rows
+    C = sell.chunk
+    rng = range(sell.n_chunks) if forward \
+        else range(sell.n_chunks - 1, -1, -1)
+    for ci in rng:
+        base = int(sell.chunk_ptr[ci])
+        w = int(sell.widths[ci])
+        lo = ci * C
+        hi = min(lo + C, n)
+        lanes = hi - lo
+        if engine is None:
+            acc = b[lo:hi].astype(x.dtype, copy=True)
+            for j in range(w):
+                pos = base + j * C
+                cols = sell.colidx[pos:pos + lanes]
+                acc -= sell.vals[pos:pos + lanes] * x[cols]
+            x[lo:hi] += acc / diag[lo:hi]
+        else:
+            acc = engine.load(b, lo).astype(x.dtype)[:lanes]
+            for j in range(w):
+                pos = base + j * C
+                cols = sell.colidx[pos:pos + lanes]
+                engine.counter.bytes_index += cols.nbytes
+                vals = engine.load_values(sell.vals, pos)[:lanes]
+                xv = engine.gather(x, cols)
+                acc = engine.fnma(acc, vals, xv)
+            d = engine.load(diag, lo)[:lanes]
+            corr = engine.div(acc, d)
+            xi = engine.load(x, lo)[:lanes]
+            engine.store(x, lo, engine.add(xi, corr))
+
+
+def symgs_sell(sell: SELLMatrix, diag: np.ndarray, x: np.ndarray,
+               b: np.ndarray) -> np.ndarray:
+    """SYMGS (forward + backward sweep) over a SELL matrix in place.
+
+    Requires ``sigma == 1`` and chunk-independent rows (a vectorized
+    BMC ordering with ``bsize == chunk``); produces the same iterates
+    as :func:`~repro.kernels.symgs.symgs_csr` on the same ordering.
+    """
+    require(sell.sigma == 1,
+            "SYMGS needs sigma=1 (row sorting breaks the schedule)")
+    n = sell.n_rows
+    require(x.shape == (n,) and b.shape == (n,), "vector length mismatch")
+    _sell_gs_sweep(sell, diag, x, b, forward=True)
+    _sell_gs_sweep(sell, diag, x, b, forward=False)
+    return x
+
+
+def symgs_sell_counted(sell: SELLMatrix, diag: np.ndarray,
+                       x: np.ndarray, b: np.ndarray,
+                       engine: VectorEngine) -> np.ndarray:
+    """SYMGS over SELL through the instrumented engine (gathers show up
+    in the counter — the Fig. 8 cost)."""
+    require(sell.sigma == 1, "SYMGS needs sigma=1")
+    require(engine.bsize == sell.chunk, "engine width must equal chunk")
+    _sell_gs_sweep(sell, diag, x, b, forward=True, engine=engine)
+    _sell_gs_sweep(sell, diag, x, b, forward=False, engine=engine)
+    return x

@@ -1,0 +1,29 @@
+"""Geometric multigrid (HPCG-style V-cycle).
+
+A 4-level hierarchy with halved grids per level, injection restriction,
+piecewise-constant prolongation, and one pre-/post-SYMGS smoothing pass
+per level — matching HPCG's ``ComputeMG`` reference semantics. The
+smoother is pluggable so the CSR (reference/CPO), SELL, and DBSR
+variants of the paper's evaluation all reuse the same cycle.
+"""
+
+from repro.multigrid.transfer import prolong_add, restrict_inject
+from repro.multigrid.smoothers import (
+    CSRSymgsSmoother,
+    DBSRSymgsSmoother,
+    make_smoother,
+)
+from repro.multigrid.hierarchy import MGLevel, build_hierarchy
+from repro.multigrid.vcycle import mg_vcycle, MGPreconditioner
+
+__all__ = [
+    "restrict_inject",
+    "prolong_add",
+    "CSRSymgsSmoother",
+    "DBSRSymgsSmoother",
+    "make_smoother",
+    "MGLevel",
+    "build_hierarchy",
+    "mg_vcycle",
+    "MGPreconditioner",
+]

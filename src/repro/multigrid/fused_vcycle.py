@@ -1,0 +1,52 @@
+"""V-cycle with CPO-style kernel fusion.
+
+The reference V-cycle computes "pre-smooth, then residual" as two
+passes over the level matrix; the CPO optimization [24] fuses them
+(see :mod:`repro.kernels.fused`). This cycle produces numerically
+identical results to :func:`repro.multigrid.vcycle.mg_vcycle` with the
+CSR smoother while re-reading only the strictly-lower triangle for the
+residual — the measured traffic saving behind the HPCG model's fusion
+factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.fused import fused_symgs_residual
+from repro.kernels.symgs import symgs_csr
+from repro.multigrid.hierarchy import MGLevel
+from repro.multigrid.transfer import prolong_add, restrict_inject
+
+
+def mg_vcycle_fused(level: MGLevel, b: np.ndarray,
+                    x: np.ndarray | None = None) -> np.ndarray:
+    """One fused V-cycle (CSR smoothing only); returns the estimate.
+
+    Note the fused kernel performs a *SYMGS* (forward + backward)
+    sweep and delivers the post-sweep residual in the same pass.
+    """
+    if x is None:
+        x = np.zeros_like(b)
+    matrix = level.matrix
+    diag = matrix.diagonal()
+    if level.coarse is None:
+        symgs_csr(matrix, diag, x, b)
+        return x
+    r = fused_symgs_residual(matrix, diag, x, b)   # pre-smooth ∥ residual
+    rc = restrict_inject(r, level.f2c)
+    xc = mg_vcycle_fused(level.coarse, rc)
+    prolong_add(x, xc, level.f2c)
+    symgs_csr(matrix, diag, x, b)                  # post-smooth
+    return x
+
+
+class FusedMGPreconditioner:
+    """Drop-in fused variant of
+    :class:`repro.multigrid.vcycle.MGPreconditioner`."""
+
+    def __init__(self, top: MGLevel):
+        self.top = top
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return mg_vcycle_fused(self.top, r)

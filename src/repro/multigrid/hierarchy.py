@@ -1,0 +1,107 @@
+"""Multigrid hierarchy construction.
+
+HPCG builds 4 levels by halving the grid and re-discretizing the
+27-point operator on each coarse grid; the hierarchy here does the same
+for any stencil (re-discretization, not Galerkin products, matching the
+benchmark's ``GenerateCoarseProblem``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.grids.assembly import assemble_csr
+from repro.grids.coarsen import coarsen_grid, fine_to_coarse_map
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import Stencil
+from repro.utils.validation import check_positive, require
+
+
+@dataclass
+class MGLevel:
+    """One level of the geometric hierarchy.
+
+    Attributes
+    ----------
+    grid:
+        Level grid.
+    matrix:
+        Level operator (lexicographic CSR).
+    smoother:
+        Callable ``smooth(x, b)`` updating ``x`` in place.
+    f2c:
+        Injection map into the next-coarser level (``None`` on the
+        coarsest level).
+    coarse:
+        The next-coarser :class:`MGLevel` (``None`` on the coarsest).
+    """
+
+    grid: StructuredGrid
+    matrix: CSRMatrix
+    smoother: object
+    f2c: np.ndarray | None = None
+    coarse: "MGLevel | None" = None
+
+    @property
+    def n(self) -> int:
+        return self.grid.n_points
+
+    def depth(self) -> int:
+        """Number of levels below and including this one."""
+        return 1 + (self.coarse.depth() if self.coarse else 0)
+
+
+def build_hierarchy(grid: StructuredGrid, stencil: Stencil,
+                    smoother_factory, n_levels: int = 4,
+                    matrix: CSRMatrix | None = None) -> MGLevel:
+    """Build an ``n_levels``-deep geometric hierarchy.
+
+    Parameters
+    ----------
+    grid, stencil:
+        Finest-level geometry.
+    smoother_factory:
+        Callable ``(grid, stencil, matrix) -> smoother`` invoked per
+        level (lets the DBSR variant rebuild its reordering per level,
+        scaling ``bsize`` to the level size as §V-F suggests).
+    n_levels:
+        Hierarchy depth (HPCG uses 4). Grid dims must support the
+        required halvings.
+    matrix:
+        Pre-assembled finest operator (assembled if omitted).
+    """
+    check_positive(n_levels, "n_levels")
+    for d in grid.dims:
+        require(d % (2 ** (n_levels - 1)) == 0,
+                f"dim {d} cannot be halved {n_levels - 1} times")
+    if matrix is None:
+        matrix = assemble_csr(grid, stencil)
+    top = MGLevel(grid=grid, matrix=matrix,
+                  smoother=smoother_factory(grid, stencil, matrix))
+    level = top
+    for _ in range(n_levels - 1):
+        coarse_grid = coarsen_grid(level.grid)
+        coarse_matrix = assemble_csr(coarse_grid, stencil,
+                                     dtype=matrix.data.dtype)
+        level.f2c = fine_to_coarse_map(level.grid, coarse_grid)
+        level.coarse = MGLevel(
+            grid=coarse_grid,
+            matrix=coarse_matrix,
+            smoother=smoother_factory(coarse_grid, stencil,
+                                      coarse_matrix),
+        )
+        level = level.coarse
+    return top
+
+
+def hierarchy_levels(top: MGLevel) -> list:
+    """Flatten the hierarchy into a finest-first list."""
+    out = []
+    lvl = top
+    while lvl is not None:
+        out.append(lvl)
+        lvl = lvl.coarse
+    return out

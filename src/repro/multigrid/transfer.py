@@ -1,0 +1,22 @@
+"""Inter-grid transfer operators (HPCG's restriction/prolongation).
+
+HPCG uses plain injection: the coarse residual samples the fine
+residual at even-index points, and the prolongation adds the coarse
+correction back at those points. Both are linear-time and bandwidth
+bound, and both are counted by the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def restrict_inject(fine_vec: np.ndarray, f2c: np.ndarray) -> np.ndarray:
+    """Coarse vector sampling ``fine_vec`` at the injected points."""
+    return fine_vec[f2c].copy()
+
+
+def prolong_add(fine_vec: np.ndarray, coarse_vec: np.ndarray,
+                f2c: np.ndarray) -> None:
+    """Add the coarse correction into the fine vector (in place)."""
+    fine_vec[f2c] += coarse_vec

@@ -1,0 +1,45 @@
+"""The multigrid V-cycle (HPCG's ``ComputeMG``).
+
+One pre-smoothing SYMGS, residual restriction by injection, recursive
+coarse solve, prolongation-and-add, one post-smoothing SYMGS; the
+coarsest level is smoothed only — exactly the HPCG reference
+preconditioner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multigrid.hierarchy import MGLevel
+from repro.multigrid.transfer import prolong_add, restrict_inject
+
+
+def mg_vcycle(level: MGLevel, b: np.ndarray,
+              x: np.ndarray | None = None) -> np.ndarray:
+    """One V-cycle on ``level``; returns the (new) solution estimate."""
+    if x is None:
+        x = np.zeros_like(b)
+    if level.coarse is None:
+        level.smoother(x, b)
+        return x
+    level.smoother(x, b)                       # pre-smooth
+    r = b - level.matrix.matvec(x)             # residual
+    rc = restrict_inject(r, level.f2c)         # restrict
+    xc = mg_vcycle(level.coarse, rc)           # coarse solve
+    prolong_add(x, xc, level.f2c)              # prolong + correct
+    level.smoother(x, b)                       # post-smooth
+    return x
+
+
+class MGPreconditioner:
+    """V-cycle preconditioner: ``z = MG(r)`` with zero initial guess.
+
+    Usable directly as the ``precond`` argument of
+    :func:`repro.solvers.pcg.pcg`.
+    """
+
+    def __init__(self, top: MGLevel):
+        self.top = top
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return mg_vcycle(self.top, r)

@@ -1,0 +1,55 @@
+"""Reordering machinery: multi-color, block multi-color, vectorized BMC.
+
+The paper's pipeline (§III-C) is: (1) pick a BMC scheduling scheme,
+(2) reorder the matrix and build the storage structure, (3) solve. This
+package owns steps (1) and (2):
+
+* :mod:`~repro.ordering.coloring` — point multi-color (MC) orderings and
+  greedy algebraic coloring.
+* :mod:`~repro.ordering.blocks` — partitioning a grid into blocks,
+  including the FIX (64-point) and AUTO (resource-adaptive) schemes the
+  evaluation compares (§V-E).
+* :mod:`~repro.ordering.bmc` — classic block multi-color ordering
+  (Fig. 2(b)).
+* :mod:`~repro.ordering.vbmc` — the paper's vectorized BMC (Fig. 2(c)):
+  same-color blocks are grouped ``bsize`` at a time and interleaved so
+  that lane-parallel SIMD processing is possible; color priority (and
+  therefore the convergence rate) is unchanged.
+"""
+
+from repro.ordering.permutation import Permutation
+from repro.ordering.coloring import (
+    greedy_coloring,
+    point_multicolor,
+    validate_coloring,
+)
+from repro.ordering.blocks import (
+    BlockPartition,
+    auto_block_dims,
+    fixed_block_dims,
+    partition_grid,
+)
+from repro.ordering.bmc import BMCOrdering, build_bmc
+from repro.ordering.vbmc import ColorSchedule, VBMCOrdering, build_vbmc
+from repro.ordering.abmc import ABMCOrdering, build_abmc
+from repro.ordering.schedule_stats import ScheduleStats, schedule_stats
+
+__all__ = [
+    "Permutation",
+    "point_multicolor",
+    "greedy_coloring",
+    "validate_coloring",
+    "BlockPartition",
+    "partition_grid",
+    "fixed_block_dims",
+    "auto_block_dims",
+    "BMCOrdering",
+    "build_bmc",
+    "ColorSchedule",
+    "VBMCOrdering",
+    "build_vbmc",
+    "ABMCOrdering",
+    "build_abmc",
+    "ScheduleStats",
+    "schedule_stats",
+]

@@ -1,0 +1,202 @@
+"""Algebraic block multi-color ordering (ABMC) with vector grouping.
+
+The paper's reordering (§III-A) is geometric: it needs a structured
+grid. Its related work cites Iwashita et al.'s *algebraic* block
+multi-coloring [43], which works from the matrix graph alone, and the
+conclusion names unstructured-grid support as future work. This module
+implements that extension: an ABMC ordering with the same
+``bsize``-lane vector grouping, producing a schedule and padded
+permutation interchangeable with the geometric
+:class:`~repro.ordering.vbmc.VBMCOrdering`.
+
+Pipeline:
+
+1. **Aggregate** rows into blocks of (up to) ``block_size`` vertices by
+   greedy BFS over the matrix graph — connected, cache-friendly blocks.
+2. **Color** the block quotient graph greedily so adjacent blocks
+   differ.
+3. **Group** same-color blocks ``bsize`` at a time and lane-interleave
+   their rows, padding ragged blocks and ragged groups with virtual
+   rows so every group is a dense ``positions x bsize`` brick.
+
+Same-color blocks never couple, so the DBSR triangular solves of
+Algorithm 2 remain correct; on irregular graphs the tiles simply
+fragment into more (shorter) diagonals — storage degrades gracefully
+while the kernel stays gather-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.ordering.coloring import greedy_coloring, validate_coloring
+from repro.ordering.vbmc import ColorSchedule
+from repro.utils.validation import check_positive, require
+
+
+def aggregate_blocks(csr: CSRMatrix, block_size: int) -> list:
+    """Greedy BFS aggregation of the matrix graph into blocks.
+
+    Returns a list of index arrays; every vertex appears in exactly
+    one block, blocks have at most ``block_size`` vertices, and each
+    block is connected whenever the graph permits.
+    """
+    check_positive(block_size, "block_size")
+    n = csr.n_rows
+    assigned = np.full(n, -1, dtype=np.int64)
+    blocks = []
+    for seed in range(n):
+        if assigned[seed] >= 0:
+            continue
+        block = [seed]
+        assigned[seed] = len(blocks)
+        queue = deque([seed])
+        while queue and len(block) < block_size:
+            v = queue.popleft()
+            for u in csr.row(v)[0]:
+                if len(block) >= block_size:
+                    break
+                if assigned[u] < 0:
+                    assigned[u] = len(blocks)
+                    block.append(int(u))
+                    queue.append(int(u))
+        blocks.append(np.asarray(block, dtype=np.int64))
+    return blocks
+
+
+def block_quotient_graph(csr: CSRMatrix, blocks: list) -> tuple:
+    """CSR adjacency of the block quotient graph (no self loops)."""
+    n = csr.n_rows
+    block_of = np.empty(n, dtype=np.int64)
+    for b, members in enumerate(blocks):
+        block_of[members] = b
+    rows = np.repeat(np.arange(n), np.diff(csr.indptr))
+    br = block_of[rows]
+    bc = block_of[csr.indices]
+    mask = br != bc
+    pairs = np.unique(
+        np.stack([br[mask], bc[mask]], axis=1), axis=0
+    ) if mask.any() else np.zeros((0, 2), dtype=np.int64)
+    nb = len(blocks)
+    counts = np.bincount(pairs[:, 0], minlength=nb) if len(pairs) \
+        else np.zeros(nb, dtype=np.int64)
+    indptr = np.zeros(nb + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    order = np.lexsort((pairs[:, 1], pairs[:, 0])) if len(pairs) \
+        else np.zeros(0, dtype=np.int64)
+    indices = pairs[order, 1] if len(pairs) else np.zeros(
+        0, dtype=np.int64)
+    return indptr, indices, block_of
+
+
+@dataclass
+class ABMCOrdering:
+    """Algebraic vectorized block multi-color ordering.
+
+    Interface mirrors :class:`~repro.ordering.vbmc.VBMCOrdering`:
+    ``old_to_new`` / ``new_to_old`` index maps (``-1`` marks virtual
+    padding rows), a :class:`ColorSchedule`, and the
+    ``apply_matrix`` / ``extend`` / ``restrict`` trio.
+    """
+
+    blocks: list
+    block_colors: np.ndarray
+    n_colors: int
+    bsize: int
+    points_per_block: int
+    schedule: ColorSchedule
+    old_to_new: np.ndarray
+    new_to_old: np.ndarray
+    n_orig: int
+    n_padded: int
+
+    def extend(self, vec: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        vec = np.asarray(vec)
+        require(vec.shape == (self.n_orig,), "vector length mismatch")
+        out = np.full(self.n_padded, fill, dtype=vec.dtype)
+        out[self.old_to_new] = vec
+        return out
+
+    def restrict(self, vec: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vec)
+        require(vec.shape == (self.n_padded,), "vector length mismatch")
+        return vec[self.old_to_new]
+
+    def apply_matrix(self, csr: CSRMatrix) -> CSRMatrix:
+        require(csr.shape == (self.n_orig, self.n_orig),
+                "matrix size mismatch")
+        rows = np.repeat(np.arange(self.n_orig), np.diff(csr.indptr))
+        new_rows = self.old_to_new[rows]
+        new_cols = self.old_to_new[csr.indices]
+        virtual = np.flatnonzero(self.new_to_old < 0)
+        coo = COOMatrix(
+            np.concatenate([new_rows, virtual]),
+            np.concatenate([new_cols, virtual]),
+            np.concatenate([csr.data,
+                            np.ones(len(virtual), dtype=csr.data.dtype)]),
+            (self.n_padded, self.n_padded),
+        )
+        return CSRMatrix.from_coo(coo)
+
+
+def build_abmc(csr: CSRMatrix, block_size: int = 16,
+               bsize: int = 4) -> ABMCOrdering:
+    """Build an algebraic vectorized BMC ordering for any sparse matrix.
+
+    Parameters
+    ----------
+    csr:
+        Square sparse matrix (its pattern defines the graph).
+    block_size:
+        Target vertices per block (ragged blocks are padded to this
+        size with virtual rows so lanes align).
+    bsize:
+        Vector length (blocks per group).
+    """
+    require(csr.n_rows == csr.n_cols, "matrix must be square")
+    check_positive(bsize, "bsize")
+    blocks = aggregate_blocks(csr, block_size)
+    indptr, indices, _ = block_quotient_graph(csr, blocks)
+    colors = greedy_coloring(indptr, indices)
+    require(validate_coloring(indptr, indices, colors),
+            "internal error: invalid block coloring")
+    n_colors = int(colors.max()) + 1 if len(colors) else 0
+
+    ppb = block_size
+    old_to_new = np.empty(csr.n_rows, dtype=np.int64)
+    new_to_old_parts = []
+    color_group_ptr = np.zeros(n_colors + 1, dtype=np.int64)
+    new_base = 0
+    n_groups = 0
+    for color in range(n_colors):
+        members = np.flatnonzero(colors == color)
+        pad = (-len(members)) % bsize
+        groups_here = (len(members) + pad) // bsize
+        for g in range(groups_here):
+            group_blocks = members[g * bsize:(g + 1) * bsize]
+            part = np.full(ppb * bsize, -1, dtype=np.int64)
+            for lane, blk in enumerate(group_blocks):
+                rows = blocks[blk]
+                pos = np.arange(len(rows)) * bsize + lane
+                old_to_new[rows] = new_base + pos
+                part[pos] = rows
+            new_to_old_parts.append(part)
+            new_base += ppb * bsize
+        n_groups += groups_here
+        color_group_ptr[color + 1] = n_groups
+
+    new_to_old = (np.concatenate(new_to_old_parts)
+                  if new_to_old_parts else np.zeros(0, dtype=np.int64))
+    schedule = ColorSchedule(bsize=bsize, points_per_block=ppb,
+                             color_group_ptr=color_group_ptr)
+    return ABMCOrdering(
+        blocks=blocks, block_colors=colors, n_colors=n_colors,
+        bsize=bsize, points_per_block=ppb, schedule=schedule,
+        old_to_new=old_to_new, new_to_old=new_to_old,
+        n_orig=csr.n_rows, n_padded=new_base,
+    )

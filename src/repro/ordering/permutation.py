@@ -1,0 +1,84 @@
+"""Permutation objects.
+
+A :class:`Permutation` maps *old* indices to *new* indices. Reordered
+solvers permute the matrix once (``P A P^T``), permute ``b`` into the
+new ordering, solve, and permute ``x`` back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, require
+
+
+class Permutation:
+    """A bijection on ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    old_to_new:
+        Array where ``old_to_new[i]`` is the new index of old index
+        ``i``. Must be a permutation of ``0..n-1``.
+    """
+
+    def __init__(self, old_to_new):
+        old_to_new = check_1d(
+            np.asarray(old_to_new, dtype=np.int64), "old_to_new"
+        )
+        n = len(old_to_new)
+        seen = np.zeros(n, dtype=bool)
+        require(old_to_new.min() >= 0 and old_to_new.max() < n,
+                "permutation entries out of range")
+        seen[old_to_new] = True
+        require(bool(seen.all()), "old_to_new is not a bijection")
+        self.old_to_new = old_to_new
+        self.new_to_old = np.empty(n, dtype=np.int64)
+        self.new_to_old[old_to_new] = np.arange(n)
+
+    @property
+    def n(self) -> int:
+        return len(self.old_to_new)
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(np.arange(n))
+
+    @classmethod
+    def from_new_to_old(cls, new_to_old) -> "Permutation":
+        """Build from the inverse mapping (new index -> old index)."""
+        new_to_old = np.asarray(new_to_old, dtype=np.int64)
+        old_to_new = np.empty(len(new_to_old), dtype=np.int64)
+        old_to_new[new_to_old] = np.arange(len(new_to_old))
+        return cls(old_to_new)
+
+    def forward(self, vec: np.ndarray) -> np.ndarray:
+        """Reorder a vector from old ordering into new ordering."""
+        vec = np.asarray(vec)
+        require(vec.shape == (self.n,), "vector length mismatch")
+        out = np.empty_like(vec)
+        out[self.old_to_new] = vec
+        return out
+
+    def backward(self, vec: np.ndarray) -> np.ndarray:
+        """Reorder a vector from new ordering back to old ordering."""
+        vec = np.asarray(vec)
+        require(vec.shape == (self.n,), "vector length mismatch")
+        out = np.empty_like(vec)
+        out[self.new_to_old] = vec
+        return out
+
+    def inverse(self) -> "Permutation":
+        return Permutation(self.new_to_old.copy())
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """Return the permutation "apply self, then other"."""
+        require(self.n == other.n, "size mismatch")
+        return Permutation(other.old_to_new[self.old_to_new])
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Permutation)
+                and np.array_equal(self.old_to_new, other.old_to_new))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Permutation(n={self.n})"

@@ -1,0 +1,73 @@
+"""Color-schedule diagnostics.
+
+The BMC family's performance hinges on three schedule properties the
+paper discusses: enough parallel units per color (§II-B), few
+synchronization points, and balanced work across units. This module
+computes those numbers from a :class:`~repro.ordering.vbmc.ColorSchedule`
+so they can be printed, asserted, and fed to the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ordering.vbmc import ColorSchedule
+
+
+@dataclass
+class ScheduleStats:
+    """Summary of one color schedule.
+
+    Attributes
+    ----------
+    n_colors, n_groups:
+        Schedule extents.
+    groups_per_color:
+        Group count per color.
+    min_parallelism:
+        Smallest color class — the thread-count ceiling.
+    balance:
+        ``min/max`` groups per color (1.0 = perfectly balanced).
+    barriers_per_sweep:
+        Synchronizations one forward sweep needs.
+    max_speedup:
+        Amdahl-style bound: harmonic composition of the per-color
+        parallelism for a given worker count (see :meth:`speedup_bound`).
+    """
+
+    n_colors: int
+    n_groups: int
+    groups_per_color: np.ndarray
+    min_parallelism: int
+    balance: float
+    barriers_per_sweep: int
+
+    def speedup_bound(self, workers: int) -> float:
+        """Upper bound on sweep speedup with ``workers`` workers.
+
+        Each color runs ``ceil(groups/workers)`` rounds; the bound is
+        (total groups) / (total rounds) — exact for unit-cost groups.
+        """
+        rounds = np.ceil(self.groups_per_color / workers).sum()
+        return float(self.n_groups / rounds) if rounds else 1.0
+
+    def rows(self) -> list:
+        """Tabular form for reports."""
+        return [(c, int(g)) for c, g in
+                enumerate(self.groups_per_color)]
+
+
+def schedule_stats(schedule: ColorSchedule) -> ScheduleStats:
+    """Compute diagnostics for ``schedule``."""
+    counts = np.diff(schedule.color_group_ptr)
+    return ScheduleStats(
+        n_colors=schedule.n_colors,
+        n_groups=schedule.n_groups,
+        groups_per_color=counts,
+        min_parallelism=int(counts.min()) if len(counts) else 0,
+        balance=(float(counts.min() / counts.max())
+                 if len(counts) and counts.max() else 1.0),
+        barriers_per_sweep=schedule.n_colors,
+    )

@@ -1,0 +1,24 @@
+"""Analytic performance model.
+
+Converts measured operation counts (:mod:`repro.kernels.counts`),
+measured iteration counts (:mod:`repro.solvers`) and schedule metadata
+into modeled times on the Table I machines, reproducing the *shape* of
+the paper's performance figures — the substitution for hardware this
+environment cannot run (see DESIGN.md §2).
+"""
+
+from repro.perfmodel.specs import KernelSpec
+from repro.perfmodel.ilu_model import (
+    ilu_strategy_report,
+    ilu_smoothing_speedups,
+    ilu_factorization_costs,
+)
+from repro.perfmodel.bsize_model import bsize_sweep
+
+__all__ = [
+    "KernelSpec",
+    "ilu_strategy_report",
+    "ilu_smoothing_speedups",
+    "ilu_factorization_costs",
+    "bsize_sweep",
+]

@@ -1,0 +1,61 @@
+"""Block-size sweep — regenerates Fig. 10 (and feeds Fig. 11).
+
+``bsize`` trades storage (indices shrink as ``1/bsize``) against
+zero padding and scheduling granularity; the paper finds performance
+stabilizing around ``bsize = 16`` on Intel.
+"""
+
+from __future__ import annotations
+
+from repro.grids.problems import Problem
+from repro.perfmodel.ilu_model import ilu_strategy_report
+from repro.simd.machine import MachineModel
+
+
+def bsize_sweep(problem: Problem, machine: MachineModel,
+                bsizes=(1, 2, 4, 8, 16, 32, 64), threads: int = 16,
+                tol: float = 1e-8, dtype_bytes: int = 8,
+                scale: float = 1.0) -> dict:
+    """Modeled DBSR smoothing solve time per ``bsize`` (Fig. 10).
+
+    Returns ``{bsize: seconds}`` for the SIMD DBSR strategy at the
+    given thread count.
+    """
+    out = {}
+    for bs in bsizes:
+        rep = ilu_strategy_report(
+            problem, "simd-auto", n_workers=threads, bsize=bs, tol=tol,
+            dtype_bytes=dtype_bytes)
+        out[bs] = rep.solve_seconds(machine, threads=threads,
+                                    scale=scale)
+    return out
+
+
+def storage_sweep(problem: Problem, bsizes=(1, 2, 4, 8, 16, 32, 64),
+                  n_workers: int = 16, bsize_offset_bytes: int = 4,
+                  value_bytes: int = 8) -> list:
+    """Fig. 11 data: CSR vs DBSR storage bytes across ``bsize``.
+
+    Returns a list of rows ``(bsize, csr_total, dbsr_index, dbsr_nnz,
+    dbsr_padding, dbsr_total)``.
+    """
+    from repro.formats.dbsr import DBSRMatrix
+    from repro.ordering.blocks import auto_block_dims
+    from repro.ordering.vbmc import build_vbmc
+
+    csr_rep = problem.matrix.memory_report()
+    rows = []
+    for bs in bsizes:
+        block_dims = auto_block_dims(problem.grid, n_workers, bsize=bs)
+        vb = build_vbmc(problem.grid, problem.stencil, block_dims, bs)
+        dbsr = DBSRMatrix.from_csr(vb.apply_matrix(problem.matrix), bs)
+        rep = dbsr.memory_report(offset_itemsize=bsize_offset_bytes)
+        rows.append((
+            bs,
+            csr_rep.index_bytes + int(csr_rep.nnz * value_bytes),
+            rep.index_bytes,
+            int(rep.nnz * value_bytes),
+            int(rep.padding_values * value_bytes),
+            rep.index_bytes + int(rep.stored_values * value_bytes),
+        ))
+    return rows

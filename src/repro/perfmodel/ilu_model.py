@@ -1,0 +1,202 @@
+"""ILU(0) performance model — regenerates Figs. 9 and 12.
+
+Protocol (paper §V-E): every strategy iterates the preconditioned
+Richardson solve to the *same* residual, so slow-converging orderings
+(MC, BJ with many chunks) pay in iterations, and the modeled per-sweep
+cost on a Table I machine supplies the time axis. Speedups are
+reported against the serial ILU(0) solve, exactly as in Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grids.problems import Problem
+from repro.ilu.strategies import ILUStrategy, make_strategy
+from repro.perfmodel.specs import KernelSpec
+from repro.simd.machine import MachineModel
+from repro.solvers.stationary import preconditioned_richardson
+
+
+@dataclass
+class StrategyReport:
+    """Measured + modeled behaviour of one strategy instance."""
+
+    name: str
+    n_workers: int
+    iterations: int
+    converged: bool
+    smoothing_spec: KernelSpec
+    factor_spec: KernelSpec
+    strategy: ILUStrategy
+
+    def solve_seconds(self, machine: MachineModel, threads: int,
+                      scale: float = 1.0) -> float:
+        """Modeled time to reach the target residual."""
+        spec = self.smoothing_spec.scaled(scale) if scale != 1.0 \
+            else self.smoothing_spec
+        return spec.seconds(machine, threads, sweeps=self.iterations)
+
+    def factor_seconds(self, machine: MachineModel, threads: int,
+                       scale: float = 1.0) -> float:
+        spec = self.factor_spec.scaled(scale) if scale != 1.0 \
+            else self.factor_spec
+        return spec.seconds(machine, threads, sweeps=1)
+
+
+def ilu_strategy_report(problem: Problem, name: str, n_workers: int = 1,
+                        bsize: int = 8, tol: float = 1e-8,
+                        dtype_bytes: int = 8,
+                        maxiter: int = 400,
+                        block_points: int = 64) -> StrategyReport:
+    """Prepare, factorize, and measure one strategy on ``problem``.
+
+    ``block_points`` sets the FIX scheme's block volume (paper: 64);
+    benches on small model grids shrink it so every color still owns
+    full vector groups.
+    """
+    s = make_strategy(name, problem, n_workers=n_workers, bsize=bsize,
+                      block_points=block_points)
+    s.factorize()
+    _, hist = preconditioned_richardson(
+        problem.matrix, problem.rhs, s.apply, tol=tol, maxiter=maxiter)
+    use_simd = s.name.startswith("simd")
+    smoothing_spec = KernelSpec(
+        counter=_with_value_bytes(s.smoothing_counter(), dtype_bytes),
+        parallelism=s.parallelism,
+        barriers=s.barriers_per_apply(),
+        vectorized=use_simd,
+        dtype_bytes=dtype_bytes,
+    )
+    factor_spec = KernelSpec(
+        counter=_with_value_bytes(s.factor_counter, dtype_bytes),
+        parallelism=s.parallelism,
+        barriers=s.n_colors if s.name not in ("serial", "bj") else 0,
+        vectorized=use_simd,
+        dtype_bytes=dtype_bytes,
+    )
+    return StrategyReport(
+        name=name, n_workers=n_workers,
+        iterations=hist.iterations, converged=hist.converged,
+        smoothing_spec=smoothing_spec, factor_spec=factor_spec,
+        strategy=s,
+    )
+
+
+def ilu_smoothing_speedups(problem: Problem, machine: MachineModel,
+                           thread_counts, strategies=None,
+                           bsize: int = 8, tol: float = 1e-8,
+                           dtype_bytes: int = 8,
+                           scale: float = 1.0,
+                           block_points: int = 64) -> dict:
+    """Fig. 9 data: speedup over the serial solve per strategy/threads.
+
+    Parameters
+    ----------
+    problem:
+        Structured-grid problem (built at tractable size; ``scale``
+        extrapolates counts to the paper's 256-cubed).
+    machine:
+        Target Table I platform.
+    thread_counts:
+        Thread axis of the figure.
+    strategies:
+        Strategy names; defaults to the Fig. 9 set.
+    dtype_bytes:
+        8 for double precision, 4 for single.
+    scale:
+        Linear problem-size factor applied to counts/parallelism.
+
+    Returns
+    -------
+    dict
+        ``{strategy: [speedup per thread count]}`` plus the serial
+        baseline under key ``"_serial_seconds"``.
+    """
+    if strategies is None:
+        strategies = ("bj", "mc", "bmc-fix", "bmc-auto",
+                      "dbsr-fix", "dbsr-auto", "simd-fix", "simd-auto")
+    serial = ilu_strategy_report(problem, "serial", tol=tol,
+                                 dtype_bytes=dtype_bytes)
+    serial_secs = serial.solve_seconds(machine, threads=1, scale=scale)
+    out = {"_serial_seconds": serial_secs,
+           "_serial_iterations": serial.iterations}
+    cache: dict = {}
+    for name in strategies:
+        speedups = []
+        for t in thread_counts:
+            # Worker-dependent strategies must be rebuilt per count.
+            key = (name, t if _worker_dependent(name) else 0)
+            if key not in cache:
+                cache[key] = ilu_strategy_report(
+                    problem, name, n_workers=t, bsize=bsize, tol=tol,
+                    dtype_bytes=dtype_bytes, block_points=block_points)
+            rep = cache[key]
+            secs = rep.solve_seconds(machine, threads=t, scale=scale)
+            speedups.append(serial_secs / secs)
+        out[name] = speedups
+    return out
+
+
+def ilu_factorization_costs(problem: Problem, machine: MachineModel,
+                            thread_counts, strategies=None,
+                            bsize: int = 8, dtype_bytes: int = 8,
+                            scale: float = 1.0,
+                            block_points: int = 64) -> dict:
+    """Fig. 12 data: factorization time in units of one DBSR smoothing.
+
+    The paper expresses factorization cost as "the ratio of
+    factorization time to one smoothing time" with the DBSR smoother
+    as the unit.
+    """
+    if strategies is None:
+        strategies = ("bj", "mc", "bmc-fix", "bmc-auto", "dbsr-auto",
+                      "simd-auto")
+    out = {}
+    cache: dict = {}
+    for name in strategies:
+        ratios = []
+        for t in thread_counts:
+            key = (name, t if _worker_dependent(name) else 0)
+            if key not in cache:
+                cache[key] = ilu_strategy_report(
+                    problem, name, n_workers=t, bsize=bsize,
+                    dtype_bytes=dtype_bytes, tol=1e-6, maxiter=1,
+                    block_points=block_points)
+            rep = cache[key]
+            dkey = ("dbsr-auto-unit", t)
+            if dkey not in cache:
+                cache[dkey] = ilu_strategy_report(
+                    problem, "dbsr-auto", n_workers=t, bsize=bsize,
+                    dtype_bytes=dtype_bytes, tol=1e-6, maxiter=1,
+                    block_points=block_points)
+            unit = cache[dkey].smoothing_spec.scaled(scale).seconds(
+                machine, t, sweeps=1)
+            fact = rep.factor_seconds(machine, t, scale=scale)
+            ratios.append(fact / unit)
+        out[name] = ratios
+    return out
+
+
+def _worker_dependent(name: str) -> bool:
+    """Strategies whose structure changes with the worker count."""
+    return name == "bj" or name.endswith("auto")
+
+
+def _with_value_bytes(counter, dtype_bytes: int):
+    """Rescale the floating-point byte streams for the element size.
+
+    Index traffic is unchanged — this is why single precision favors
+    DBSR even more (§V-F): indices become a larger share of CSR's
+    footprint while DBSR already eliminated most of them.
+    """
+    if dtype_bytes == 8:
+        return counter
+    f = dtype_bytes / 8.0
+    c = counter.scaled(1.0)  # copy
+    c.bytes_values = int(counter.bytes_values * f)
+    c.bytes_vector = int(counter.bytes_vector * f)
+    c.bytes_gathered = int(counter.bytes_gathered * f)
+    return c

@@ -1,0 +1,76 @@
+"""Kernel specifications consumed by the machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simd.counters import OpCounter
+from repro.simd.machine import MachineModel
+
+
+@dataclass
+class KernelSpec:
+    """Everything the machine model needs to time one kernel sweep.
+
+    Attributes
+    ----------
+    counter:
+        Operation tallies for one sweep.
+    parallelism:
+        Independent work units available concurrently (groups per
+        color, BJ chunks, ...); caps thread speedup.
+    barriers:
+        Synchronizations per sweep (one per color per direction).
+    vectorized:
+        Whether the kernel issues SIMD instructions.
+    use_gather_hw:
+        When gathers appear, whether the hardware gather instruction is
+        used (Fig. 8's comparison) or scalar expansion.
+    dtype_bytes:
+        Element size (8 = double, 4 = single).
+    cache_resident_fraction:
+        Fraction of traffic served from cache on repeated sweeps.
+    parallelism_scales:
+        Whether ``parallelism`` grows with problem size (true for
+        color-schedule parallelism, false for inherently serial
+        kernels like the reference in-process SYMGS).
+    """
+
+    counter: OpCounter
+    parallelism: float = 1.0
+    barriers: int = 0
+    vectorized: bool = True
+    use_gather_hw: bool = True
+    dtype_bytes: int = 8
+    cache_resident_fraction: float = 0.0
+    parallelism_scales: bool = True
+
+    def seconds(self, machine: MachineModel, threads: int,
+                sweeps: int = 1) -> float:
+        """Modeled time of ``sweeps`` kernel sweeps on ``machine``."""
+        one = machine.kernel_seconds(
+            self.counter,
+            threads=threads,
+            dtype_bytes=self.dtype_bytes,
+            vectorized=self.vectorized,
+            use_gather_hw=self.use_gather_hw,
+            parallelism=self.parallelism,
+            n_barriers=self.barriers,
+            cache_resident_fraction=self.cache_resident_fraction,
+        )
+        return one * sweeps
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """Spec for a problem ``factor`` times larger (counts and
+        parallelism scale linearly; barriers stay fixed)."""
+        return KernelSpec(
+            counter=self.counter.scaled(factor),
+            parallelism=(self.parallelism * factor
+                         if self.parallelism_scales else self.parallelism),
+            barriers=self.barriers,
+            vectorized=self.vectorized,
+            use_gather_hw=self.use_gather_hw,
+            dtype_bytes=self.dtype_bytes,
+            cache_resident_fraction=self.cache_resident_fraction,
+            parallelism_scales=self.parallelism_scales,
+        )

@@ -1,0 +1,47 @@
+"""SIMD simulation: instrumented vector execution and machine models.
+
+Python offers no control over SIMD instruction selection — the exact
+gap the reproduction bands flag. This package substitutes an explicit
+*vector machine*:
+
+* :class:`~repro.simd.isa.VectorISA` — an instruction set description
+  (register width, lanes per dtype, per-instruction costs, including
+  the gather penalty that motivates §III-D).
+* :class:`~repro.simd.counters.OpCounter` — tallies of every vector and
+  scalar operation a kernel performs.
+* :class:`~repro.simd.engine.VectorEngine` — executes kernels lane-wise
+  on numpy slices while counting operations; the DBSR/SELL/CSR kernels
+  in :mod:`repro.kernels` have engine-instrumented twins whose counts
+  feed the performance model.
+* :class:`~repro.simd.machine.MachineModel` — the paper's Table I
+  platforms (Intel Xeon 6348, Kunpeng 920, ThunderX2, Phytium 2000+)
+  with core counts, frequencies, cache sizes, SIMD widths and memory
+  bandwidths, plus the roofline-style time conversion.
+"""
+
+from repro.simd.isa import VectorISA, AVX512, NEON, SCALAR_ISA
+from repro.simd.counters import OpCounter
+from repro.simd.engine import VectorEngine
+from repro.simd.machine import (
+    MachineModel,
+    INTEL_XEON,
+    KUNPENG_920,
+    THUNDER_X2,
+    PHYTIUM_2000,
+    TABLE1_MACHINES,
+)
+
+__all__ = [
+    "VectorISA",
+    "AVX512",
+    "NEON",
+    "SCALAR_ISA",
+    "OpCounter",
+    "VectorEngine",
+    "MachineModel",
+    "INTEL_XEON",
+    "KUNPENG_920",
+    "THUNDER_X2",
+    "PHYTIUM_2000",
+    "TABLE1_MACHINES",
+]

@@ -1,0 +1,77 @@
+"""Automatic ``bsize`` selection.
+
+The paper (§V-F): "The DBSR format can be varied according to the SIMD
+length supported by the hardware platform... in multigrid
+computations, bsize can be scaled according to the size of each layer
+of the grid to ensure the need for parallelism." This module encodes
+that rule: pick the largest ``bsize`` that (a) is a multiple of the
+platform's SIMD lanes, (b) keeps at least ``groups_per_worker`` vector
+groups per color for every worker, and (c) stays within the paper's
+practical ceiling of 64.
+"""
+
+from __future__ import annotations
+
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import Stencil
+from repro.ordering.blocks import auto_block_dims, partition_grid
+from repro.ordering.bmc import color_blocks
+from repro.simd.machine import MachineModel
+from repro.utils.validation import check_positive
+
+import numpy as np
+
+#: Practical ceiling from the paper's Fig. 10 sweep.
+MAX_BSIZE = 64
+
+
+def candidate_bsizes(machine: MachineModel,
+                     dtype_bytes: int = 8) -> list:
+    """Power-of-two bsizes that are multiples of the SIMD lane count."""
+    lanes = machine.lanes(dtype_bytes)
+    out = []
+    b = lanes
+    while b <= MAX_BSIZE:
+        out.append(b)
+        b *= 2
+    return out or [1]
+
+
+def min_blocks_per_color(grid: StructuredGrid, stencil: Stencil,
+                         block_dims) -> int:
+    """Smallest color class of the given partition."""
+    part = partition_grid(grid, block_dims)
+    colors = color_blocks(part, stencil)
+    return int(np.bincount(colors).min())
+
+
+def autotune_bsize(grid: StructuredGrid, stencil: Stencil,
+                   machine: MachineModel, n_workers: int = 1,
+                   dtype_bytes: int = 8,
+                   groups_per_worker: int = 1,
+                   min_block_points: int = 8) -> int:
+    """Pick a ``bsize`` for this grid level / machine / worker count.
+
+    Returns the largest candidate whose AUTO block partition still
+    supplies ``n_workers * groups_per_worker`` vector groups per color
+    *with blocks of at least* ``min_block_points`` points (smaller
+    blocks degenerate toward MC and its convergence penalty); falls
+    back to the SIMD lane count (or 1) when even that is infeasible —
+    exactly the "scale bsize to the level" rule for coarse multigrid
+    grids.
+    """
+    check_positive(n_workers, "n_workers")
+    from repro.ordering.coloring import _is_star
+
+    n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim
+    best = 1
+    for b in candidate_bsizes(machine, dtype_bytes):
+        block_dims = auto_block_dims(grid, n_workers, bsize=b,
+                                     n_colors=n_colors)
+        if int(np.prod(block_dims)) < min_block_points \
+                and grid.n_points >= min_block_points * n_colors:
+            continue
+        blocks = min_blocks_per_color(grid, stencil, block_dims)
+        if blocks >= b * n_workers * groups_per_worker:
+            best = b
+    return best

@@ -1,0 +1,128 @@
+"""Instrumented vector execution engine.
+
+A :class:`VectorEngine` is the "assembly language" the vectorized
+kernels are written in: explicit ``load`` / ``gather`` / ``fma`` /
+``store`` operations on width-``bsize`` numpy slices, each tallied in
+an :class:`~repro.simd.counters.OpCounter`. This makes the kernels in
+:mod:`repro.kernels` structurally identical to the paper's Algorithm 2
+and Algorithm 4 pseudocode — the instruction mix is observable even
+though Python cannot emit real SIMD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simd.counters import OpCounter
+from repro.utils.validation import check_positive
+
+
+class VectorEngine:
+    """Executes lane-wise vector operations while counting them.
+
+    Parameters
+    ----------
+    bsize:
+        Logical vector width (elements per operation).
+    counter:
+        Counter to accumulate into; a fresh one is created if omitted.
+
+    Notes
+    -----
+    All operations return plain ndarrays so kernels can mix engine ops
+    with numpy arithmetic where no memory access is implied.
+    """
+
+    def __init__(self, bsize: int, counter: OpCounter | None = None):
+        self.bsize = check_positive(bsize, "bsize")
+        self.counter = counter if counter is not None else OpCounter(
+            bsize=bsize)
+
+    # Memory operations --------------------------------------------------
+    def load(self, arr: np.ndarray, start: int) -> np.ndarray:
+        """Contiguous vector load of ``bsize`` elements at ``start``."""
+        c = self.counter
+        c.vload += 1
+        c.bytes_vector += self.bsize * arr.itemsize
+        return arr[start:start + self.bsize]
+
+    def load_values(self, arr: np.ndarray, start: int) -> np.ndarray:
+        """Load from the matrix value stream (accounted separately)."""
+        c = self.counter
+        c.vload += 1
+        c.bytes_values += self.bsize * arr.itemsize
+        return arr[start:start + self.bsize]
+
+    def gather(self, arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """Indexed gather of ``len(idx)`` elements."""
+        c = self.counter
+        c.vgather += 1
+        c.bytes_gathered += len(idx) * arr.itemsize
+        return arr[idx]
+
+    def store(self, arr: np.ndarray, start: int, vec: np.ndarray) -> None:
+        """Contiguous vector store."""
+        c = self.counter
+        c.vstore += 1
+        c.bytes_vector += len(vec) * arr.itemsize
+        arr[start:start + len(vec)] = vec
+
+    def scatter(self, arr: np.ndarray, idx: np.ndarray,
+                vec: np.ndarray) -> None:
+        """Indexed scatter store."""
+        c = self.counter
+        c.vscatter += 1
+        c.bytes_vector += len(idx) * arr.itemsize
+        arr[idx] = vec
+
+    def load_index(self, arr: np.ndarray, pos: int) -> int:
+        """Scalar load from an index stream (blk_ind/blk_offset/ptr)."""
+        c = self.counter
+        c.sload += 1
+        c.bytes_index += arr.itemsize
+        return int(arr[pos])
+
+    # Arithmetic ----------------------------------------------------------
+    def fnma(self, acc: np.ndarray, a: np.ndarray,
+             b: np.ndarray) -> np.ndarray:
+        """Fused negative multiply-add: ``acc - a * b`` (Alg. 2 line 11)."""
+        self.counter.vfma += 1
+        return acc - a * b
+
+    def fma(self, acc: np.ndarray, a: np.ndarray,
+            b: np.ndarray) -> np.ndarray:
+        """Fused multiply-add: ``acc + a * b``."""
+        self.counter.vfma += 1
+        return acc + a * b
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.counter.vmul += 1
+        return a * b
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.counter.vadd += 1
+        return a + b
+
+    def div(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        self.counter.vdiv += 1
+        return a / b
+
+    # Scalar tallies for non-vector kernels -------------------------------
+    def scalar_flop(self, n: int = 1) -> None:
+        self.counter.sflop += n
+
+    def scalar_load(self, n: int = 1, itemsize: int = 8,
+                    stream: str = "vector") -> None:
+        self.counter.sload += n
+        if stream == "values":
+            self.counter.bytes_values += n * itemsize
+        elif stream == "index":
+            self.counter.bytes_index += n * itemsize
+        elif stream == "gathered":
+            self.counter.bytes_gathered += n * itemsize
+        else:
+            self.counter.bytes_vector += n * itemsize
+
+    def scalar_store(self, n: int = 1, itemsize: int = 8) -> None:
+        self.counter.sstore += n
+        self.counter.bytes_vector += n * itemsize

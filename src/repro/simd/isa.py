@@ -1,0 +1,96 @@
+"""Vector instruction set descriptions.
+
+Costs are expressed in cycles per instruction (reciprocal throughput,
+not latency — the kernels here are throughput-bound streams). The
+gather costs encode the §III-D observation that SIMD gathers are so
+expensive they cancel the vectorization benefit: on real AVX512 a
+16-lane gather costs roughly one cycle *per lane*, versus a single
+cycle for a contiguous load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """A SIMD instruction-set model.
+
+    Attributes
+    ----------
+    name:
+        ISA name (``"AVX512"``, ``"NEON"``, ``"scalar"``).
+    bits:
+        Register width in bits.
+    load_cost, store_cost, fma_cost:
+        Cycles per contiguous vector load / store / fused multiply-add.
+    gather_cost_per_lane:
+        Cycles per *lane* of a gather; a gather of ``L`` lanes costs
+        ``gather_cost_per_lane * L`` cycles.
+    div_cost:
+        Cycles per vector divide.
+    scalar_op_cost:
+        Cycles per scalar ALU/FP op (used by non-vectorized kernels).
+    issue_width:
+        Vector instructions retire-able per cycle (superscalar factor).
+    """
+
+    name: str
+    bits: int
+    load_cost: float = 1.0
+    store_cost: float = 1.0
+    fma_cost: float = 0.5
+    gather_cost_per_lane: float = 1.0
+    div_cost: float = 4.0
+    scalar_op_cost: float = 1.0
+    issue_width: float = 2.0
+
+    def lanes(self, dtype=np.float64) -> int:
+        """Number of elements of ``dtype`` per vector register."""
+        itembits = np.dtype(dtype).itemsize * 8
+        require(self.bits % itembits == 0,
+                f"{self.name} width not a multiple of element width")
+        return self.bits // itembits
+
+    def vector_ops_for(self, bsize: int, dtype=np.float64) -> int:
+        """SIMD instructions needed to process ``bsize`` lanes.
+
+        The paper notes bsize is *not* limited by the hardware SIMD
+        width — wider logical vectors just issue multiple instructions
+        per block (§III-B).
+        """
+        lanes = self.lanes(dtype)
+        return (bsize + lanes - 1) // lanes
+
+
+# Reference ISAs for the Table I platforms ---------------------------------
+
+#: Intel AVX-512: wide registers, cheap FMA, expensive gathers.
+AVX512 = VectorISA(
+    name="AVX512", bits=512,
+    load_cost=1.0, store_cost=1.0, fma_cost=0.5,
+    gather_cost_per_lane=1.2, div_cost=8.0,
+    scalar_op_cost=1.0, issue_width=2.0,
+)
+
+#: ARMv8 NEON: 128-bit registers; no hardware gather, so gathers are
+#: synthesized from scalar loads (cost ~2 cycles per lane).
+NEON = VectorISA(
+    name="NEON", bits=128,
+    load_cost=1.0, store_cost=1.0, fma_cost=0.5,
+    gather_cost_per_lane=2.0, div_cost=8.0,
+    scalar_op_cost=1.0, issue_width=2.0,
+)
+
+#: Degenerate scalar "ISA" used to model non-vectorized code paths.
+SCALAR_ISA = VectorISA(
+    name="scalar", bits=64,
+    load_cost=1.0, store_cost=1.0, fma_cost=1.0,
+    gather_cost_per_lane=1.0, div_cost=8.0,
+    scalar_op_cost=1.0, issue_width=2.0,
+)

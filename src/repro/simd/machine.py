@@ -1,0 +1,191 @@
+"""Machine models of the paper's Table I platforms.
+
+Table I (paper §V-A):
+
+=============  ===========  =======  ==========  =============
+Platform       Intel Xeon   KP 920   Thunder X2  Phytium 2000+
+=============  ===========  =======  ==========  =============
+Sockets        2            1        1           8
+Cores          2 x 28       1 x 64   1 x 32      1 x 64
+NUMAs          2            2        1           8
+Freq (GHz)     2.6          2.6      2.5         2.2
+L1             80 KB        64 KB    32 KB       32 KB
+L2             1.25 MB      512 KB   256 KB      2 MB
+L3             42 MB        64 MB    32 MB       None
+SIMD           AVX512-512   NEON-128 NEON-128    NEON-128
+=============  ===========  =======  ==========  =============
+
+Memory bandwidths are not in the paper; the values below are the
+publicly documented STREAM-class numbers for each part (8-channel DDR4
+per socket). The models convert instruction counts + memory traffic
+into a roofline-style time: ``max(compute, memory) + synchronization``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simd.counters import OpCounter
+from repro.simd.isa import AVX512, NEON, SCALAR_ISA, VectorISA
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An evaluation platform.
+
+    Attributes
+    ----------
+    name:
+        Platform name as in Table I.
+    sockets, cores_per_socket, numa_domains:
+        Topology.
+    freq_ghz:
+        Core clock.
+    l1_kb, l2_kb, l3_mb:
+        Cache sizes (``l3_mb = 0`` for Phytium's L3-less design).
+    isa:
+        The :class:`~repro.simd.isa.VectorISA` of the platform.
+    bw_gbs:
+        Aggregate DRAM bandwidth in GB/s (all sockets).
+    bw_half_sat_threads:
+        Threads at which the bandwidth curve reaches half of its
+        asymptote; small values model easily-saturated memory systems.
+    barrier_us:
+        Cost of one color-synchronization barrier in microseconds at
+        full thread count (scaled by ``log2`` of active threads).
+    gather_overfetch:
+        DRAM over-fetch factor on gathered / irregular accesses (a
+        cache line is moved per touched element; contiguous streams
+        pay 1.0).
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    numa_domains: int
+    freq_ghz: float
+    l1_kb: float
+    l2_kb: float
+    l3_mb: float
+    isa: VectorISA
+    bw_gbs: float
+    bw_half_sat_threads: float = 4.0
+    barrier_us: float = 2.0
+    gather_overfetch: float = 1.6
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def simd_bits(self) -> int:
+        return self.isa.bits
+
+    def lanes(self, dtype_bytes: int = 8) -> int:
+        """SIMD lanes per register for the given element size."""
+        return max(1, self.isa.bits // (dtype_bytes * 8))
+
+    # Time conversion ---------------------------------------------------
+    def effective_bandwidth(self, threads: int) -> float:
+        """Saturating bandwidth curve in bytes/second.
+
+        ``bw(t) = BW_total * (t / (t + t_half)) * (1 + t_half/cores)``
+        — monotone in ``t``, ~linear for few threads, saturating at
+        roughly the full-machine bandwidth.
+        """
+        t = max(1, min(threads, self.cores))
+        t_half = self.bw_half_sat_threads
+        scale = (t / (t + t_half)) * (1.0 + t_half / self.cores)
+        return self.bw_gbs * 1e9 * min(1.0, scale)
+
+    def compute_seconds(self, counter: OpCounter, threads: int = 1,
+                        dtype_bytes: int = 8, vectorized: bool = True,
+                        use_gather_hw: bool = True,
+                        parallelism: float | None = None) -> float:
+        """Pure compute time for ``counter``'s work split over threads.
+
+        Parameters
+        ----------
+        parallelism:
+            Upper bound on exploitable concurrency (e.g. independent
+            groups per color); effective threads are
+            ``min(threads, parallelism)``.
+        vectorized:
+            ``False`` forces the scalar ISA (CSR-style baselines).
+        """
+        isa = self.isa if vectorized else SCALAR_ISA
+        cycles = counter.cycles_on(isa, dtype_bytes=dtype_bytes,
+                                   use_gather_hw=use_gather_hw)
+        eff_threads = max(1.0, min(threads, self.cores))
+        if parallelism is not None:
+            eff_threads = max(1.0, min(eff_threads, parallelism))
+        return cycles / (self.freq_ghz * 1e9) / eff_threads
+
+    def memory_seconds(self, total_bytes: float, threads: int = 1) -> float:
+        """Streaming time for ``total_bytes`` of DRAM traffic."""
+        return total_bytes / self.effective_bandwidth(threads)
+
+    def sync_seconds(self, n_barriers: int, threads: int = 1) -> float:
+        """Cost of ``n_barriers`` color synchronizations."""
+        import math
+
+        t = max(1, min(threads, self.cores))
+        per = self.barrier_us * 1e-6 * (math.log2(t) + 1) / (
+            math.log2(self.cores) + 1)
+        return n_barriers * per
+
+    def kernel_seconds(self, counter: OpCounter, threads: int = 1,
+                       dtype_bytes: int = 8, vectorized: bool = True,
+                       use_gather_hw: bool = True,
+                       parallelism: float | None = None,
+                       n_barriers: int = 0,
+                       cache_resident_fraction: float = 0.0) -> float:
+        """Roofline-style total time for one kernel sweep.
+
+        ``max(compute, memory) + sync``; ``cache_resident_fraction``
+        discounts traffic that hits in LLC on repeated sweeps, and
+        gathered traffic pays the line over-fetch factor.
+        """
+        comp = self.compute_seconds(
+            counter, threads=threads, dtype_bytes=dtype_bytes,
+            vectorized=vectorized, use_gather_hw=use_gather_hw,
+            parallelism=parallelism,
+        )
+        contiguous = (counter.total_bytes - counter.bytes_gathered)
+        traffic = (contiguous
+                   + counter.bytes_gathered * self.gather_overfetch)
+        traffic *= (1.0 - cache_resident_fraction)
+        mem = self.memory_seconds(traffic, threads=threads)
+        return max(comp, mem) + self.sync_seconds(n_barriers, threads)
+
+
+INTEL_XEON = MachineModel(
+    name="Intel Xeon 6348", sockets=2, cores_per_socket=28,
+    numa_domains=2, freq_ghz=2.6, l1_kb=80, l2_kb=1280, l3_mb=42,
+    isa=AVX512, bw_gbs=2 * 204.8, bw_half_sat_threads=5.0,
+    barrier_us=2.0,
+)
+
+KUNPENG_920 = MachineModel(
+    name="KunPeng 920", sockets=1, cores_per_socket=64,
+    numa_domains=2, freq_ghz=2.6, l1_kb=64, l2_kb=512, l3_mb=64,
+    isa=NEON, bw_gbs=187.7, bw_half_sat_threads=6.0,
+    barrier_us=2.5,
+)
+
+THUNDER_X2 = MachineModel(
+    name="Thunder X2", sockets=1, cores_per_socket=32,
+    numa_domains=1, freq_ghz=2.5, l1_kb=32, l2_kb=256, l3_mb=32,
+    isa=NEON, bw_gbs=170.6, bw_half_sat_threads=5.0,
+    barrier_us=2.5,
+)
+
+PHYTIUM_2000 = MachineModel(
+    name="Phytium 2000+", sockets=8, cores_per_socket=8,
+    numa_domains=8, freq_ghz=2.2, l1_kb=32, l2_kb=2048, l3_mb=0,
+    isa=NEON, bw_gbs=204.8, bw_half_sat_threads=6.0,
+    barrier_us=4.0,
+)
+
+#: The four platforms of Table I, evaluation order.
+TABLE1_MACHINES = (INTEL_XEON, KUNPENG_920, THUNDER_X2, PHYTIUM_2000)

@@ -1,0 +1,20 @@
+"""Iterative solvers: CG, preconditioned CG, stationary iteration.
+
+These drive the convergence-rate measurements behind the evaluation:
+the ILU(0) strategies of Fig. 9 stop "when equal and sufficiently
+small residuals are reached", and HPCG's driver is a preconditioned CG.
+"""
+
+from repro.solvers.convergence import ConvergenceHistory
+from repro.solvers.cg import cg
+from repro.solvers.pcg import pcg
+from repro.solvers.pcg_fused import pcg_fused
+from repro.solvers.stationary import preconditioned_richardson
+
+__all__ = [
+    "ConvergenceHistory",
+    "cg",
+    "pcg",
+    "pcg_fused",
+    "preconditioned_richardson",
+]

@@ -1,0 +1,55 @@
+"""Unpreconditioned conjugate gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.convergence import ConvergenceHistory
+
+
+def cg(A, b: np.ndarray, x0: np.ndarray | None = None,
+       tol: float = 1e-8, maxiter: int = 1000) -> tuple:
+    """Solve SPD ``A x = b`` with plain CG.
+
+    Parameters
+    ----------
+    A:
+        Any object with ``matvec``.
+    b:
+        Right-hand side.
+    x0:
+        Initial guess (zeros by default).
+    tol:
+        Relative residual tolerance.
+    maxiter:
+        Iteration cap.
+
+    Returns
+    -------
+    (x, history):
+        Solution estimate and its :class:`ConvergenceHistory`.
+    """
+    b = np.asarray(b, dtype=float)
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
+    r = b - A.matvec(x)
+    p = r.copy()
+    rs = float(r @ r)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    hist = ConvergenceHistory(tol=tol)
+    hist.record(np.sqrt(rs))
+    for _ in range(maxiter):
+        if np.sqrt(rs) / bnorm <= tol:
+            hist.converged = True
+            break
+        Ap = A.matvec(p)
+        alpha = rs / float(p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = float(r @ r)
+        hist.record(np.sqrt(rs_new))
+        beta = rs_new / rs
+        p = r + beta * p
+        rs = rs_new
+    else:
+        hist.converged = np.sqrt(rs) / bnorm <= tol
+    return x, hist

@@ -1,0 +1,63 @@
+"""Convergence tracking shared by all iterative solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ConvergenceHistory:
+    """Residual history of one iterative solve.
+
+    Attributes
+    ----------
+    residuals:
+        2-norm of the residual per iteration, starting with the
+        initial residual.
+    tol:
+        Relative tolerance the solve targeted.
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    """
+
+    residuals: list = field(default_factory=list)
+    tol: float = 0.0
+    converged: bool = False
+
+    @property
+    def iterations(self) -> int:
+        """Iterations performed (excludes the initial residual)."""
+        return max(0, len(self.residuals) - 1)
+
+    @property
+    def initial_residual(self) -> float:
+        return self.residuals[0] if self.residuals else float("nan")
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    def record(self, rnorm: float) -> None:
+        self.residuals.append(float(rnorm))
+
+    def reduction_per_iteration(self) -> float:
+        """Geometric mean residual reduction factor (convergence rate)."""
+        if self.iterations == 0 or self.initial_residual == 0:
+            return 1.0
+        ratio = self.final_residual / self.initial_residual
+        return float(ratio ** (1.0 / self.iterations))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ConvergenceHistory(iters={self.iterations}, "
+                f"final={self.final_residual:.3e}, "
+                f"converged={self.converged})")
+
+
+def rel_residual_norm(A, x: np.ndarray, b: np.ndarray) -> float:
+    """Relative residual ``||b - A x|| / ||b||``."""
+    bnorm = float(np.linalg.norm(b))
+    if bnorm == 0.0:
+        return float(np.linalg.norm(A.matvec(x)))
+    return float(np.linalg.norm(b - A.matvec(x))) / bnorm

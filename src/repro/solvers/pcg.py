@@ -1,0 +1,60 @@
+"""Preconditioned conjugate gradients — HPCG's outer iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.convergence import ConvergenceHistory
+
+
+def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
+        tol: float = 1e-8, maxiter: int = 1000) -> tuple:
+    """Solve SPD ``A x = b`` with left-preconditioned CG.
+
+    Parameters
+    ----------
+    A:
+        Operator with ``matvec``.
+    b:
+        Right-hand side.
+    precond:
+        Callable ``z = precond(r)`` applying ``M^{-1}`` (HPCG: one
+        multigrid V-cycle).
+    tol, maxiter:
+        Relative residual tolerance and iteration cap.
+
+    Returns
+    -------
+    (x, history)
+
+    Notes
+    -----
+    Matches HPCG's ``CG()`` reference loop: the convergence test uses
+    the true residual 2-norm relative to ``||b||``.
+    """
+    b = np.asarray(b, dtype=float)
+    x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
+    r = b - A.matvec(x)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    hist = ConvergenceHistory(tol=tol)
+    hist.record(np.linalg.norm(r))
+    z = precond(r)
+    p = z.copy()
+    rz = float(r @ z)
+    for _ in range(maxiter):
+        if np.linalg.norm(r) / bnorm <= tol:
+            hist.converged = True
+            break
+        Ap = A.matvec(p)
+        alpha = rz / float(p @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        hist.record(np.linalg.norm(r))
+        z = precond(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        p = z + beta * p
+        rz = rz_new
+    else:
+        hist.converged = float(np.linalg.norm(r)) / bnorm <= tol
+    return x, hist

@@ -1,0 +1,32 @@
+"""Shared utilities: validation, RNG, timing, and table rendering."""
+
+from repro.utils.validation import (
+    check_1d,
+    check_dtype,
+    check_positive,
+    check_power_of_two,
+    check_square,
+    require,
+)
+from repro.utils.rng import make_rng
+from repro.utils.timing import Timer, timeit_median
+from repro.utils.tables import format_table
+from repro.utils.spy import spy, spy_blocks
+from repro.utils.sparkline import convergence_panel, sparkline
+
+__all__ = [
+    "check_1d",
+    "check_dtype",
+    "check_positive",
+    "check_power_of_two",
+    "check_square",
+    "require",
+    "make_rng",
+    "Timer",
+    "timeit_median",
+    "format_table",
+    "spy",
+    "spy_blocks",
+    "sparkline",
+    "convergence_panel",
+]

@@ -1,0 +1,56 @@
+"""ASCII sparklines for convergence histories.
+
+Renders residual curves in the terminal on a log scale, so examples
+and CLI output can show *how* a solve converged, not just how many
+iterations it took.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values, width: int = 60, log: bool = True) -> str:
+    """Render a sequence as a one-line sparkline.
+
+    Parameters
+    ----------
+    values:
+        Positive sequence (e.g. residual norms).
+    width:
+        Maximum characters; longer sequences are subsampled.
+    log:
+        Plot ``log10`` of the values (the right scale for residuals).
+    """
+    vals = [float(v) for v in values]
+    require(bool(vals), "no values to plot")
+    if log:
+        floor = min((v for v in vals if v > 0), default=1.0) * 1e-2
+        vals = [math.log10(max(v, floor)) for v in vals]
+    if len(vals) > width:
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = (hi - lo) or 1.0
+    glyphs = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        glyphs.append(_BLOCKS[idx])
+    return "".join(glyphs)
+
+
+def convergence_panel(history, width: int = 60) -> str:
+    """Multi-line summary of a :class:`ConvergenceHistory`."""
+    line = sparkline(history.residuals, width=width)
+    return (
+        f"residual |{line}|\n"
+        f"  iters={history.iterations}  "
+        f"first={history.initial_residual:.2e}  "
+        f"last={history.final_residual:.2e}  "
+        f"rate={history.reduction_per_iteration():.3f}/iter  "
+        f"converged={history.converged}"
+    )

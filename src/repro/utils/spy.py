@@ -1,0 +1,64 @@
+"""ASCII sparsity visualization.
+
+Renders matrix patterns in the terminal the way the paper's Fig. 2
+shows the reordered structure — handy for eyeballing what a reordering
+did without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def spy(matrix, max_size: int = 64, charset: str = " .:*#") -> str:
+    """Render a sparse matrix pattern as ASCII art.
+
+    Parameters
+    ----------
+    matrix:
+        Any object with ``to_dense()`` (or a dense ndarray).
+    max_size:
+        Matrices larger than this are downsampled by block counting;
+        denser cells get darker glyphs.
+    charset:
+        Density ramp, lightest first.
+    """
+    check_positive(max_size, "max_size")
+    dense = matrix if isinstance(matrix, np.ndarray) \
+        else matrix.to_dense()
+    pattern = (dense != 0).astype(np.float64)
+    n_rows, n_cols = pattern.shape
+    if max(n_rows, n_cols) <= max_size:
+        cells = pattern
+    else:
+        factor = int(np.ceil(max(n_rows, n_cols) / max_size))
+        pad_r = (-n_rows) % factor
+        pad_c = (-n_cols) % factor
+        padded = np.pad(pattern, ((0, pad_r), (0, pad_c)))
+        cells = padded.reshape(
+            padded.shape[0] // factor, factor,
+            padded.shape[1] // factor, factor).mean(axis=(1, 3))
+    levels = len(charset) - 1
+    out_lines = []
+    for row in cells:
+        idx = np.minimum((row > 0) + np.floor(row * (levels - 1)),
+                         levels).astype(int)
+        out_lines.append("".join(charset[i] for i in idx))
+    return "\n".join(out_lines)
+
+
+def spy_blocks(dbsr, max_size: int = 64) -> str:
+    """Render a DBSR matrix at tile granularity: one glyph per tile
+    position, showing the block-diagonal structure of the vectorized
+    BMC ordering."""
+    brow = dbsr.brow
+    bcol = (dbsr.n_cols + dbsr.bsize - 1) // dbsr.bsize
+    grid = np.zeros((brow, bcol))
+    for i in range(brow):
+        for t in range(dbsr.blk_ptr[i], dbsr.blk_ptr[i + 1]):
+            j = int(dbsr.blk_ind[t])
+            if 0 <= j < bcol:
+                grid[i, j] = 1.0
+    return spy(grid, max_size=max_size)

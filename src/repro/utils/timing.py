@@ -1,0 +1,40 @@
+"""Small timing helpers for benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Context-manager wall-clock timer.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = field(default=0.0)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def timeit_median(fn, repeats: int = 5, *args, **kwargs) -> float:
+    """Run ``fn(*args, **kwargs)`` ``repeats`` times, return median seconds."""
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]

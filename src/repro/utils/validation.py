@@ -1,0 +1,55 @@
+"""Validation helpers used across the library.
+
+These raise early with precise messages; hot kernels assume inputs were
+validated at construction time and never re-check inside loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two and return it."""
+    value = check_positive(value, name)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_1d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Validate that ``arr`` is a contiguous 1-D ndarray and return it."""
+    arr = np.ascontiguousarray(arr)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_square(shape: tuple, name: str = "matrix") -> int:
+    """Validate a square shape and return its dimension."""
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ValueError(f"{name} must be square, got shape {shape}")
+    return int(shape[0])
+
+
+def check_dtype(arr: np.ndarray, allowed: tuple, name: str) -> np.ndarray:
+    """Validate ``arr.dtype`` is one of ``allowed`` numpy dtypes."""
+    if arr.dtype not in [np.dtype(d) for d in allowed]:
+        raise ValueError(
+            f"{name} dtype must be one of {allowed}, got {arr.dtype}"
+        )
+    return arr

@@ -1,0 +1,35 @@
+"""Unit tests for rank decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.decomp import decompose_ranks, halo_neighbor_count
+
+
+@pytest.mark.parametrize("ranks,expect", [
+    (1, (1, 1, 1)),
+    (8, (2, 2, 2)),
+    (64, (4, 4, 4)),
+    (2048, (8, 16, 16)),
+])
+def test_cubic_decompositions(ranks, expect):
+    got = decompose_ranks(ranks)
+    assert int(np.prod(got)) == ranks
+    assert sorted(got) == sorted(expect)
+
+
+def test_prime_rank_count():
+    got = decompose_ranks(7)
+    assert int(np.prod(got)) == 7
+
+
+def test_neighbor_count_interior():
+    assert halo_neighbor_count((4, 4, 4)) == 26
+    assert halo_neighbor_count((1, 4, 4)) == 8  # flat in x
+    assert halo_neighbor_count((1, 1, 4)) == 2  # a line
+    assert halo_neighbor_count((1, 1, 1)) == 0
+
+
+def test_decompose_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        decompose_ranks(0)

@@ -1,0 +1,121 @@
+"""Tests for the functional distributed substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.functional import (
+    build_distributed,
+    distributed_dot,
+    distributed_residual_norm,
+    distributed_spmv,
+    halo_exchange,
+)
+from repro.cluster.halo import halo_bytes_per_rank
+from repro.grids.problems import poisson_problem
+
+
+@pytest.fixture(scope="module")
+def dist8():
+    p = poisson_problem((8, 8, 8), "27pt")
+    return p, build_distributed(p, 8, proc_grid=(2, 2, 2))
+
+
+def test_partition_covers_domain(dist8):
+    p, dist = dist8
+    total = sum(r.n_owned for r in dist.ranks)
+    assert total == p.n
+    all_owned = np.sort(np.concatenate(
+        [r.owned_global for r in dist.ranks]))
+    assert np.array_equal(all_owned, np.arange(p.n))
+
+
+def test_scatter_gather_roundtrip(dist8, rng):
+    p, dist = dist8
+    v = rng.standard_normal(p.n)
+    assert np.allclose(dist.gather(dist.scatter(v)), v)
+
+
+def test_distributed_spmv_matches_global(dist8, rng):
+    p, dist = dist8
+    x = rng.standard_normal(p.n)
+    y_locals = distributed_spmv(dist, dist.scatter(x))
+    assert np.allclose(dist.gather(y_locals), p.matrix.matvec(x))
+
+
+def test_distributed_dot_matches_global(dist8, rng):
+    p, dist = dist8
+    x = rng.standard_normal(p.n)
+    y = rng.standard_normal(p.n)
+    got = distributed_dot(dist.scatter(x), dist.scatter(y))
+    assert np.isclose(got, x @ y)
+
+
+def test_distributed_residual(dist8):
+    p, dist = dist8
+    x = dist.scatter(p.exact)
+    b = dist.scatter(p.rhs)
+    assert distributed_residual_norm(dist, x, b) < 1e-10
+
+
+def test_ghost_counts_match_halo_formula(dist8):
+    """Interior-rank ghost volume equals the analytic 27-point halo
+    (faces + edges + corners of the 4^3 brick)."""
+    p, dist = dist8
+    expected = halo_bytes_per_rank(4, dtype_bytes=8)
+    for r in dist.ranks:
+        # In a 2x2x2 grid every rank touches 7 neighbors (a corner
+        # rank): ghosts cover 3 faces + 3 edges + 1 corner.
+        faces = 3 * 16
+        edges = 3 * 4
+        corners = 1
+        assert r.n_ghost == faces + edges + corners
+    # The analytic formula is the *interior* (26-neighbor) volume, an
+    # upper bound on corner ranks.
+    assert all(r.halo_bytes() <= expected for r in dist.ranks)
+
+
+def test_anisotropic_decomposition(rng):
+    p = poisson_problem((8, 4, 4), "7pt")
+    dist = build_distributed(p, 4, proc_grid=(4, 1, 1))
+    x = rng.standard_normal(p.n)
+    y = distributed_spmv(dist, dist.scatter(x))
+    assert np.allclose(dist.gather(y), p.matrix.matvec(x))
+
+
+def test_2d_decomposition(rng):
+    p = poisson_problem((8, 8), "9pt")
+    dist = build_distributed(p, 4, proc_grid=(2, 2))
+    x = rng.standard_normal(p.n)
+    y = distributed_spmv(dist, dist.scatter(x))
+    assert np.allclose(dist.gather(y), p.matrix.matvec(x))
+
+
+def test_indivisible_grid_rejected():
+    p = poisson_problem((6, 6), "5pt")
+    with pytest.raises(ValueError):
+        build_distributed(p, 4, proc_grid=(4, 1))
+
+
+def test_distributed_cg_solves(dist8):
+    """A hand-rolled distributed CG using only the simulated-MPI
+    primitives converges to the global solution."""
+    p, dist = dist8
+    b = dist.scatter(p.rhs)
+    x = [np.zeros(r.n_owned) for r in dist.ranks]
+    r_loc = [bb.copy() for bb in b]
+    p_loc = [rr.copy() for rr in r_loc]
+    rs = distributed_dot(r_loc, r_loc)
+    for _ in range(200):
+        if np.sqrt(rs) < 1e-10:
+            break
+        Ap = distributed_spmv(dist, p_loc)
+        alpha = rs / distributed_dot(p_loc, Ap)
+        for xl, pl, rl, apl in zip(x, p_loc, r_loc, Ap):
+            xl += alpha * pl
+            rl -= alpha * apl
+        rs_new = distributed_dot(r_loc, r_loc)
+        beta = rs_new / rs
+        for pl, rl in zip(p_loc, r_loc):
+            pl[:] = rl + beta * pl
+        rs = rs_new
+    assert np.allclose(dist.gather(x), p.exact, atol=1e-7)

@@ -1,0 +1,41 @@
+"""Unit tests for halo exchange accounting."""
+
+import pytest
+
+from repro.cluster.halo import halo_bytes_per_rank, halo_seconds
+
+
+def test_halo_bytes_cube():
+    b = halo_bytes_per_rank(10)
+    faces = 6 * 100
+    edges = 12 * 10
+    corners = 8
+    assert b == (faces + edges + corners) * 8
+
+
+def test_halo_bytes_anisotropic():
+    b = halo_bytes_per_rank(4, 6, 8)
+    faces = 2 * (4 * 6 + 6 * 8 + 4 * 8)
+    edges = 4 * (4 + 6 + 8)
+    assert b == (faces + edges + 8) * 8
+
+
+def test_halo_bytes_dtype():
+    assert halo_bytes_per_rank(10, dtype_bytes=4) == \
+        halo_bytes_per_rank(10) // 2
+
+
+def test_halo_seconds_components():
+    t = halo_seconds(192, (4, 4, 4), link_bw_gbs=10.0,
+                     link_latency_us=1.5)
+    assert t > 26 * 1.5e-6  # at least the latencies
+    t_fast = halo_seconds(192, (4, 4, 4), link_bw_gbs=100.0,
+                          link_latency_us=1.5)
+    assert t_fast < t
+
+
+def test_surface_scaling():
+    """Halo volume grows ~quadratically with the local edge."""
+    t1 = halo_bytes_per_rank(64)
+    t2 = halo_bytes_per_rank(128)
+    assert 3.5 < t2 / t1 < 4.5

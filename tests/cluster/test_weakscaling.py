@@ -1,0 +1,57 @@
+"""Integration tests for the Fig. 7 weak-scaling model."""
+
+import pytest
+
+from repro.cluster.weakscaling import NetworkModel, weak_scaling_sweep
+from repro.hpcg.benchmark import build_hpcg_model
+
+
+@pytest.fixture(scope="module")
+def dbsr_model():
+    return build_hpcg_model(nx=8, variant="dbsr", n_levels=2, bsize=4,
+                            n_workers=4)
+
+
+def test_sweep_structure(dbsr_model):
+    pts = weak_scaling_sweep(dbsr_model, node_counts=(1, 4, 16))
+    assert [p.nodes for p in pts] == [1, 4, 16]
+    assert pts[0].ranks == 8
+
+
+def test_efficiency_above_90_percent(dbsr_model):
+    """The paper's headline: >90% parallel efficiency to 256 nodes."""
+    pts = weak_scaling_sweep(dbsr_model,
+                             node_counts=(1, 4, 16, 64, 256))
+    for p in pts:
+        assert p.efficiency > 0.90
+    assert pts[0].efficiency == pytest.approx(1.0)
+
+
+def test_efficiency_monotone_decreasing(dbsr_model):
+    pts = weak_scaling_sweep(dbsr_model, node_counts=(1, 4, 64, 256))
+    effs = [p.efficiency for p in pts]
+    assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+def test_gflops_grow_with_nodes(dbsr_model):
+    pts = weak_scaling_sweep(dbsr_model, node_counts=(1, 16, 256))
+    gf = [p.gflops for p in pts]
+    assert gf[0] < gf[1] < gf[2]
+
+
+def test_dbsr_beats_cpo_at_256_nodes(dbsr_model):
+    """§V-C: DBSR gives ~13% over CPO at full cluster scale."""
+    cpo = build_hpcg_model(nx=8, variant="cpo", n_levels=2,
+                           n_workers=4)
+    p_dbsr = weak_scaling_sweep(dbsr_model, node_counts=(256,))[0]
+    p_cpo = weak_scaling_sweep(cpo, node_counts=(256,))[0]
+    assert 1.05 < p_dbsr.gflops / p_cpo.gflops < 1.5
+
+
+def test_slow_network_hurts_efficiency(dbsr_model):
+    slow = NetworkModel(link_bw_gbs=0.05, link_latency_us=200.0,
+                        allreduce_latency_us=300.0)
+    pts = weak_scaling_sweep(dbsr_model, node_counts=(1, 256),
+                             network=slow)
+    fast = weak_scaling_sweep(dbsr_model, node_counts=(1, 256))
+    assert pts[1].efficiency < fast[1].efficiency

@@ -1,0 +1,85 @@
+"""Shared fixtures: small structured-grid problems and reorderings.
+
+Session-scoped so the (python-slow) assembly and factorization work is
+paid once per test run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.dbsr import DBSRMatrix
+from repro.grids.problems import poisson_problem
+from repro.ordering.vbmc import build_vbmc
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return make_rng(42)
+
+
+@pytest.fixture(scope="session")
+def problem_2d():
+    """8x8 grid, 9-point stencil — the paper's Fig. 2 example scale."""
+    return poisson_problem((8, 8), "9pt")
+
+
+@pytest.fixture(scope="session")
+def problem_2d_5pt():
+    return poisson_problem((8, 8), "5pt")
+
+
+@pytest.fixture(scope="session")
+def problem_3d_7pt():
+    return poisson_problem((8, 8, 8), "7pt")
+
+
+@pytest.fixture(scope="session")
+def problem_3d_27pt():
+    return poisson_problem((8, 8, 8), "27pt")
+
+
+@pytest.fixture(scope="session")
+def vbmc_2d(problem_2d):
+    """Vectorized BMC of the 2-D problem: 4x4 blocks, bsize 4."""
+    return build_vbmc(problem_2d.grid, problem_2d.stencil, (4, 4), 4)
+
+
+@pytest.fixture(scope="session")
+def reordered_2d(problem_2d, vbmc_2d):
+    """(permuted CSR, DBSR) pair for the 2-D problem."""
+    csr = vbmc_2d.apply_matrix(problem_2d.matrix)
+    return csr, DBSRMatrix.from_csr(csr, vbmc_2d.bsize)
+
+
+@pytest.fixture(scope="session")
+def vbmc_3d(problem_3d_27pt):
+    """(2,2,2) blocks give 8 blocks per color — real lane groups."""
+    return build_vbmc(problem_3d_27pt.grid, problem_3d_27pt.stencil,
+                      (2, 2, 2), 4)
+
+
+@pytest.fixture(scope="session")
+def reordered_3d(problem_3d_27pt, vbmc_3d):
+    csr = vbmc_3d.apply_matrix(problem_3d_27pt.matrix)
+    return csr, DBSRMatrix.from_csr(csr, vbmc_3d.bsize)
+
+
+@pytest.fixture()
+def random_sparse(rng):
+    """Factory for random sparse CSR matrices with guaranteed diagonal."""
+    from repro.formats.coo import COOMatrix
+    from repro.formats.csr import CSRMatrix
+
+    def make(n=24, density=0.15, seed=None, dtype=np.float64):
+        local = make_rng(seed) if seed is not None else rng
+        mask = local.random((n, n)) < density
+        np.fill_diagonal(mask, True)
+        dense = np.where(mask, local.standard_normal((n, n)), 0.0)
+        # Diagonal dominance keeps factorizations stable.
+        dense[np.arange(n), np.arange(n)] = np.abs(dense).sum(axis=1) + 1.0
+        return CSRMatrix.from_coo(COOMatrix.from_dense(dense.astype(dtype)))
+
+    return make

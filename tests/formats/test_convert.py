@@ -1,0 +1,42 @@
+"""Conversion helpers and cross-format consistency."""
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import FORMAT_NAMES, from_dense, to_format
+
+
+def test_all_formats_agree_on_spmv(problem_3d_7pt, rng):
+    csr = problem_3d_7pt.matrix
+    x = rng.standard_normal(csr.n_cols)
+    ref = csr.matvec(x)
+    for name in FORMAT_NAMES:
+        m = to_format(csr, name, bsize=4, chunk=4, sigma=8)
+        assert np.allclose(m.matvec(x), ref), name
+
+
+def test_all_formats_agree_on_dense(problem_2d_5pt):
+    csr = problem_2d_5pt.matrix
+    ref = csr.to_dense()
+    for name in FORMAT_NAMES:
+        m = to_format(csr, name, bsize=4, chunk=4, sigma=8)
+        assert np.allclose(m.to_dense(), ref), name
+
+
+def test_from_dense():
+    dense = np.diag([1.0, 2.0, 3.0])
+    csr = from_dense(dense)
+    assert csr.nnz == 3
+    assert np.array_equal(csr.to_dense(), dense)
+
+
+def test_unknown_format_rejected(problem_2d_5pt):
+    with pytest.raises(ValueError):
+        to_format(problem_2d_5pt.matrix, "hyb")
+
+
+def test_nnz_preserved_across_formats(problem_2d_5pt):
+    csr = problem_2d_5pt.matrix
+    for name in FORMAT_NAMES:
+        m = to_format(csr, name, bsize=4, chunk=4, sigma=8)
+        assert m.nnz == csr.nnz, name

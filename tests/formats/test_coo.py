@@ -1,0 +1,84 @@
+"""Unit tests for the COO format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+
+
+def test_construction_and_dense_roundtrip():
+    dense = np.array([[1.0, 0.0, 2.0],
+                      [0.0, 0.0, 0.0],
+                      [3.0, 0.0, 4.0]])
+    coo = COOMatrix.from_dense(dense)
+    assert coo.nnz == 4
+    assert np.array_equal(coo.to_dense(), dense)
+
+
+def test_duplicates_are_summed():
+    coo = COOMatrix([0, 0, 1], [1, 1, 2], [2.0, 3.0, 1.0], (2, 3))
+    assert coo.nnz == 2
+    assert coo.to_dense()[0, 1] == 5.0
+
+
+def test_canonical_order_sorted_by_row_then_col():
+    coo = COOMatrix([1, 0, 1], [0, 2, 2], [1.0, 2.0, 3.0], (2, 3))
+    rows = list(coo.rows)
+    cols = list(coo.cols)
+    assert rows == sorted(rows)
+    assert (rows, cols) == ([0, 1, 1], [2, 0, 2])
+
+
+def test_matvec_matches_dense(rng):
+    dense = rng.standard_normal((6, 4))
+    dense[dense < 0.3] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    x = rng.standard_normal(4)
+    assert np.allclose(coo.matvec(x), dense @ x)
+
+
+def test_matmul_operator(rng):
+    dense = np.eye(3) * 2
+    coo = COOMatrix.from_dense(dense)
+    x = rng.standard_normal(3)
+    assert np.allclose(coo @ x, 2 * x)
+
+
+def test_transpose():
+    dense = np.array([[1.0, 2.0], [0.0, 3.0]])
+    coo = COOMatrix.from_dense(dense)
+    assert np.array_equal(coo.transpose().to_dense(), dense.T)
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix([0], [5], [1.0], (2, 2))
+    with pytest.raises(ValueError):
+        COOMatrix([9], [0], [1.0], (2, 2))
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        COOMatrix([0, 1], [0], [1.0], (2, 2))
+
+
+def test_empty_matrix():
+    coo = COOMatrix([], [], [], (3, 3))
+    assert coo.nnz == 0
+    assert np.array_equal(coo.to_dense(), np.zeros((3, 3)))
+    assert np.array_equal(coo.matvec(np.ones(3)), np.zeros(3))
+
+
+def test_memory_report_bytes():
+    coo = COOMatrix([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+    rep = coo.memory_report()
+    assert rep.nnz == 2
+    assert rep.arrays["values"] == 2 * 8
+    assert rep.index_bytes == 2 * 4 * 2  # rows + cols, int32
+    assert rep.padding_values == 0
+
+
+def test_matvec_wrong_length_rejected():
+    coo = COOMatrix([0], [0], [1.0], (2, 2))
+    with pytest.raises(ValueError):
+        coo.matvec(np.ones(3))

@@ -1,0 +1,49 @@
+"""Tests for DBSR to_csr / transpose."""
+
+import numpy as np
+
+from repro.formats.dbsr import DBSRMatrix
+
+
+def test_to_csr_roundtrip(reordered_3d):
+    csr, dbsr = reordered_3d
+    back = dbsr.to_csr()
+    assert np.allclose(back.to_dense(), csr.to_dense())
+    assert back.nnz == csr.nnz  # padding zeros dropped
+
+
+def test_to_csr_from_csr_identity(random_sparse):
+    A = random_sparse(n=20, density=0.2, seed=31)
+    dbsr = DBSRMatrix.from_csr(A, 4)
+    assert np.allclose(dbsr.to_csr().to_dense(), A.to_dense())
+
+
+def test_transpose_matches_dense(reordered_2d):
+    csr, dbsr = reordered_2d
+    t = dbsr.transpose()
+    assert np.allclose(t.to_dense(), csr.to_dense().T)
+
+
+def test_transpose_involution(reordered_2d):
+    _, dbsr = reordered_2d
+    tt = dbsr.transpose().transpose()
+    assert np.allclose(tt.to_dense(), dbsr.to_dense())
+
+
+def test_transpose_swaps_triangles(reordered_3d, rng):
+    from repro.kernels.sptrsv_csr import split_triangular
+
+    csr, dbsr = reordered_3d
+    L, D, U = split_triangular(csr)
+    Lt = DBSRMatrix.from_csr(L, dbsr.bsize).transpose()
+    # The operator is symmetric: L^T == U.
+    assert np.allclose(Lt.to_dense(), U.to_dense())
+
+
+def test_transpose_spmv_adjoint(reordered_2d, rng):
+    csr, dbsr = reordered_2d
+    t = dbsr.transpose()
+    x = rng.standard_normal(csr.n_rows)
+    y = rng.standard_normal(csr.n_rows)
+    # <A x, y> == <x, A^T y>
+    assert np.isclose(dbsr.matvec(x) @ y, x @ t.matvec(y))

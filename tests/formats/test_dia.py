@@ -1,0 +1,81 @@
+"""Unit tests for the DIA format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.dia import DIAMatrix
+
+
+def tridiag(n=6):
+    dense = (np.diag(np.full(n, 4.0))
+             + np.diag(np.full(n - 1, -1.0), 1)
+             + np.diag(np.full(n - 1, -2.0), -1))
+    return dense
+
+
+def test_from_coo_roundtrip():
+    dense = tridiag()
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    assert dia.n_diags == 3
+    assert np.array_equal(dia.to_dense(), dense)
+
+
+def test_offsets_sorted():
+    dense = tridiag()
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    assert list(dia.offsets) == [-1, 0, 1]
+
+
+def test_matvec(rng):
+    dense = tridiag(8)
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    x = rng.standard_normal(8)
+    assert np.allclose(dia.matvec(x), dense @ x)
+
+
+def test_rectangular_matvec(rng):
+    dense = np.zeros((3, 5))
+    dense[0, 0] = 1.0
+    dense[1, 3] = 2.0
+    dense[2, 4] = 3.0
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    x = rng.standard_normal(5)
+    assert np.allclose(dia.matvec(x), dense @ x)
+
+
+def test_nnz_excludes_padding():
+    dense = tridiag(5)
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    # 5 diag + 4 upper + 4 lower
+    assert dia.nnz == 13
+    # but storage holds n per diagonal
+    assert dia.memory_report().stored_values == 3 * 5
+
+
+def test_out_of_range_slots_masked():
+    offsets = [1]
+    data = np.full((1, 3), 7.0)
+    dia = DIAMatrix(offsets, data, (3, 3))
+    dense = dia.to_dense()
+    # Row 2 column 3 does not exist.
+    assert dense[2].sum() == 0.0
+    assert dia.data[0, 2] == 0.0
+
+
+def test_duplicate_offsets_rejected():
+    with pytest.raises(ValueError):
+        DIAMatrix([0, 0], np.zeros((2, 3)), (3, 3))
+
+
+def test_bad_data_shape_rejected():
+    with pytest.raises(ValueError):
+        DIAMatrix([0], np.zeros((2, 3)), (3, 3))
+
+
+def test_memory_report():
+    dense = tridiag(4)
+    dia = DIAMatrix.from_coo(COOMatrix.from_dense(dense))
+    rep = dia.memory_report()
+    assert rep.value_bytes == 3 * 4 * 8
+    assert rep.padding_values == 3 * 4 - dia.nnz

@@ -1,0 +1,106 @@
+"""Unit tests for MatrixMarket I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import COOMatrix
+from repro.formats.io import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip(problem_2d_5pt, tmp_path):
+    path = tmp_path / "a.mtx"
+    write_matrix_market(problem_2d_5pt.matrix, str(path),
+                        comment="8x8 5-point")
+    coo = read_matrix_market(str(path))
+    assert np.allclose(coo.to_dense(), problem_2d_5pt.matrix.to_dense())
+
+
+def test_roundtrip_exact_values(rng, tmp_path):
+    dense = rng.standard_normal((5, 7))
+    dense[np.abs(dense) < 0.5] = 0.0
+    coo = COOMatrix.from_dense(dense)
+    buf = io.StringIO()
+    write_matrix_market(coo, buf)
+    buf.seek(0)
+    back = read_matrix_market(buf)
+    # repr() round-trips float64 exactly.
+    assert np.array_equal(back.to_dense(), dense)
+
+
+def test_read_symmetric():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% lower triangle only
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.5
+"""
+    coo = read_matrix_market(io.StringIO(text))
+    dense = coo.to_dense()
+    assert dense[0, 1] == dense[1, 0] == -1.0
+    assert dense[0, 0] == 2.0 and dense[2, 2] == 1.5
+
+
+def test_read_pattern():
+    text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+    coo = read_matrix_market(io.StringIO(text))
+    assert np.array_equal(coo.to_dense(),
+                          [[0.0, 1.0], [1.0, 0.0]])
+
+
+def test_comments_and_blank_lines_skipped():
+    text = """%%MatrixMarket matrix coordinate real general
+% a comment
+
+2 2 1
+
+1 1 3.0
+"""
+    coo = read_matrix_market(io.StringIO(text))
+    assert coo.to_dense()[0, 0] == 3.0
+
+
+def test_bad_header_rejected():
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO("not a header\n1 1 0\n"))
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n"))
+
+
+def test_entry_count_mismatch_rejected():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 1.0
+"""
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_mtx_to_dbsr_pipeline(tmp_path, rng):
+    """External matrix -> ABMC -> DBSR, end to end."""
+    from repro.formats.csr import CSRMatrix
+    from repro.formats.dbsr import DBSRMatrix
+    from repro.ordering.abmc import build_abmc
+
+    n = 24
+    dense = rng.standard_normal((n, n))
+    dense[np.abs(dense) < 1.2] = 0.0
+    dense = (dense + dense.T) / 2
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1)
+    path = tmp_path / "ext.mtx"
+    write_matrix_market(COOMatrix.from_dense(dense), str(path))
+
+    csr = CSRMatrix.from_coo(read_matrix_market(str(path)))
+    abmc = build_abmc(csr, block_size=6, bsize=2)
+    dbsr = DBSRMatrix.from_csr(abmc.apply_matrix(csr), 2)
+    x = rng.standard_normal(n)
+    assert np.allclose(
+        abmc.restrict(dbsr.matvec(abmc.extend(x))), dense @ x)

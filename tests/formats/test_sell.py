@@ -1,0 +1,82 @@
+"""Unit tests for SELL / SELL-C-sigma."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.sell import SELLMatrix
+
+
+def ragged_dense(rng, n=13, m=11):
+    dense = rng.standard_normal((n, m))
+    dense[np.abs(dense) < 0.9] = 0.0
+    dense[0, :] = 0.0          # empty row
+    dense[1, :] = 1.0          # full row
+    return dense
+
+
+def test_roundtrip_plain_sell(rng):
+    dense = ragged_dense(rng)
+    sell = SELLMatrix(CSRMatrix.from_dense(dense), chunk=4, sigma=1)
+    assert np.array_equal(sell.to_dense(), dense)
+
+
+def test_roundtrip_sigma_sorted(rng):
+    dense = ragged_dense(rng)
+    sell = SELLMatrix(CSRMatrix.from_dense(dense), chunk=4, sigma=8)
+    assert np.array_equal(sell.to_dense(), dense)
+
+
+def test_matvec_matches_csr(rng):
+    dense = ragged_dense(rng)
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.standard_normal(dense.shape[1])
+    for sigma in (1, 4, 12):
+        sell = SELLMatrix(csr, chunk=4, sigma=sigma if sigma != 12 else 4)
+        assert np.allclose(sell.matvec(x), dense @ x), sigma
+
+
+def test_sigma_reduces_padding(rng):
+    # Alternating long/short rows: sorting shrinks chunk widths.
+    n = 16
+    dense = np.zeros((n, n))
+    for i in range(n):
+        dense[i, : (n if i % 2 == 0 else 1)] = 1.0
+    csr = CSRMatrix.from_dense(dense)
+    plain = SELLMatrix(csr, chunk=4, sigma=1)
+    sorted_ = SELLMatrix(csr, chunk=4, sigma=16)
+    assert sorted_.padding_fraction() < plain.padding_fraction()
+
+
+def test_row_order_is_permutation(rng):
+    dense = ragged_dense(rng)
+    sell = SELLMatrix(CSRMatrix.from_dense(dense), chunk=4, sigma=8)
+    assert sorted(sell.row_order.tolist()) == list(range(dense.shape[0]))
+
+
+def test_sigma_must_be_multiple_of_chunk():
+    csr = CSRMatrix.from_dense(np.eye(8))
+    with pytest.raises(ValueError):
+        SELLMatrix(csr, chunk=4, sigma=6)
+
+
+def test_nnz_preserved(rng):
+    dense = ragged_dense(rng)
+    csr = CSRMatrix.from_dense(dense)
+    sell = SELLMatrix(csr, chunk=4, sigma=4)
+    assert sell.nnz == csr.nnz
+
+
+def test_memory_report_padding(rng):
+    dense = ragged_dense(rng)
+    sell = SELLMatrix(CSRMatrix.from_dense(dense), chunk=4)
+    rep = sell.memory_report()
+    assert rep.stored_values >= rep.nnz
+    assert rep.padding_bytes == (rep.stored_values - rep.nnz) * 8
+
+
+def test_padding_columns_point_in_range(rng):
+    dense = ragged_dense(rng)
+    sell = SELLMatrix(CSRMatrix.from_dense(dense), chunk=4, sigma=1)
+    assert sell.colidx.min() >= 0
+    assert sell.colidx.max() < dense.shape[1]

@@ -1,0 +1,79 @@
+"""Unit tests for stencil assembly."""
+
+import numpy as np
+import pytest
+
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box9_2d, box27_3d, star5_2d, star7_3d
+
+
+def test_interior_row_has_full_stencil():
+    g = StructuredGrid((5, 5))
+    A = assemble_csr(g, box9_2d())
+    center = g.index((2, 2))
+    cols, vals = A.row(center)
+    assert len(cols) == 9
+    assert vals.sum() == 0.0  # zero row sum for interior Laplacian
+
+
+def test_corner_row_truncated():
+    g = StructuredGrid((5, 5))
+    A = assemble_csr(g, box9_2d())
+    cols, vals = A.row(g.index((0, 0)))
+    assert len(cols) == 4  # self + 3 in-range neighbors
+
+
+def test_symmetry():
+    g = StructuredGrid((4, 4, 4))
+    A = assemble_csr(g, box27_3d())
+    dense = A.to_dense()
+    assert np.array_equal(dense, dense.T)
+
+
+def test_diagonal_dominance_5pt():
+    g = StructuredGrid((6, 6))
+    A = assemble_csr(g, star5_2d())
+    dense = A.to_dense()
+    diag = np.abs(np.diag(dense))
+    off = np.abs(dense).sum(axis=1) - diag
+    assert np.all(diag >= off)
+    # Strict dominance on boundary rows makes the operator SPD.
+    assert np.any(diag > off)
+
+
+def test_spd():
+    g = StructuredGrid((4, 4))
+    A = assemble_csr(g, star5_2d()).to_dense()
+    eigs = np.linalg.eigvalsh(A)
+    assert eigs.min() > 0
+
+
+def test_nnz_count_7pt():
+    g = StructuredGrid((4, 4, 4))
+    A = assemble_csr(g, star7_3d())
+    # n*7 minus truncated links: each of 3 axes drops 2*(n/dim) faces.
+    expected = 64 * 7 - 2 * 3 * 16
+    assert A.nnz == expected
+
+
+def test_dimension_mismatch_rejected():
+    with pytest.raises(ValueError):
+        assemble_csr(StructuredGrid((4, 4)), star7_3d())
+
+
+def test_float32_assembly():
+    g = StructuredGrid((4, 4))
+    A = assemble_csr(g, star5_2d(), dtype=np.float32)
+    assert A.data.dtype == np.float32
+
+
+def test_matches_kron_laplacian():
+    """5-point operator equals the Kronecker-sum Laplacian."""
+    n = 5
+    g = StructuredGrid((n, n))
+    A = assemble_csr(g, star5_2d()).to_dense()
+    T = (np.diag(np.full(n, 2.0)) + np.diag(np.full(n - 1, -1.0), 1)
+         + np.diag(np.full(n - 1, -1.0), -1))
+    expect = np.kron(np.eye(n), T) + np.kron(T, np.eye(n))
+    assert np.allclose(A, expect)

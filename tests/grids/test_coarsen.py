@@ -1,0 +1,50 @@
+"""Unit tests for grid coarsening."""
+
+import numpy as np
+import pytest
+
+from repro.grids.coarsen import (
+    coarsen_grid,
+    fine_to_coarse_map,
+    max_coarsen_levels,
+)
+from repro.grids.grid import StructuredGrid
+
+
+def test_coarsen_halves_dims():
+    g = StructuredGrid((8, 8, 8))
+    c = coarsen_grid(g)
+    assert c.dims == (4, 4, 4)
+
+
+def test_coarsen_requires_divisibility():
+    with pytest.raises(ValueError):
+        coarsen_grid(StructuredGrid((7, 8)))
+
+
+def test_f2c_injects_even_points():
+    fine = StructuredGrid((4, 4))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    # Coarse point (i,j) maps to fine (2i, 2j).
+    for ic in range(coarse.n_points):
+        cc = coarse.coord(ic)
+        assert f2c[ic] == fine.index(tuple(2 * c for c in cc))
+
+
+def test_f2c_unique():
+    fine = StructuredGrid((8, 8))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    assert len(np.unique(f2c)) == coarse.n_points
+
+
+def test_f2c_rejects_unrelated_grids():
+    with pytest.raises(ValueError):
+        fine_to_coarse_map(StructuredGrid((8, 8)), StructuredGrid((3, 3)))
+
+
+def test_max_coarsen_levels():
+    assert max_coarsen_levels(StructuredGrid((16, 16))) == 3
+    assert max_coarsen_levels(StructuredGrid((16, 12))) == 2  # 8,6 -> 4,3 stops
+    assert max_coarsen_levels(StructuredGrid((3, 3))) == 0

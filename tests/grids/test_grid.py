@@ -1,0 +1,91 @@
+"""Unit tests for StructuredGrid."""
+
+import numpy as np
+import pytest
+
+from repro.grids.grid import StructuredGrid
+
+
+def test_basic_properties():
+    g = StructuredGrid((4, 3, 2))
+    assert g.n_points == 24
+    assert g.ndim == 3
+    assert g.strides == (1, 4, 12)
+
+
+def test_index_coord_roundtrip():
+    g = StructuredGrid((5, 4, 3))
+    for i in range(g.n_points):
+        assert g.index(g.coord(i)) == i
+
+
+def test_lexicographic_x_fastest():
+    g = StructuredGrid((4, 4))
+    assert g.index((1, 0)) == 1
+    assert g.index((0, 1)) == 4
+    assert g.index((3, 3)) == 15
+
+
+def test_coords_array_matches_coord():
+    g = StructuredGrid((3, 5))
+    table = g.coords_array()
+    for i in range(g.n_points):
+        assert tuple(table[i]) == g.coord(i)
+
+
+def test_shift_ids_interior():
+    g = StructuredGrid((4, 4))
+    src, dst = g.shift_ids((1, 0))
+    # Points in the last column have no +x neighbor.
+    assert len(src) == 12
+    assert np.array_equal(dst, src + 1)
+
+
+def test_shift_ids_diagonal():
+    g = StructuredGrid((3, 3))
+    src, dst = g.shift_ids((1, 1))
+    assert len(src) == 4
+    assert np.array_equal(dst, src + 1 + 3)
+
+
+def test_shift_ids_zero_offset():
+    g = StructuredGrid((3, 3))
+    src, dst = g.shift_ids((0, 0))
+    assert np.array_equal(src, dst)
+    assert len(src) == 9
+
+
+def test_boundary_mask():
+    g = StructuredGrid((4, 4))
+    mask = g.boundary_mask()
+    assert mask.sum() == 12  # 16 - 4 interior
+    assert not mask[g.index((1, 1))]
+    assert mask[g.index((0, 2))]
+
+
+def test_1d_grid():
+    g = StructuredGrid((7,))
+    src, dst = g.shift_ids((-1,))
+    assert len(src) == 6
+    assert np.array_equal(dst, src - 1)
+
+
+def test_invalid_dims_rejected():
+    with pytest.raises(ValueError):
+        StructuredGrid((0, 4))
+    with pytest.raises(ValueError):
+        StructuredGrid((2, 2, 2, 2))
+
+
+def test_out_of_range_coord_rejected():
+    g = StructuredGrid((3, 3))
+    with pytest.raises(ValueError):
+        g.index((3, 0))
+    with pytest.raises(ValueError):
+        g.coord(9)
+
+
+def test_equality_and_hash():
+    assert StructuredGrid((3, 3)) == StructuredGrid((3, 3))
+    assert StructuredGrid((3, 3)) != StructuredGrid((3, 4))
+    assert hash(StructuredGrid((2, 5))) == hash(StructuredGrid((2, 5)))

@@ -1,0 +1,45 @@
+"""Unit tests for problem generators."""
+
+import numpy as np
+
+from repro.grids.problems import hpcg_problem, poisson_problem
+
+
+def test_poisson_exact_solution_is_ones():
+    p = poisson_problem((6, 6))
+    assert np.allclose(p.matrix.matvec(p.exact), p.rhs)
+    assert np.all(p.exact == 1.0)
+
+
+def test_default_stencils_by_dimension():
+    assert poisson_problem((4, 4)).stencil.n_points == 5
+    assert poisson_problem((4, 4, 4)).stencil.n_points == 27
+
+
+def test_stencil_by_name_string():
+    p = poisson_problem((4, 4), "9pt")
+    assert p.stencil.n_points == 9
+
+
+def test_hpcg_problem_shape():
+    p = hpcg_problem(4)
+    assert p.grid.dims == (4, 4, 4)
+    assert p.stencil.n_points == 27
+    assert p.n == 64
+
+
+def test_hpcg_problem_anisotropic():
+    p = hpcg_problem(4, 6, 8)
+    assert p.grid.dims == (4, 6, 8)
+
+
+def test_residual_norm():
+    p = poisson_problem((5, 5))
+    assert p.residual_norm(p.exact) < 1e-12
+    assert p.residual_norm(np.zeros(p.n)) > 0
+
+
+def test_float32_problem():
+    p = poisson_problem((4, 4), dtype=np.float32)
+    assert p.matrix.data.dtype == np.float32
+    assert p.rhs.dtype == np.float32

@@ -1,0 +1,62 @@
+"""Unit tests for the stencil library."""
+
+import pytest
+
+from repro.grids.stencils import (
+    Stencil,
+    box9_2d,
+    box27_3d,
+    star5_2d,
+    star7_3d,
+    stencil_by_name,
+)
+
+
+@pytest.mark.parametrize("factory,points,ndim,center", [
+    (star5_2d, 5, 2, 4.0),
+    (box9_2d, 9, 2, 8.0),
+    (star7_3d, 7, 3, 6.0),
+    (box27_3d, 27, 3, 26.0),
+])
+def test_predefined_shapes(factory, points, ndim, center):
+    st = factory()
+    assert st.n_points == points
+    assert st.ndim == ndim
+    assert st.center_weight() == center
+    assert st.reach == 1
+    assert st.is_symmetric()
+
+
+def test_row_sum_zero():
+    """Laplacian-style stencils: weights sum to zero (interior rows)."""
+    for st in (star5_2d(), box9_2d(), star7_3d(), box27_3d()):
+        assert sum(st.weights) == 0.0
+
+
+def test_registry_lookup_and_aliases():
+    assert stencil_by_name("27pt").n_points == 27
+    assert stencil_by_name("box27_3d").n_points == 27
+    assert stencil_by_name("7PT").n_points == 7
+    with pytest.raises(ValueError):
+        stencil_by_name("31pt")
+
+
+def test_duplicate_offsets_rejected():
+    with pytest.raises(ValueError):
+        Stencil("bad", ((0, 0), (0, 0)), (1.0, 2.0))
+
+
+def test_mixed_arity_rejected():
+    with pytest.raises(ValueError):
+        Stencil("bad", ((0, 0), (0, 0, 0)), (1.0, 2.0))
+
+
+def test_asymmetric_detected():
+    st = Stencil("asym", ((0,), (1,)), (1.0, -1.0))
+    assert not st.is_symmetric()
+
+
+def test_custom_weights_reach():
+    st = Stencil("wide", ((0,), (2,), (-2,)), (2.0, -1.0, -1.0))
+    assert st.reach == 2
+    assert st.is_symmetric()

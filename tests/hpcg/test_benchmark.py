@@ -1,0 +1,100 @@
+"""Integration tests for the HPCG driver and GFLOPS projection."""
+
+import numpy as np
+import pytest
+
+from repro.hpcg.benchmark import (
+    best_allocation,
+    build_hpcg_model,
+    model_hpcg_gflops,
+    run_hpcg,
+)
+from repro.simd.machine import INTEL_XEON, KUNPENG_920
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {v: build_hpcg_model(nx=8, variant=v, n_levels=2, bsize=4,
+                                n_workers=4)
+            for v in ("reference", "cpo", "sell", "dbsr", "mkl", "arm",
+                      "dbsr-novec", "dbsr-gather")}
+
+
+def test_functional_run_converges():
+    r = run_hpcg(nx=8, variant="dbsr", n_levels=2, max_iters=50,
+                 tol=1e-9, bsize=4, n_workers=2)
+    assert r.converged
+    assert r.final_relres < 1e-9
+    assert r.flops > 0
+
+
+def test_all_variants_converge_identically_enough():
+    """Different storage/orderings, same math: iteration counts agree
+    within the reordering effect."""
+    iters = {}
+    for v in ("reference", "cpo", "dbsr"):
+        r = run_hpcg(nx=8, variant=v, n_levels=2, max_iters=60,
+                     tol=1e-9, bsize=4, n_workers=2)
+        assert r.converged, v
+        iters[v] = r.iterations
+    assert max(iters.values()) - min(iters.values()) <= 5
+
+
+def test_dbsr_beats_cpo_at_full_node(models):
+    _, _, g_cpo = best_allocation(INTEL_XEON, models["cpo"])
+    _, _, g_dbsr = best_allocation(INTEL_XEON, models["dbsr"])
+    ratio = g_dbsr / g_cpo
+    assert 1.1 < ratio < 1.45  # paper band: 1.19x - 1.24x
+
+
+def test_dbsr_beats_vendors(models):
+    """Paper: 1.47-1.70x over MKL, 2.41-3.40x over ARM."""
+    _, _, g_dbsr = best_allocation(INTEL_XEON, models["dbsr"])
+    _, _, g_mkl = best_allocation(INTEL_XEON, models["mkl"])
+    _, _, g_arm = best_allocation(INTEL_XEON, models["arm"])
+    assert 1.3 < g_dbsr / g_mkl < 1.9
+    assert 2.0 < g_dbsr / g_arm < 3.6
+
+
+def test_reference_flat_across_threads(models):
+    """Reference SYMGS is serial in-process: single-process thread
+    scaling stalls (Fig. 6's flat lines)."""
+    g1 = model_hpcg_gflops(INTEL_XEON, models["reference"], 1, 1)
+    g56 = model_hpcg_gflops(INTEL_XEON, models["reference"], 1, 56)
+    assert g56 / g1 < 2.0
+    g_dbsr_1 = model_hpcg_gflops(INTEL_XEON, models["dbsr"], 1, 1)
+    g_dbsr_56 = model_hpcg_gflops(INTEL_XEON, models["dbsr"], 1, 56)
+    assert g_dbsr_56 / g_dbsr_1 > 5.0
+
+
+def test_gather_negates_simd_benefit(models):
+    """Fig. 8: DBSR with forced gathers loses most of the SIMD gain."""
+    g_vec = model_hpcg_gflops(INTEL_XEON, models["dbsr"], 4, 4)
+    g_gather = model_hpcg_gflops(INTEL_XEON, models["dbsr-gather"], 4, 4)
+    g_novec = model_hpcg_gflops(INTEL_XEON, models["dbsr-novec"], 4, 4)
+    assert g_vec >= g_gather
+    assert g_gather == pytest.approx(g_novec, rel=0.35)
+
+
+def test_simd_width_matters(models):
+    """AVX512 gains more from vectorization than NEON."""
+    xeon_gain = (model_hpcg_gflops(INTEL_XEON, models["dbsr"], 1, 1)
+                 / model_hpcg_gflops(INTEL_XEON, models["dbsr-novec"],
+                                     1, 1))
+    kp_gain = (model_hpcg_gflops(KUNPENG_920, models["dbsr"], 1, 1)
+               / model_hpcg_gflops(KUNPENG_920, models["dbsr-novec"],
+                                   1, 1))
+    assert xeon_gain > kp_gain
+
+
+def test_best_allocation_uses_all_cores(models):
+    p, t, _ = best_allocation(INTEL_XEON, models["dbsr"])
+    assert p * t == INTEL_XEON.cores
+
+
+def test_gflops_positive_and_bounded(models):
+    for name, m in models.items():
+        g = model_hpcg_gflops(INTEL_XEON, m, 8, 7)
+        peak = (INTEL_XEON.cores * INTEL_XEON.freq_ghz
+                * 16 * 2)  # generous fp64 peak
+        assert 0 < g < peak, name

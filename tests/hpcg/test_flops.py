@@ -1,0 +1,46 @@
+"""Unit tests for HPCG FLOP accounting."""
+
+from repro.hpcg.flops import (
+    hpcg_flops_per_iteration,
+    hpcg_total_flops,
+    mg_flops,
+    spmv_flops,
+    symgs_flops,
+)
+
+
+def test_spmv_flops():
+    assert spmv_flops(1000) == 2000
+
+
+def test_symgs_flops():
+    # 2 sweeps x (2*nnz + n).
+    assert symgs_flops(nnz=100, n=10) == 2 * (200 + 10)
+
+
+def test_mg_flops_vs_single_level():
+    one = mg_flops(1000, 27_000, n_levels=1)
+    assert one == symgs_flops(27_000, 1000)
+    four = mg_flops(1000, 27_000, n_levels=4)
+    assert four > one
+
+
+def test_mg_level_geometric_decay():
+    """Each coarser level contributes ~1/8 of the finer one."""
+    f4 = mg_flops(8**6, 27 * 8**6, n_levels=4)
+    f1_fine = 2 * symgs_flops(27 * 8**6, 8**6) + spmv_flops(27 * 8**6)
+    # The whole hierarchy costs less than 1.25x the finest level (sum of
+    # the 1/8 geometric series is 8/7).
+    assert f4 < 1.25 * f1_fine
+
+
+def test_per_iteration_composition():
+    n, nnz = 1000, 27_000
+    per = hpcg_flops_per_iteration(n, nnz, n_levels=1)
+    expect = spmv_flops(nnz) + mg_flops(n, nnz, 1) + 12 * n
+    assert per == expect
+
+
+def test_total_scales_with_iterations():
+    assert hpcg_total_flops(1000, 27_000, 50) == \
+        50 * hpcg_flops_per_iteration(1000, 27_000)

@@ -1,0 +1,95 @@
+"""Unit tests for HPCG model internals."""
+
+import numpy as np
+import pytest
+
+from repro.hpcg.benchmark import (
+    HPCGModel,
+    _halo_seconds,
+    _spmv_counts_for,
+    build_hpcg_model,
+)
+from repro.simd.machine import INTEL_XEON
+
+
+@pytest.fixture(scope="module")
+def small_models():
+    return {v: build_hpcg_model(nx=8, variant=v, n_levels=2, bsize=4,
+                                n_workers=2)
+            for v in ("reference", "sell", "dbsr")}
+
+
+def test_spmv_counts_format_dispatch(problem_2d):
+    from repro.multigrid.smoothers import make_smoother
+
+    A = problem_2d.matrix
+    g, s = problem_2d.grid, problem_2d.stencil
+    csr_sm = make_smoother("csr", g, s, A)
+    sell_sm = make_smoother("sell", g, s, A, bsize=4, n_workers=2)
+    dbsr_sm = make_smoother("dbsr", g, s, A, bsize=4, n_workers=2)
+    c_csr = _spmv_counts_for(csr_sm, A)
+    c_sell = _spmv_counts_for(sell_sm, A)
+    c_dbsr = _spmv_counts_for(dbsr_sm, A)
+    assert c_csr.vgather == 0 and c_csr.sload > 0   # scalar CSR
+    assert c_sell.vgather > 0                        # SELL gathers
+    assert c_dbsr.vgather == 0 and c_dbsr.vload > 0  # DBSR loads
+
+
+def test_halo_seconds_zero_for_single_process():
+    assert _halo_seconds(INTEL_XEON, 1, 192) == 0.0
+
+
+def test_halo_seconds_grows_with_processes():
+    h2 = _halo_seconds(INTEL_XEON, 2, 192)
+    h56 = _halo_seconds(INTEL_XEON, 56, 192)
+    assert 0 < h2 < h56
+
+
+def test_node_seconds_scale_monotone(small_models):
+    m = small_models["dbsr"]
+    t_small = m.node_seconds_per_iteration(INTEL_XEON, 4, 4, scale=1.0)
+    t_big = m.node_seconds_per_iteration(INTEL_XEON, 4, 4, scale=8.0)
+    assert t_big > t_small
+
+
+def test_node_seconds_threads_help_parallel_variants(small_models):
+    m = small_models["dbsr"]
+    scale = (192 / 8) ** 3
+    t1 = m.node_seconds_per_iteration(INTEL_XEON, 1, 1, scale=scale)
+    t8 = m.node_seconds_per_iteration(INTEL_XEON, 1, 8, scale=scale)
+    assert t8 < t1
+
+
+def test_node_seconds_threads_do_not_help_reference(small_models):
+    m = small_models["reference"]
+    scale = (192 / 8) ** 3
+    t1 = m.node_seconds_per_iteration(INTEL_XEON, 1, 1, scale=scale)
+    t8 = m.node_seconds_per_iteration(INTEL_XEON, 1, 8, scale=scale)
+    # Serial in-process SYMGS dominates: threading gains are marginal.
+    assert t8 > 0.5 * t1
+
+
+def test_model_metadata(small_models):
+    for name, m in small_models.items():
+        assert m.n_local == 512
+        assert m.nnz_local > 0
+        assert len(m.specs) >= 4, name  # spmv + vec + per-level symgs
+
+
+def test_fusion_factor_applied(small_models):
+    """The CPO fusion factor shrinks modeled vector traffic."""
+    from dataclasses import replace
+
+    m = small_models["dbsr"]
+    slow_variant = replace(m.variant, fusion_traffic_factor=1.0)
+    fast_variant = replace(m.variant, fusion_traffic_factor=0.5)
+    scale = (192 / 8) ** 3
+    m_slow = HPCGModel(variant=slow_variant, specs=m.specs,
+                       n_local=m.n_local, nnz_local=m.nnz_local)
+    m_fast = HPCGModel(variant=fast_variant, specs=m.specs,
+                       n_local=m.n_local, nnz_local=m.nnz_local)
+    t_slow = m_slow.node_seconds_per_iteration(INTEL_XEON, 8, 7,
+                                               scale=scale)
+    t_fast = m_fast.node_seconds_per_iteration(INTEL_XEON, 8, 7,
+                                               scale=scale)
+    assert t_fast < t_slow

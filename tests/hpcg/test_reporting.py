@@ -1,0 +1,34 @@
+"""Tests for the HPCG-style report renderer."""
+
+from repro.grids.problems import hpcg_problem
+from repro.hpcg.benchmark import build_hpcg_model, run_hpcg
+from repro.hpcg.reporting import _nnz_estimate, render_report
+from repro.simd.machine import INTEL_XEON
+
+
+def test_nnz_estimate_exact():
+    for nx in (2, 4, 8):
+        p = hpcg_problem(nx)
+        assert _nnz_estimate(nx) == p.matrix.nnz
+
+
+def test_report_fields():
+    r = run_hpcg(nx=8, variant="dbsr", n_levels=2, max_iters=50,
+                 tol=1e-9, bsize=4, n_workers=2)
+    text = render_report(r, nx=8, n_levels=2)
+    assert "Global Problem Dimensions: 8x8x8" in text
+    assert f"Optimized CG iterations: {r.iterations}" in text
+    assert "Converged: True" in text
+    assert f"Run total: {r.flops}" in text
+
+
+def test_report_with_projection():
+    r = run_hpcg(nx=8, variant="dbsr", n_levels=2, max_iters=50,
+                 tol=1e-9, bsize=4, n_workers=2)
+    model = build_hpcg_model(nx=8, variant="dbsr", n_levels=2,
+                             bsize=4, n_workers=2)
+    text = render_report(r, nx=8, n_levels=2, machine=INTEL_XEON,
+                         model=model, processes=8, threads=7)
+    assert "GFLOP/s rating:" in text
+    assert INTEL_XEON.name in text
+    assert "8 processes x 7 threads" in text

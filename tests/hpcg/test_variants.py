@@ -1,0 +1,47 @@
+"""Unit tests for HPCG variants."""
+
+import pytest
+
+from repro.hpcg.variants import VARIANTS, get_variant
+
+
+def test_all_expected_variants_present():
+    for name in ("reference", "mkl", "arm", "cpo", "sell", "dbsr",
+                 "sell-novec", "dbsr-novec", "dbsr-gather"):
+        assert name in VARIANTS
+
+
+def test_reference_is_serial_scalar():
+    v = get_variant("reference")
+    assert not v.vectorized
+    assert v.process_parallel_only
+    assert v.time_inefficiency == 1.0
+
+
+def test_dbsr_is_vectorized_gather_free():
+    v = get_variant("dbsr")
+    assert v.vectorized
+    assert not v.force_gather
+    assert v.smoother_kind == "dbsr"
+
+
+def test_dbsr_gather_flag():
+    assert get_variant("dbsr-gather").force_gather
+
+
+def test_only_vendor_variants_carry_inefficiency():
+    for name, v in VARIANTS.items():
+        if name in ("mkl", "arm"):
+            assert v.time_inefficiency > 1.0
+        else:
+            assert v.time_inefficiency == 1.0, name
+
+
+def test_cpo_and_dbsr_share_fusion():
+    assert get_variant("cpo").fusion_traffic_factor == \
+        get_variant("dbsr").fusion_traffic_factor
+
+
+def test_unknown_variant_rejected():
+    with pytest.raises(ValueError):
+        get_variant("cuda")

@@ -1,0 +1,88 @@
+"""Unit tests for the named ILU(0) parallel strategies."""
+
+import numpy as np
+import pytest
+
+from repro.ilu.strategies import STRATEGY_NAMES, make_strategy
+from repro.solvers.stationary import preconditioned_richardson
+
+
+@pytest.fixture(scope="module")
+def problem():
+    from repro.grids.problems import poisson_problem
+
+    return poisson_problem((8, 8, 8), "7pt")
+
+
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_every_strategy_preconditions(problem, name):
+    s = make_strategy(name, problem, n_workers=4, bsize=4)
+    s.factorize()
+    _, hist = preconditioned_richardson(
+        problem.matrix, problem.rhs, s.apply, tol=1e-8, maxiter=300)
+    assert hist.converged, name
+    assert hist.iterations < 300
+
+
+def test_serial_strategy_is_reference(problem, rng):
+    from repro.ilu.ilu0_csr import ilu0_apply_csr, ilu0_factorize_csr
+
+    s = make_strategy("serial", problem)
+    s.factorize()
+    ref = ilu0_factorize_csr(problem.matrix)
+    r = rng.standard_normal(problem.n)
+    assert np.allclose(s.apply(r), ilu0_apply_csr(ref, r))
+
+
+def test_mc_converges_slower_than_bmc(problem):
+    """The §V-E observation: MC needs significantly more iterations."""
+    iters = {}
+    for name in ("serial", "mc", "bmc-fix"):
+        s = make_strategy(name, problem, n_workers=8)
+        s.factorize()
+        _, hist = preconditioned_richardson(
+            problem.matrix, problem.rhs, s.apply, tol=1e-8, maxiter=400)
+        iters[name] = hist.iterations
+    assert iters["mc"] > iters["bmc-fix"]
+    assert iters["serial"] <= iters["bmc-fix"]
+
+
+def test_dbsr_converges_like_bmc(problem):
+    """Vectorized BMC keeps BMC's convergence rate (§III-A)."""
+    reps = {}
+    for name in ("bmc-fix", "dbsr-fix"):
+        s = make_strategy(name, problem, n_workers=8, bsize=4)
+        s.factorize()
+        _, hist = preconditioned_richardson(
+            problem.matrix, problem.rhs, s.apply, tol=1e-8, maxiter=400)
+        reps[name] = hist.iterations
+    assert abs(reps["dbsr-fix"] - reps["bmc-fix"]) <= 2
+
+
+def test_strategy_metadata(problem):
+    s = make_strategy("dbsr-auto", problem, n_workers=4, bsize=4)
+    s.factorize()
+    assert s.parallelism >= 1
+    assert s.barriers_per_apply() == 2 * s.n_colors
+    c = s.smoothing_counter()
+    assert c.vfma > 0
+    assert c.bytes_gathered == 0  # gather-free
+    assert s.factor_counter is not None
+
+
+def test_bj_metadata(problem):
+    s = make_strategy("bj", problem, n_workers=4)
+    s.factorize()
+    assert s.barriers_per_apply() == 0
+    assert s.parallelism == 4.0
+
+
+def test_csr_strategy_counter_has_gathers(problem):
+    s = make_strategy("bmc-auto", problem, n_workers=4)
+    s.factorize()
+    assert s.smoothing_counter().bytes_gathered > 0
+
+
+def test_unknown_name_rejected(problem):
+    with pytest.raises(ValueError):
+        make_strategy("turbo", problem)

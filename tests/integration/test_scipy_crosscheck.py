@@ -1,0 +1,99 @@
+"""Cross-checks against scipy.sparse (independent implementation).
+
+scipy is a dev-only dependency; these tests guard against systematic
+errors shared by our own kernels and their reference twins.
+"""
+
+import numpy as np
+import pytest
+
+scipy_sparse = pytest.importorskip("scipy.sparse")
+from scipy.sparse.linalg import splu, spsolve_triangular  # noqa: E402
+
+
+def to_scipy(csr):
+    return scipy_sparse.csr_matrix(
+        (csr.data, csr.indices, csr.indptr), shape=csr.shape)
+
+
+def test_spmv_matches_scipy(problem_3d_27pt, rng):
+    A = problem_3d_27pt.matrix
+    x = rng.standard_normal(A.n_cols)
+    assert np.allclose(A.matvec(x), to_scipy(A) @ x)
+
+
+def test_dbsr_spmv_matches_scipy(reordered_3d, rng):
+    csr, dbsr = reordered_3d
+    x = rng.standard_normal(csr.n_cols)
+    assert np.allclose(dbsr.matvec(x), to_scipy(csr) @ x)
+
+
+def test_sptrsv_matches_scipy(reordered_3d, rng):
+    from repro.kernels.sptrsv_csr import split_triangular, sptrsv_csr
+
+    csr, dbsr = reordered_3d
+    L, D, U = split_triangular(csr)
+    full_lower = to_scipy(L) + scipy_sparse.diags(D)
+    b = rng.standard_normal(csr.n_rows)
+    ours = sptrsv_csr(L, D, b)
+    theirs = spsolve_triangular(full_lower.tocsr(), b, lower=True)
+    assert np.allclose(ours, theirs)
+
+
+def test_dbsr_sptrsv_matches_scipy(reordered_3d, rng):
+    from repro.kernels.sptrsv_csr import split_triangular
+    from repro.kernels.sptrsv_dbsr import sptrsv_dbsr_lower
+
+    csr, dbsr = reordered_3d
+    L, D, U = split_triangular(csr)
+    from repro.formats.dbsr import DBSRMatrix
+
+    Ld = DBSRMatrix.from_csr(L, dbsr.bsize)
+    full_lower = (to_scipy(L) + scipy_sparse.diags(D)).tocsr()
+    b = rng.standard_normal(csr.n_rows)
+    assert np.allclose(sptrsv_dbsr_lower(Ld, b, diag=D),
+                       spsolve_triangular(full_lower, b, lower=True))
+
+
+def test_full_pattern_ilu_matches_scipy_lu(rng):
+    """On a dense pattern, ILU(0) is exact LU; compare the solve
+    against scipy's SuperLU."""
+    from repro.formats.csr import CSRMatrix
+    from repro.ilu.ilu0_csr import ilu0_apply_csr, ilu0_factorize_csr
+
+    n = 12
+    dense = rng.standard_normal((n, n))
+    dense[np.arange(n), np.arange(n)] = np.abs(dense).sum(axis=1) + 1
+    A = CSRMatrix.from_dense(dense)
+    f = ilu0_factorize_csr(A)
+    b = rng.standard_normal(n)
+    ours = ilu0_apply_csr(f, b)
+    theirs = splu(scipy_sparse.csc_matrix(dense),
+                  permc_spec="NATURAL",
+                  options={"SymmetricMode": False,
+                           "DiagPivotThresh": 0.0}).solve(b)
+    assert np.allclose(ours, theirs, atol=1e-8)
+
+
+def test_cg_matches_scipy(problem_3d_7pt):
+    from scipy.sparse.linalg import cg as scipy_cg
+
+    from repro.solvers.cg import cg
+
+    p = problem_3d_7pt
+    ours, hist = cg(p.matrix, p.rhs, tol=1e-12, maxiter=500)
+    theirs, info = scipy_cg(to_scipy(p.matrix), p.rhs, rtol=1e-12,
+                            maxiter=500)
+    assert info == 0
+    assert np.allclose(ours, theirs, atol=1e-8)
+
+
+def test_eigenstructure_preserved_by_vbmc(problem_2d, vbmc_2d):
+    """The padded reordered operator's spectrum is the original's plus
+    ones (virtual identity rows)."""
+    Ap = vbmc_2d.apply_matrix(problem_2d.matrix)
+    ev_orig = np.sort(np.linalg.eigvalsh(problem_2d.matrix.to_dense()))
+    ev_pad = np.sort(np.linalg.eigvalsh(Ap.to_dense()))
+    n_virtual = vbmc_2d.n_padded - vbmc_2d.n_orig
+    merged = np.sort(np.concatenate([ev_orig, np.ones(n_virtual)]))
+    assert np.allclose(ev_pad, merged, atol=1e-8)

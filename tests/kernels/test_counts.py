@@ -1,0 +1,67 @@
+"""Unit tests for the closed-form operation counts."""
+
+import numpy as np
+
+from repro.formats.sell import SELLMatrix
+from repro.kernels import counts
+
+
+def test_dbsr_vs_csr_index_bytes(reordered_3d):
+    """DBSR's index stream shrinks toward 2/bsize of CSR's (§III-B).
+
+    On this boundary-heavy 8-cubed test grid the ratio lands near
+    0.6 with bsize 4 (ideal 0.5); larger grids approach the ideal.
+    """
+    csr, dbsr = reordered_3d
+    c_csr = counts.sptrsv_csr_counts(csr)
+    c_dbsr = counts.sptrsv_dbsr_counts(dbsr)
+    assert c_dbsr.bytes_index < 0.65 * c_csr.bytes_index
+
+
+def test_dbsr_no_gathered_traffic(reordered_3d):
+    _, dbsr = reordered_3d
+    c = counts.sptrsv_dbsr_counts(dbsr)
+    assert c.bytes_gathered == 0
+    assert c.vgather == 0
+
+
+def test_csr_has_gathered_traffic(problem_3d_7pt):
+    c = counts.sptrsv_csr_counts(problem_3d_7pt.matrix)
+    assert c.bytes_gathered == problem_3d_7pt.matrix.nnz * 8
+
+
+def test_sell_gathers_scale_with_width(problem_2d):
+    sell = SELLMatrix(problem_2d.matrix, chunk=4, sigma=1)
+    c = counts.spmv_sell_counts(sell)
+    assert c.vgather == int(sell.widths.sum())
+    assert c.bytes_gathered > 0
+
+
+def test_symgs_counts_are_two_sweeps(reordered_3d):
+    _, dbsr = reordered_3d
+    one = counts.sptrsv_dbsr_counts(dbsr, divide=True)
+    two = counts.symgs_dbsr_counts(dbsr)
+    assert two.vfma == 2 * one.vfma
+    assert two.vdiv == 2 * one.vdiv
+
+
+def test_flops_accounting(reordered_3d):
+    _, dbsr = reordered_3d
+    c = counts.sptrsv_dbsr_counts(dbsr)
+    # FMA = 2 flops x bsize lanes per tile.
+    assert c.flops() >= 2 * dbsr.n_tiles * dbsr.bsize
+
+
+def test_dot_and_waxpby_counts():
+    d = counts.dot_counts(100)
+    assert d.sflop == 200
+    assert d.bytes_vector == 1600
+    w = counts.waxpby_counts(100)
+    assert w.sflop == 300
+    assert w.sstore == 100
+
+
+def test_total_value_bytes_include_padding(reordered_3d):
+    _, dbsr = reordered_3d
+    c = counts.sptrsv_dbsr_counts(dbsr)
+    assert c.bytes_values == dbsr.n_tiles * dbsr.bsize * 8

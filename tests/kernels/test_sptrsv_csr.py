@@ -1,0 +1,77 @@
+"""Unit tests for CSR SpTRSV (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.sptrsv_csr import (
+    split_triangular,
+    sptrsv_csr,
+    sptrsv_csr_upper,
+)
+
+
+def test_lower_solve_matches_numpy(random_sparse, rng):
+    A = random_sparse(n=20, seed=1)
+    L, D, U = split_triangular(A)
+    b = rng.standard_normal(20)
+    x = sptrsv_csr(L, D, b)
+    dense = L.to_dense() + np.diag(D)
+    assert np.allclose(dense @ x, b)
+
+
+def test_upper_solve_matches_numpy(random_sparse, rng):
+    A = random_sparse(n=20, seed=2)
+    L, D, U = split_triangular(A)
+    b = rng.standard_normal(20)
+    x = sptrsv_csr_upper(U, D, b)
+    dense = U.to_dense() + np.diag(D)
+    assert np.allclose(dense @ x, b)
+
+
+def test_unit_diag_solve(random_sparse, rng):
+    A = random_sparse(n=16, seed=3)
+    L, D, _ = split_triangular(A)
+    b = rng.standard_normal(16)
+    x = sptrsv_csr(L, D, b, unit_diag=True)
+    dense = L.to_dense() + np.eye(16)
+    assert np.allclose(dense @ x, b)
+
+
+def test_identity_solve():
+    from repro.formats.csr import CSRMatrix
+
+    L = CSRMatrix([0] * 5, [], [], (4, 4))
+    x = sptrsv_csr(L, np.full(4, 2.0), np.ones(4))
+    assert np.allclose(x, 0.5)
+
+
+def test_rejects_non_strictly_lower(random_sparse):
+    A = random_sparse(n=8, seed=4)
+    with pytest.raises(ValueError):
+        sptrsv_csr(A, A.diagonal(), np.ones(8))
+
+
+def test_rejects_non_strictly_upper(random_sparse):
+    A = random_sparse(n=8, seed=5)
+    with pytest.raises(ValueError):
+        sptrsv_csr_upper(A, A.diagonal(), np.ones(8))
+
+
+def test_bidiagonal_chain():
+    """Sequential dependency: x[i] depends on x[i-1] (the low
+    parallelism the paper's §II-B describes)."""
+    from repro.formats.csr import CSRMatrix
+
+    n = 10
+    dense = np.diag(np.ones(n - 1) * -1.0, -1)
+    L = CSRMatrix.from_dense(dense)
+    x = sptrsv_csr(L, np.ones(n), np.ones(n))
+    # Recurrence x[i] = 1 + x[i-1] -> x[i] = i+1.
+    assert np.allclose(x, np.arange(1.0, n + 1))
+
+
+def test_wrong_b_length_rejected(random_sparse):
+    A = random_sparse(n=8, seed=6)
+    L, D, _ = split_triangular(A)
+    with pytest.raises(ValueError):
+        sptrsv_csr(L, D, np.ones(9))

@@ -1,0 +1,154 @@
+"""Tests for SELL triangular solves, ELL format, and Jacobi/SOR."""
+
+import numpy as np
+import pytest
+
+from repro.formats.ell import ELLMatrix
+from repro.formats.sell import SELLMatrix
+from repro.kernels.jacobi import jacobi_sweep, sor_forward_sweep, \
+    ssor_sweep
+from repro.kernels.sptrsv_csr import (
+    split_triangular,
+    sptrsv_csr,
+    sptrsv_csr_upper,
+)
+from repro.kernels.sptrsv_sell import sptrsv_sell_lower, \
+    sptrsv_sell_upper
+from repro.simd.engine import VectorEngine
+
+
+@pytest.fixture(scope="module")
+def tri_sell(request):
+    csr, dbsr = request.getfixturevalue("reordered_3d")
+    L, D, U = split_triangular(csr)
+    return (L, D, U,
+            SELLMatrix(L, chunk=dbsr.bsize, sigma=1),
+            SELLMatrix(U, chunk=dbsr.bsize, sigma=1))
+
+
+def test_sell_lower_matches_csr(tri_sell, rng):
+    L, D, U, Ls, Us = tri_sell
+    b = rng.standard_normal(L.n_rows)
+    assert np.allclose(sptrsv_sell_lower(Ls, b, diag=D),
+                       sptrsv_csr(L, D, b))
+
+
+def test_sell_upper_matches_csr(tri_sell, rng):
+    L, D, U, Ls, Us = tri_sell
+    b = rng.standard_normal(U.n_rows)
+    assert np.allclose(sptrsv_sell_upper(Us, b, diag=D),
+                       sptrsv_csr_upper(U, D, b))
+
+
+def test_sell_unit_diag(tri_sell, rng):
+    L, D, U, Ls, Us = tri_sell
+    b = rng.standard_normal(L.n_rows)
+    assert np.allclose(sptrsv_sell_lower(Ls, b),
+                       sptrsv_csr(L, D, b, unit_diag=True))
+
+
+def test_sell_solve_gathers(tri_sell, rng):
+    """SELL triangular solves must gather; DBSR must not — the Fig. 8
+    dichotomy at kernel level."""
+    L, D, U, Ls, Us = tri_sell
+    b = rng.standard_normal(L.n_rows)
+    eng = VectorEngine(Ls.chunk)
+    x = sptrsv_sell_lower(Ls, b, diag=D, engine=eng)
+    assert np.allclose(x, sptrsv_csr(L, D, b))
+    assert eng.counter.vgather > 0
+
+
+def test_sell_sigma_sorted_rejected(tri_sell, rng):
+    L, D, U, Ls, Us = tri_sell
+    sorted_sell = SELLMatrix(L, chunk=4, sigma=8)
+    with pytest.raises(ValueError):
+        sptrsv_sell_lower(sorted_sell, np.zeros(L.n_rows))
+
+
+# --- ELL ------------------------------------------------------------------
+
+def test_ell_roundtrip(problem_2d):
+    ell = ELLMatrix(problem_2d.matrix)
+    assert np.allclose(ell.to_dense(), problem_2d.matrix.to_dense())
+
+
+def test_ell_matvec(problem_2d, rng):
+    ell = ELLMatrix(problem_2d.matrix)
+    x = rng.standard_normal(problem_2d.n)
+    assert np.allclose(ell.matvec(x), problem_2d.matrix.matvec(x))
+
+
+def test_ell_pads_more_than_sell(problem_2d):
+    """The SELL improvement: per-chunk widths beat one global width on
+    boundary-ragged rows."""
+    ell = ELLMatrix(problem_2d.matrix)
+    sell = SELLMatrix(problem_2d.matrix, chunk=4, sigma=1)
+    assert ell.padding_fraction() >= sell.padding_fraction()
+    assert ell.memory_report().padding_values >= \
+        sell.memory_report().padding_values
+
+
+# --- Jacobi / SOR -----------------------------------------------------------
+
+def test_jacobi_converges_but_slower_than_gs(problem_2d):
+    from repro.kernels.symgs import gs_forward_csr
+
+    A = problem_2d.matrix
+    diag = A.diagonal()
+    b = problem_2d.rhs
+    xj = np.zeros(problem_2d.n)
+    xg = np.zeros(problem_2d.n)
+    for _ in range(30):
+        jacobi_sweep(A, diag, xj, b, weight=0.8)
+        gs_forward_csr(A, diag, xg, b)
+    rj = np.linalg.norm(b - A.matvec(xj))
+    rg = np.linalg.norm(b - A.matvec(xg))
+    assert rg < rj  # GS converges faster per sweep
+    assert rj < np.linalg.norm(b)  # but Jacobi does converge
+
+
+def test_sor_omega_one_is_gs(problem_2d, rng):
+    from repro.kernels.symgs import gs_forward_csr
+
+    A = problem_2d.matrix
+    diag = A.diagonal()
+    b = rng.standard_normal(problem_2d.n)
+    x1 = np.zeros(problem_2d.n)
+    x2 = np.zeros(problem_2d.n)
+    sor_forward_sweep(A, diag, x1, b, omega=1.0)
+    gs_forward_csr(A, diag, x2, b)
+    assert np.allclose(x1, x2)
+
+
+def test_ssor_omega_one_is_symgs(problem_2d, rng):
+    from repro.kernels.symgs import symgs_csr
+
+    A = problem_2d.matrix
+    diag = A.diagonal()
+    b = rng.standard_normal(problem_2d.n)
+    x1 = np.zeros(problem_2d.n)
+    x2 = np.zeros(problem_2d.n)
+    ssor_sweep(A, diag, x1, b, omega=1.0)
+    symgs_csr(A, diag, x2, b)
+    assert np.allclose(x1, x2)
+
+
+def test_overrelaxation_accelerates_poisson(problem_2d):
+    """Optimal SOR converges faster than GS on the model problem."""
+    A = problem_2d.matrix
+    diag = A.diagonal()
+    b = problem_2d.rhs
+    res = {}
+    for omega in (1.0, 1.5):
+        x = np.zeros(problem_2d.n)
+        for _ in range(40):
+            sor_forward_sweep(A, diag, x, b, omega=omega)
+        res[omega] = np.linalg.norm(b - A.matvec(x))
+    assert res[1.5] < res[1.0]
+
+
+def test_sor_omega_range_enforced(problem_2d):
+    A = problem_2d.matrix
+    with pytest.raises(ValueError):
+        sor_forward_sweep(A, A.diagonal(), np.zeros(problem_2d.n),
+                          np.zeros(problem_2d.n), omega=2.5)

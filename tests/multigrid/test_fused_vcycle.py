@@ -1,0 +1,50 @@
+"""Tests for the fused V-cycle."""
+
+import numpy as np
+import pytest
+
+from repro.multigrid.fused_vcycle import (
+    FusedMGPreconditioner,
+    mg_vcycle_fused,
+)
+from repro.multigrid.hierarchy import build_hierarchy
+from repro.multigrid.smoothers import CSRSymgsSmoother
+from repro.multigrid.vcycle import MGPreconditioner, mg_vcycle
+from repro.solvers.pcg import pcg
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    from repro.grids.problems import poisson_problem
+
+    p = poisson_problem((16, 16), "9pt")
+    top = build_hierarchy(
+        p.grid, p.stencil,
+        lambda g, s, m: CSRSymgsSmoother(m),
+        n_levels=3, matrix=p.matrix)
+    return p, top
+
+
+def test_fused_cycle_matches_reference(hierarchy, rng):
+    p, top = hierarchy
+    b = rng.standard_normal(p.n)
+    x_ref = mg_vcycle(top, b)
+    x_fused = mg_vcycle_fused(top, b)
+    assert np.allclose(x_ref, x_fused)
+
+
+def test_fused_preconditioned_cg(hierarchy):
+    p, top = hierarchy
+    x, hist = pcg(p.matrix, p.rhs, FusedMGPreconditioner(top),
+                  tol=1e-10, maxiter=100)
+    assert hist.converged
+    assert np.allclose(x, p.exact, atol=1e-7)
+
+
+def test_fused_and_reference_same_iterations(hierarchy):
+    p, top = hierarchy
+    _, h1 = pcg(p.matrix, p.rhs, MGPreconditioner(top), tol=1e-10,
+                maxiter=100)
+    _, h2 = pcg(p.matrix, p.rhs, FusedMGPreconditioner(top),
+                tol=1e-10, maxiter=100)
+    assert h1.iterations == h2.iterations

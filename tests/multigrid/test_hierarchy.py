@@ -1,0 +1,53 @@
+"""Unit tests for hierarchy construction."""
+
+import numpy as np
+import pytest
+
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box27_3d, star5_2d
+from repro.multigrid.hierarchy import build_hierarchy, hierarchy_levels
+from repro.multigrid.smoothers import CSRSymgsSmoother
+
+
+def csr_factory(grid, stencil, matrix):
+    return CSRSymgsSmoother(matrix)
+
+
+def test_level_count_and_sizes():
+    g = StructuredGrid((16, 16))
+    top = build_hierarchy(g, star5_2d(), csr_factory, n_levels=3)
+    levels = hierarchy_levels(top)
+    assert len(levels) == 3
+    assert [l.grid.dims for l in levels] == [(16, 16), (8, 8), (4, 4)]
+    assert top.depth() == 3
+
+
+def test_coarse_operators_rediscretized():
+    g = StructuredGrid((8, 8))
+    top = build_hierarchy(g, star5_2d(), csr_factory, n_levels=2)
+    from repro.grids.assembly import assemble_csr
+
+    expect = assemble_csr(top.coarse.grid, star5_2d())
+    assert np.array_equal(top.coarse.matrix.to_dense(),
+                          expect.to_dense())
+
+
+def test_f2c_set_on_non_coarsest():
+    g = StructuredGrid((8, 8, 8))
+    top = build_hierarchy(g, box27_3d(), csr_factory, n_levels=2)
+    assert top.f2c is not None
+    assert top.coarse.f2c is None
+    assert top.coarse.coarse is None
+
+
+def test_insufficient_divisibility_rejected():
+    g = StructuredGrid((12, 12))
+    with pytest.raises(ValueError):
+        build_hierarchy(g, star5_2d(), csr_factory, n_levels=4)
+
+
+def test_prebuilt_matrix_reused(problem_2d):
+    top = build_hierarchy(problem_2d.grid, problem_2d.stencil,
+                          csr_factory, n_levels=2,
+                          matrix=problem_2d.matrix)
+    assert top.matrix is problem_2d.matrix

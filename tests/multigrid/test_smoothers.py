@@ -1,0 +1,93 @@
+"""Unit tests for the pluggable smoothers."""
+
+import numpy as np
+import pytest
+
+from repro.multigrid.smoothers import (
+    CSRSymgsSmoother,
+    DBSRSymgsSmoother,
+    SELLSymgsSmoother,
+    make_smoother,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.grids.problems import poisson_problem
+
+    p = poisson_problem((8, 8), "9pt")
+    return p
+
+
+def test_all_kinds_smooth_identically_in_exact_arithmetic(setup, rng):
+    """BMC/SELL/DBSR smoothers apply the same sweeps in different
+    orders; all must reduce the residual and agree pairwise where the
+    ordering matches."""
+    p = setup
+    b = p.rhs
+    results = {}
+    for kind in ("csr", "bmc", "sell", "dbsr"):
+        sm = make_smoother(kind, p.grid, p.stencil, p.matrix, bsize=4,
+                           n_workers=2)
+        x = np.zeros(p.n)
+        sm(x, b)
+        r = np.linalg.norm(b - p.matrix.matvec(x))
+        results[kind] = (x, r)
+        r0 = np.linalg.norm(b)
+        assert r < r0, kind
+
+
+def test_dbsr_and_sell_smoothers_identical(setup, rng):
+    """SELL and DBSR store the same vBMC-permuted matrix, so their
+    sweeps agree exactly when chunk == bsize."""
+    p = setup
+    dbsr_sm = make_smoother("dbsr", p.grid, p.stencil, p.matrix,
+                            bsize=4, n_workers=2)
+    sell_sm = make_smoother("sell", p.grid, p.stencil, p.matrix,
+                            bsize=4, n_workers=2)
+    b = rng.standard_normal(p.n)
+    x1 = np.zeros(p.n)
+    x2 = np.zeros(p.n)
+    dbsr_sm(x1, b)
+    sell_sm(x2, b)
+    assert np.allclose(x1, x2)
+
+
+def test_dbsr_smoother_metadata(setup):
+    p = setup
+    sm = DBSRSymgsSmoother(p.grid, p.stencil, p.matrix, bsize=4,
+                           block_dims=(4, 4))
+    assert sm.barriers() == 2 * sm.n_colors
+    assert sm.parallelism >= 1
+    counts = sm.op_counts()
+    assert counts.vfma > 0
+    assert counts.bytes_gathered == 0
+
+
+def test_sell_smoother_counts_gather(setup):
+    p = setup
+    sm = SELLSymgsSmoother(p.grid, p.stencil, p.matrix, chunk=4,
+                           n_workers=2)
+    assert sm.op_counts().bytes_gathered > 0
+
+
+def test_csr_smoother_no_barriers(setup):
+    sm = CSRSymgsSmoother(setup.matrix)
+    assert sm.barriers() == 0
+    assert sm.parallelism == 1.0
+
+
+def test_unknown_kind_rejected(setup):
+    p = setup
+    with pytest.raises(ValueError):
+        make_smoother("magic", p.grid, p.stencil, p.matrix)
+
+
+def test_smoother_idempotent_at_solution(setup):
+    p = setup
+    for kind in ("csr", "dbsr"):
+        sm = make_smoother(kind, p.grid, p.stencil, p.matrix, bsize=4,
+                           n_workers=2)
+        x = p.exact.copy()
+        sm(x, p.rhs)
+        assert np.allclose(x, p.exact), kind

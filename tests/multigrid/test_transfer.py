@@ -1,0 +1,54 @@
+"""Unit tests for inter-grid transfers."""
+
+import numpy as np
+
+from repro.grids.coarsen import coarsen_grid, fine_to_coarse_map
+from repro.grids.grid import StructuredGrid
+from repro.multigrid.transfer import prolong_add, restrict_inject
+
+
+def test_restrict_samples_even_points(rng):
+    fine = StructuredGrid((4, 4))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    v = rng.standard_normal(fine.n_points)
+    rc = restrict_inject(v, f2c)
+    assert rc.shape == (coarse.n_points,)
+    assert np.array_equal(rc, v[f2c])
+
+
+def test_prolong_adds_in_place(rng):
+    fine = StructuredGrid((4, 4))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    x = np.zeros(fine.n_points)
+    xc = rng.standard_normal(coarse.n_points)
+    prolong_add(x, xc, f2c)
+    assert np.allclose(x[f2c], xc)
+    mask = np.ones(fine.n_points, dtype=bool)
+    mask[f2c] = False
+    assert np.all(x[mask] == 0.0)
+
+
+def test_restrict_prolong_adjoint_on_injected_points(rng):
+    """<R v, w>_coarse == <v, P w>_fine for injection operators."""
+    fine = StructuredGrid((8, 8))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    v = rng.standard_normal(fine.n_points)
+    w = rng.standard_normal(coarse.n_points)
+    lhs = restrict_inject(v, f2c) @ w
+    pw = np.zeros(fine.n_points)
+    prolong_add(pw, w, f2c)
+    rhs = v @ pw
+    assert np.isclose(lhs, rhs)
+
+
+def test_restrict_returns_copy(rng):
+    fine = StructuredGrid((4, 4))
+    coarse = coarsen_grid(fine)
+    f2c = fine_to_coarse_map(fine, coarse)
+    v = rng.standard_normal(fine.n_points)
+    rc = restrict_inject(v, f2c)
+    rc[:] = 0
+    assert not np.all(v[f2c] == 0)

@@ -1,0 +1,124 @@
+"""Unit tests for the algebraic block multi-color ordering (ABMC)."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.kernels.sptrsv_csr import split_triangular, sptrsv_csr
+from repro.kernels.sptrsv_dbsr import (
+    check_dbsr_triangular,
+    sptrsv_dbsr_lower,
+)
+from repro.ordering.abmc import (
+    aggregate_blocks,
+    block_quotient_graph,
+    build_abmc,
+)
+
+
+@pytest.fixture()
+def irregular(random_sparse):
+    """A symmetric irregular matrix (no grid structure)."""
+    A = random_sparse(n=40, density=0.1, seed=17)
+    dense = A.to_dense()
+    dense = (dense + dense.T) / 2
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+    return CSRMatrix.from_dense(dense)
+
+
+def test_aggregation_partitions_vertices(irregular):
+    blocks = aggregate_blocks(irregular, 8)
+    flat = np.sort(np.concatenate(blocks))
+    assert np.array_equal(flat, np.arange(irregular.n_rows))
+    assert all(len(b) <= 8 for b in blocks)
+
+
+def test_quotient_graph_no_self_loops(irregular):
+    blocks = aggregate_blocks(irregular, 8)
+    indptr, indices, block_of = block_quotient_graph(irregular, blocks)
+    rows = np.repeat(np.arange(len(blocks)), np.diff(indptr))
+    assert np.all(rows != indices)
+
+
+def test_same_color_blocks_independent(irregular):
+    abmc = build_abmc(irregular, block_size=8, bsize=2)
+    block_of = np.empty(irregular.n_rows, dtype=int)
+    for b, members in enumerate(abmc.blocks):
+        block_of[members] = b
+    rows = np.repeat(np.arange(irregular.n_rows),
+                     np.diff(irregular.indptr))
+    cols = irregular.indices
+    cross = block_of[rows] != block_of[cols]
+    assert np.all(
+        abmc.block_colors[block_of[rows[cross]]]
+        != abmc.block_colors[block_of[cols[cross]]]
+    )
+
+
+def test_mapping_bijective_on_real_rows(irregular):
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    assert len(np.unique(abmc.old_to_new)) == irregular.n_rows
+    real = abmc.new_to_old[abmc.new_to_old >= 0]
+    assert len(np.unique(real)) == irregular.n_rows
+
+
+def test_extend_restrict_roundtrip(irregular, rng):
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    v = rng.standard_normal(irregular.n_rows)
+    assert np.allclose(abmc.restrict(abmc.extend(v)), v)
+
+
+def test_apply_matrix_equivalence(irregular, rng):
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    Ap = abmc.apply_matrix(irregular)
+    x = rng.standard_normal(irregular.n_rows)
+    assert np.allclose(abmc.restrict(Ap.matvec(abmc.extend(x))),
+                       irregular.matvec(x))
+
+
+def test_dbsr_sptrsv_correct_on_irregular_matrix(irregular, rng):
+    """The paper's future-work scenario: DBSR SpTRSV on a general
+    (non-grid) matrix via ABMC. More tiles, same math."""
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    Ap = abmc.apply_matrix(irregular)
+    L, D, U = split_triangular(Ap)
+    Ld = DBSRMatrix.from_csr(L, 4)
+    assert check_dbsr_triangular(Ld, lower=True)
+    b = rng.standard_normal(Ap.n_rows)
+    assert np.allclose(sptrsv_dbsr_lower(Ld, b, diag=D),
+                       sptrsv_csr(L, D, b))
+
+
+def test_abmc_ilu_pipeline_on_irregular_matrix(irregular):
+    from repro.ilu.ilu0_dbsr import ilu0_apply_dbsr, ilu0_factorize_dbsr
+    from repro.solvers.stationary import preconditioned_richardson
+
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    dbsr = DBSRMatrix.from_csr(abmc.apply_matrix(irregular), 4)
+    f = ilu0_factorize_dbsr(dbsr)
+    b = irregular.matvec(np.ones(irregular.n_rows))
+    x, hist = preconditioned_richardson(
+        irregular, b,
+        lambda r: abmc.restrict(ilu0_apply_dbsr(f, abmc.extend(r))),
+        tol=1e-10, maxiter=300)
+    assert hist.converged
+    assert np.allclose(x, 1.0, atol=1e-6)
+
+
+def test_structured_matrix_through_abmc(problem_2d, rng):
+    """ABMC also works on grid matrices (it just ignores geometry)."""
+    abmc = build_abmc(problem_2d.matrix, block_size=8, bsize=2)
+    Ap = abmc.apply_matrix(problem_2d.matrix)
+    x = rng.standard_normal(problem_2d.n)
+    assert np.allclose(abmc.restrict(Ap.matvec(abmc.extend(x))),
+                       problem_2d.matrix.matvec(x))
+
+
+def test_schedule_covers_all_block_rows(irregular):
+    abmc = build_abmc(irregular, block_size=8, bsize=4)
+    sched = abmc.schedule
+    rows = []
+    for g in range(sched.n_groups):
+        rows.extend(sched.block_rows_of_group(g))
+    assert rows == list(range(abmc.n_padded // sched.bsize))

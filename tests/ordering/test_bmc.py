@@ -1,0 +1,95 @@
+"""Unit tests for classic BMC ordering."""
+
+import numpy as np
+import pytest
+
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box9_2d, box27_3d, star5_2d
+from repro.ordering.bmc import build_bmc, color_blocks
+from repro.ordering.blocks import partition_grid
+from repro.ordering.coloring import validate_coloring
+
+
+def test_block_colors_conflict_free_box():
+    g = StructuredGrid((8, 8))
+    part = partition_grid(g, (2, 2))
+    colors = color_blocks(part, box9_2d())
+    # Adjacent blocks (Chebyshev distance 1) differ.
+    coords = part.block_grid.coords_array()
+    for a in range(part.n_blocks):
+        for b in range(a + 1, part.n_blocks):
+            if np.abs(coords[a] - coords[b]).max() == 1:
+                assert colors[a] != colors[b]
+
+
+def test_block_colors_star_two_colors():
+    g = StructuredGrid((8, 8))
+    part = partition_grid(g, (2, 2))
+    colors = color_blocks(part, star5_2d())
+    assert colors.max() + 1 == 2
+
+
+def test_bmc_perm_is_bijection(problem_2d):
+    bmc = build_bmc(problem_2d.grid, problem_2d.stencil, (4, 4))
+    assert sorted(bmc.perm.old_to_new.tolist()) == \
+        list(range(problem_2d.n))
+
+
+def test_bmc_color_major_layout(problem_2d):
+    bmc = build_bmc(problem_2d.grid, problem_2d.stencil, (4, 4))
+    ppb = bmc.points_per_block
+    # New ids of blocks in processing order are consecutive ranges.
+    for rank, blk in enumerate(bmc.block_order):
+        ids = bmc.partition.block_point_ids(blk)
+        new = np.sort(bmc.perm.old_to_new[ids])
+        assert np.array_equal(new,
+                              np.arange(rank * ppb, (rank + 1) * ppb))
+
+
+def test_same_color_blocks_independent(problem_3d_27pt):
+    """The BMC guarantee: the permuted matrix has no couplings between
+    same-color blocks."""
+    p = problem_3d_27pt
+    bmc = build_bmc(p.grid, p.stencil, (4, 4, 4))
+    A = p.matrix
+    colors = bmc.block_colors
+    ppb = bmc.points_per_block
+    # Map each point to its block color via block ids.
+    point_color = np.empty(p.n, dtype=int)
+    for blk in range(bmc.partition.n_blocks):
+        point_color[bmc.partition.block_point_ids(blk)] = colors[blk]
+    point_block = np.empty(p.n, dtype=int)
+    for blk in range(bmc.partition.n_blocks):
+        point_block[bmc.partition.block_point_ids(blk)] = blk
+    rows = np.repeat(np.arange(p.n), np.diff(A.indptr))
+    cols = A.indices
+    cross = point_block[rows] != point_block[cols]
+    assert np.all(point_color[rows[cross]] != point_color[cols[cross]])
+
+
+def test_color_block_ptr_partition(problem_2d):
+    bmc = build_bmc(problem_2d.grid, problem_2d.stencil, (2, 2))
+    total = sum(len(bmc.blocks_of_color(c)) for c in range(bmc.n_colors))
+    assert total == bmc.partition.n_blocks
+
+
+def test_unit_blocks_equal_point_mc(problem_2d):
+    """BMC with 1-point blocks is point multi-coloring (the MC method)."""
+    bmc = build_bmc(problem_2d.grid, problem_2d.stencil, (1, 1))
+    assert bmc.points_per_block == 1
+    assert bmc.n_colors == 4  # box stencil in 2-D
+    A = problem_2d.matrix
+    point_color = np.empty(problem_2d.n, dtype=int)
+    for blk in range(bmc.partition.n_blocks):
+        point_color[bmc.partition.block_point_ids(blk)] = \
+            bmc.block_colors[blk]
+    assert validate_coloring(A.indptr, A.indices, point_color)
+
+
+def test_colors_compressed_for_degenerate_block_grid():
+    """A block grid flat in one axis must not leave empty colors."""
+    g = StructuredGrid((8, 8))
+    bmc = build_bmc(g, box9_2d(), (8, 2))  # block grid (1, 4)
+    counts = np.diff(bmc.color_block_ptr)
+    assert np.all(counts > 0)

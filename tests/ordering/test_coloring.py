@@ -1,0 +1,67 @@
+"""Unit tests for point multi-coloring and greedy coloring."""
+
+import numpy as np
+import pytest
+
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box9_2d, box27_3d, star5_2d, star7_3d
+from repro.ordering.coloring import (
+    color_counts,
+    greedy_coloring,
+    point_multicolor,
+    validate_coloring,
+)
+
+
+@pytest.mark.parametrize("dims,stencil,n_colors", [
+    ((6, 6), star5_2d(), 2),
+    ((6, 6), box9_2d(), 4),
+    ((4, 4, 4), star7_3d(), 2),
+    ((4, 4, 4), box27_3d(), 8),
+])
+def test_structured_coloring_valid_and_minimal(dims, stencil, n_colors):
+    g = StructuredGrid(dims)
+    colors = point_multicolor(g, stencil)
+    assert colors.max() + 1 == n_colors
+    A = assemble_csr(g, stencil)
+    assert validate_coloring(A.indptr, A.indices, colors)
+
+
+def test_coloring_balanced():
+    g = StructuredGrid((8, 8))
+    colors = point_multicolor(g, box9_2d())
+    counts = color_counts(colors)
+    assert np.all(counts == 16)
+
+
+def test_greedy_coloring_valid(problem_3d_27pt):
+    A = problem_3d_27pt.matrix
+    colors = greedy_coloring(A.indptr, A.indices)
+    assert validate_coloring(A.indptr, A.indices, colors)
+    # Greedy on a 27-pt grid needs at most 27 colors, usually 8.
+    assert colors.max() + 1 <= 27
+
+
+def test_greedy_matches_chromatic_bound_on_path():
+    # Path graph: 2-colorable.
+    indptr = np.array([0, 1, 3, 5, 6])
+    indices = np.array([1, 0, 2, 1, 3, 2])
+    colors = greedy_coloring(indptr, indices)
+    assert validate_coloring(indptr, indices, colors)
+    assert colors.max() + 1 == 2
+
+
+def test_validate_rejects_bad_coloring():
+    indptr = np.array([0, 1, 2])
+    indices = np.array([1, 0])
+    assert not validate_coloring(indptr, indices, np.array([0, 0]))
+    assert validate_coloring(indptr, indices, np.array([0, 1]))
+
+
+def test_reach2_rejected():
+    from repro.grids.stencils import Stencil
+
+    wide = Stencil("wide", ((0, 0), (2, 0), (-2, 0)), (2.0, -1.0, -1.0))
+    with pytest.raises(ValueError):
+        point_multicolor(StructuredGrid((6, 6)), wide)

@@ -1,0 +1,65 @@
+"""Unit tests for Permutation."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.permutation import Permutation
+
+
+def test_identity():
+    p = Permutation.identity(5)
+    v = np.arange(5.0)
+    assert np.array_equal(p.forward(v), v)
+    assert np.array_equal(p.backward(v), v)
+
+
+def test_forward_backward_inverse(rng):
+    p = Permutation(rng.permutation(10))
+    v = rng.standard_normal(10)
+    assert np.allclose(p.backward(p.forward(v)), v)
+    assert np.allclose(p.forward(p.backward(v)), v)
+
+
+def test_forward_places_values():
+    p = Permutation([2, 0, 1])
+    v = np.array([10.0, 20.0, 30.0])
+    out = p.forward(v)
+    # old index 0 moves to new index 2, etc.
+    assert np.array_equal(out, [20.0, 30.0, 10.0])
+
+
+def test_from_new_to_old_consistent(rng):
+    o2n = rng.permutation(8)
+    p = Permutation(o2n)
+    q = Permutation.from_new_to_old(p.new_to_old)
+    assert p == q
+
+
+def test_inverse(rng):
+    p = Permutation(rng.permutation(8))
+    v = rng.standard_normal(8)
+    assert np.allclose(p.inverse().forward(v), p.backward(v))
+
+
+def test_compose(rng):
+    a = Permutation(rng.permutation(6))
+    b = Permutation(rng.permutation(6))
+    v = rng.standard_normal(6)
+    assert np.allclose(a.compose(b).forward(v), b.forward(a.forward(v)))
+
+
+def test_non_bijection_rejected():
+    with pytest.raises(ValueError):
+        Permutation([0, 0, 1])
+    with pytest.raises(ValueError):
+        Permutation([0, 3, 1])
+
+
+def test_matrix_permutation_consistency(problem_2d, rng):
+    """P A P^T moved via CSRMatrix.permute matches vector reordering."""
+    A = problem_2d.matrix
+    p = Permutation(rng.permutation(A.n_rows))
+    Ap = A.permute(p.old_to_new)
+    x = rng.standard_normal(A.n_rows)
+    # (P A P^T)(P x) = P (A x)
+    assert np.allclose(Ap.matvec(p.forward(x)), p.forward(A.matvec(x)))

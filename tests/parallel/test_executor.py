@@ -1,0 +1,101 @@
+"""Tests for thread-parallel color-scheduled execution."""
+
+import numpy as np
+import pytest
+
+from repro.formats.dbsr import DBSRMatrix
+from repro.kernels.sptrsv_csr import split_triangular, sptrsv_csr, \
+    sptrsv_csr_upper
+from repro.parallel.executor import (
+    ColorParallelExecutor,
+    sptrsv_dbsr_lower_parallel,
+    sptrsv_dbsr_upper_parallel,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.grids.problems import poisson_problem
+    from repro.ordering.vbmc import build_vbmc
+
+    p = poisson_problem((8, 8, 8), "27pt")
+    vb = build_vbmc(p.grid, p.stencil, (2, 2, 2), 4)
+    csr = vb.apply_matrix(p.matrix)
+    L, D, U = split_triangular(csr)
+    return (vb, L, D, U, DBSRMatrix.from_csr(L, 4),
+            DBSRMatrix.from_csr(U, 4))
+
+
+def test_parallel_lower_bit_identical(setup, rng):
+    vb, L, D, U, Ld, Ud = setup
+    b = rng.standard_normal(L.n_rows)
+    ref = sptrsv_csr(L, D, b)
+    for workers in (1, 2, 4):
+        got = sptrsv_dbsr_lower_parallel(Ld, b, vb.schedule, diag=D,
+                                         n_workers=workers)
+        assert np.allclose(got, ref), workers
+
+
+def test_parallel_upper_bit_identical(setup, rng):
+    vb, L, D, U, Ld, Ud = setup
+    b = rng.standard_normal(U.n_rows)
+    ref = sptrsv_csr_upper(U, D, b)
+    got = sptrsv_dbsr_upper_parallel(Ud, b, vb.schedule, diag=D,
+                                     n_workers=4)
+    assert np.allclose(got, ref)
+
+
+def test_repeated_runs_deterministic(setup, rng):
+    vb, L, D, U, Ld, Ud = setup
+    b = rng.standard_normal(L.n_rows)
+    runs = [sptrsv_dbsr_lower_parallel(Ld, b, vb.schedule, diag=D,
+                                       n_workers=4)
+            for _ in range(3)]
+    assert np.array_equal(runs[0], runs[1])
+    assert np.array_equal(runs[1], runs[2])
+
+
+def test_executor_color_barrier_ordering(setup):
+    """Tasks of color c+1 never start before all of color c finish."""
+    vb = setup[0]
+    events = []
+    import threading
+
+    lock = threading.Lock()
+
+    def task(group):
+        sched = vb.schedule
+        color = int(np.searchsorted(sched.color_group_ptr, group,
+                                    side="right")) - 1
+        with lock:
+            events.append(color)
+
+    with ColorParallelExecutor(vb.schedule, n_workers=4) as ex:
+        ex.run_forward(task)
+    assert events == sorted(events)
+    with ColorParallelExecutor(vb.schedule, n_workers=4) as ex:
+        events.clear()
+        ex.run_backward(task)
+    assert events == sorted(events, reverse=True)
+
+
+def test_executor_propagates_exceptions(setup):
+    vb = setup[0]
+
+    def bad(group):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        with ColorParallelExecutor(vb.schedule, n_workers=2) as ex:
+            ex.run_forward(bad)
+
+
+def test_schedule_mismatch_rejected(setup, rng):
+    vb, L, D, U, Ld, Ud = setup
+    from repro.ordering.vbmc import ColorSchedule
+
+    bad = ColorSchedule(bsize=8, points_per_block=2,
+                        color_group_ptr=np.array([0, 1]))
+    with pytest.raises(ValueError):
+        sptrsv_dbsr_lower_parallel(Ld, rng.standard_normal(L.n_rows),
+                                   bad, diag=D)

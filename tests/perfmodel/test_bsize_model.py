@@ -1,0 +1,52 @@
+"""Tests for the bsize sweep (Fig. 10) and storage sweep (Fig. 11)."""
+
+import pytest
+
+from repro.grids.problems import poisson_problem
+from repro.perfmodel.bsize_model import bsize_sweep, storage_sweep
+from repro.simd.machine import INTEL_XEON
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return poisson_problem((8, 8, 8), "27pt")
+
+
+def test_bsize_sweep_returns_all_points(problem):
+    res = bsize_sweep(problem, INTEL_XEON, bsizes=(1, 2, 4),
+                      threads=8, scale=64.0)
+    assert set(res) == {1, 2, 4}
+    assert all(v > 0 for v in res.values())
+
+
+def test_simd_bsize_beats_bsize_one(problem):
+    """Fig. 10: vector blocks beat the scalar bsize=1 layout."""
+    res = bsize_sweep(problem, INTEL_XEON, bsizes=(1, 8), threads=8,
+                      scale=(256 / 8) ** 3)
+    assert res[8] < res[1]
+
+
+def test_storage_sweep_rows(problem):
+    rows = storage_sweep(problem, bsizes=(1, 2, 4, 8))
+    assert len(rows) == 4
+    for bs, csr_total, idx, nnzb, pad, total in rows:
+        assert total == idx + nnzb + pad
+        assert pad >= 0
+
+
+def test_storage_indices_shrink_with_bsize(problem):
+    rows = storage_sweep(problem, bsizes=(1, 2, 4, 8))
+    idx = [r[2] for r in rows]
+    assert idx == sorted(idx, reverse=True)
+
+
+def test_storage_padding_grows_with_bsize(problem):
+    rows = storage_sweep(problem, bsizes=(1, 8))
+    assert rows[1][4] >= rows[0][4]
+
+
+def test_dbsr_total_below_csr_at_moderate_bsize(problem):
+    """Fig. 11: total DBSR bytes drop below CSR once bsize >= ~4."""
+    rows = storage_sweep(problem, bsizes=(4, 8), bsize_offset_bytes=1)
+    for bs, csr_total, idx, nnzb, pad, total in rows:
+        assert total < csr_total

@@ -1,0 +1,97 @@
+"""Integration tests for the Fig. 9 / Fig. 12 ILU performance model.
+
+These run the *measured* part (real reorderings, real factorizations,
+real iteration counts) on a small grid and extrapolate counts to the
+paper's scale, asserting the figure's qualitative shape.
+"""
+
+import pytest
+
+from repro.grids.problems import poisson_problem
+from repro.perfmodel.ilu_model import (
+    ilu_factorization_costs,
+    ilu_smoothing_speedups,
+    ilu_strategy_report,
+)
+from repro.simd.machine import INTEL_XEON
+
+SCALE = (256 / 8) ** 3  # model counts at 8^3, evaluate at paper's 256^3
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return poisson_problem((8, 8, 8), "7pt")
+
+
+@pytest.fixture(scope="module")
+def speedups(problem):
+    return ilu_smoothing_speedups(
+        problem, INTEL_XEON, thread_counts=[1, 8, 32],
+        strategies=("bj", "mc", "bmc-fix", "dbsr-fix", "simd-fix"),
+        bsize=4, tol=1e-8, scale=SCALE)
+
+
+def test_serial_baseline_positive(speedups):
+    assert speedups["_serial_seconds"] > 0
+    assert speedups["_serial_iterations"] > 0
+
+
+def test_speedups_grow_with_threads(speedups):
+    for name in ("bj", "bmc-fix", "dbsr-fix"):
+        vals = speedups[name]
+        assert vals[-1] > vals[0], name
+
+
+def test_mc_worse_than_bmc_at_scale(speedups):
+    """§V-E: 'The MC method performs poorly because it requires
+    significantly more iterations.'"""
+    assert speedups["mc"][-1] < speedups["bmc-fix"][-1]
+
+
+def test_simd_dbsr_best_at_low_threads(speedups):
+    assert speedups["simd-fix"][0] >= speedups["dbsr-fix"][0]
+    assert speedups["simd-fix"][0] >= speedups["bmc-fix"][0]
+
+
+def test_dbsr_at_least_matches_bmc_at_scale(speedups):
+    """Fig. 9: DBSR outperforms BMC by 11-17% (f64)."""
+    assert speedups["dbsr-fix"][-1] >= 0.95 * speedups["bmc-fix"][-1]
+
+
+def test_single_precision_gains_more(problem):
+    """§V-F: single precision profits more because indices are a
+    larger share of the traffic."""
+    f64 = ilu_smoothing_speedups(
+        problem, INTEL_XEON, thread_counts=[32],
+        strategies=("bmc-fix", "simd-fix"), bsize=4,
+        dtype_bytes=8, scale=SCALE)
+    f32 = ilu_smoothing_speedups(
+        problem, INTEL_XEON, thread_counts=[32],
+        strategies=("bmc-fix", "simd-fix"), bsize=4,
+        dtype_bytes=4, scale=SCALE)
+    adv64 = f64["simd-fix"][0] / f64["bmc-fix"][0]
+    adv32 = f32["simd-fix"][0] / f32["bmc-fix"][0]
+    assert adv32 >= adv64 * 0.98
+
+
+def test_factorization_costs_shape(problem):
+    """Fig. 12: DBSR factorization costs about one smoothing sweep."""
+    costs = ilu_factorization_costs(
+        problem, INTEL_XEON, thread_counts=[8],
+        strategies=("mc", "bmc-fix", "simd-auto"), bsize=4,
+        scale=SCALE)
+    assert costs["simd-auto"][0] < costs["mc"][0]
+    assert costs["simd-auto"][0] < 8.0  # around one smoothing, not 10s
+
+
+def test_strategy_report_contents(problem):
+    rep = ilu_strategy_report(problem, "dbsr-fix", n_workers=4,
+                              bsize=4, tol=1e-8)
+    assert rep.converged
+    assert rep.iterations > 0
+    assert rep.smoothing_spec.counter.vfma > 0
+    assert rep.factor_spec.counter.vdiv > 0
+    # At paper scale the per-color parallelism feeds all 8 threads.
+    t1 = rep.solve_seconds(INTEL_XEON, 1, scale=SCALE)
+    t8 = rep.solve_seconds(INTEL_XEON, 8, scale=SCALE)
+    assert t8 < t1

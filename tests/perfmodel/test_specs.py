@@ -1,0 +1,63 @@
+"""Unit tests for KernelSpec."""
+
+import pytest
+
+from repro.perfmodel.specs import KernelSpec
+from repro.simd.counters import OpCounter
+from repro.simd.machine import INTEL_XEON
+
+
+def spec(**kw):
+    c = OpCounter(bsize=8, vload=10**6, vfma=10**6,
+                  bytes_vector=8 * 10**6)
+    return KernelSpec(counter=c, **kw)
+
+
+def test_seconds_scale_with_sweeps():
+    s = spec(parallelism=1000.0)
+    assert s.seconds(INTEL_XEON, 8, sweeps=10) == pytest.approx(
+        10 * s.seconds(INTEL_XEON, 8, sweeps=1))
+
+
+def test_parallelism_caps_speedup():
+    capped = spec(parallelism=2.0)
+    free = spec(parallelism=1e9)
+    assert capped.seconds(INTEL_XEON, 56) > free.seconds(INTEL_XEON, 56)
+
+
+def test_scaled_multiplies_counts_and_parallelism():
+    s = spec(parallelism=4.0, barriers=6)
+    big = s.scaled(10.0)
+    assert big.counter.vload == 10**7
+    assert big.parallelism == 40.0
+    assert big.barriers == 6  # barriers do not scale
+
+
+def test_scaled_respects_fixed_parallelism():
+    s = spec(parallelism=1.0, parallelism_scales=False)
+    big = s.scaled(100.0)
+    assert big.parallelism == 1.0
+
+
+def test_barriers_add_time():
+    with_sync = spec(parallelism=1e9, barriers=100)
+    without = spec(parallelism=1e9, barriers=0)
+    assert with_sync.seconds(INTEL_XEON, 56) > \
+        without.seconds(INTEL_XEON, 56)
+
+
+def test_vectorized_faster_than_scalar():
+    vec = spec(parallelism=1e9, vectorized=True)
+    sca = spec(parallelism=1e9, vectorized=False)
+    assert vec.seconds(INTEL_XEON, 1) < sca.seconds(INTEL_XEON, 1)
+
+
+def test_float32_faster_than_float64():
+    """On NEON (2 f64 lanes), halving the element size halves the
+    instruction count of a bsize-8 logical vector."""
+    from repro.simd.machine import KUNPENG_920
+
+    s = spec(parallelism=1e9)
+    f64 = s.seconds(KUNPENG_920, 1)
+    s32 = KernelSpec(counter=s.counter, parallelism=1e9, dtype_bytes=4)
+    assert s32.seconds(KUNPENG_920, 1) < f64

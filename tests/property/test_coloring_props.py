@@ -1,0 +1,58 @@
+"""Property-based tests: coloring validity on random grids/graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box9_2d, box27_3d, star5_2d, star7_3d
+from repro.ordering.coloring import (
+    greedy_coloring,
+    point_multicolor,
+    validate_coloring,
+)
+
+STENCILS_2D = [star5_2d(), box9_2d()]
+STENCILS_3D = [star7_3d(), box27_3d()]
+
+
+@given(st.integers(2, 9), st.integers(2, 9), st.integers(0, 1))
+@settings(max_examples=30, deadline=None)
+def test_structured_coloring_valid_2d(nx, ny, which):
+    g = StructuredGrid((nx, ny))
+    stencil = STENCILS_2D[which]
+    colors = point_multicolor(g, stencil)
+    A = assemble_csr(g, stencil)
+    assert validate_coloring(A.indptr, A.indices, colors)
+
+
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5),
+       st.integers(0, 1))
+@settings(max_examples=20, deadline=None)
+def test_structured_coloring_valid_3d(nx, ny, nz, which):
+    g = StructuredGrid((nx, ny, nz))
+    stencil = STENCILS_3D[which]
+    colors = point_multicolor(g, stencil)
+    A = assemble_csr(g, stencil)
+    assert validate_coloring(A.indptr, A.indices, colors)
+
+
+@given(st.integers(1, 40), st.floats(0.0, 0.5),
+       st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_greedy_coloring_valid_random_graph(n, density, seed):
+    rng = np.random.default_rng(seed)
+    adj = rng.random((n, n)) < density
+    adj = np.triu(adj, 1)
+    adj = adj | adj.T
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(adj.sum(axis=1), out=indptr[1:])
+    indices = np.concatenate(
+        [np.flatnonzero(adj[i]) for i in range(n)]
+    ) if adj.any() else np.zeros(0, dtype=np.int64)
+    colors = greedy_coloring(indptr, indices)
+    assert validate_coloring(indptr, indices, colors)
+    # Greedy bound: colors <= max degree + 1.
+    max_deg = int(adj.sum(axis=1).max()) if n else 0
+    assert colors.max() + 1 <= max_deg + 1

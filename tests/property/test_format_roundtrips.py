@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis): format round-trips and SpMV
+agreement on arbitrary sparse matrices."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.formats.bcsr import BCSRMatrix
+from repro.formats.coo import COOMatrix
+from repro.formats.csr import CSRMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.formats.dia import DIAMatrix
+from repro.formats.sell import SELLMatrix
+
+
+def sparse_dense(draw, n_rows, n_cols):
+    shape = (n_rows, n_cols)
+    dense = draw(hnp.arrays(
+        np.float64, shape,
+        elements=st.floats(-10, 10, allow_nan=False).map(
+            lambda v: 0.0 if abs(v) < 6 else v),
+    ))
+    return dense
+
+
+@st.composite
+def dense_matrices(draw, max_rows=12, max_cols=12, square_multiple=None):
+    if square_multiple:
+        k = draw(st.integers(1, max_rows // square_multiple))
+        n = k * square_multiple
+        return sparse_dense(draw, n, n)
+    n_rows = draw(st.integers(1, max_rows))
+    n_cols = draw(st.integers(1, max_cols))
+    return sparse_dense(draw, n_rows, n_cols)
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_coo_roundtrip(dense):
+    assert np.array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_csr_roundtrip(dense):
+    assert np.array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=40, deadline=None)
+def test_dia_roundtrip(dense):
+    coo = COOMatrix.from_dense(dense)
+    assert np.array_equal(DIAMatrix.from_coo(coo).to_dense(), dense)
+
+
+@given(dense_matrices(square_multiple=4))
+@settings(max_examples=40, deadline=None)
+def test_bcsr_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert np.array_equal(BCSRMatrix.from_csr(csr, 4).to_dense(), dense)
+
+
+@given(dense_matrices(square_multiple=4))
+@settings(max_examples=40, deadline=None)
+def test_dbsr_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    dbsr = DBSRMatrix.from_csr(csr, 4)
+    assert np.array_equal(dbsr.to_dense(), dense)
+    # Offset range invariant.
+    if dbsr.n_tiles:
+        assert dbsr.blk_offset.min() > -4
+        assert dbsr.blk_offset.max() < 4
+
+
+@given(dense_matrices(), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sell_matvec_matches_csr(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    x = np.random.default_rng(seed).standard_normal(dense.shape[1])
+    sell = SELLMatrix(csr, chunk=4, sigma=1)
+    assert np.allclose(sell.matvec(x), dense @ x)
+
+
+@given(dense_matrices(square_multiple=4), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_dbsr_matvec_matches_dense(dense, seed):
+    csr = CSRMatrix.from_dense(dense)
+    dbsr = DBSRMatrix.from_csr(csr, 4)
+    x = np.random.default_rng(seed).standard_normal(dense.shape[1])
+    assert np.allclose(dbsr.matvec(x), dense @ x)
+
+
+@given(dense_matrices(square_multiple=2))
+@settings(max_examples=30, deadline=None)
+def test_memory_reports_consistent(dense):
+    """nnz + padding == stored slots, for every format."""
+    csr = CSRMatrix.from_dense(dense)
+    mats = [csr, csr.to_coo(), DBSRMatrix.from_csr(csr, 2),
+            BCSRMatrix.from_csr(csr, 2), SELLMatrix(csr, chunk=2)]
+    for m in mats:
+        rep = m.memory_report()
+        assert rep.stored_values == rep.nnz + rep.padding_values
+        assert rep.total_bytes >= rep.value_bytes

@@ -1,0 +1,102 @@
+"""Property-based tests: grids, counters, schedules, decomposition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.decomp import decompose_ranks
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box9_2d, star5_2d
+from repro.simd.counters import OpCounter
+from repro.simd.isa import AVX512, NEON
+
+
+@given(st.lists(st.integers(1, 12), min_size=1, max_size=3))
+@settings(max_examples=50, deadline=None)
+def test_grid_index_coord_bijection(dims):
+    g = StructuredGrid(tuple(dims))
+    ids = np.arange(g.n_points)
+    coords = g.coords_array()
+    back = np.zeros(g.n_points, dtype=np.int64)
+    for axis in range(g.ndim):
+        back += coords[:, axis] * g.strides[axis]
+    assert np.array_equal(back, ids)
+
+
+@given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 1))
+@settings(max_examples=30, deadline=None)
+def test_assembly_symmetric_for_symmetric_stencils(nx, ny, which):
+    stencil = [star5_2d(), box9_2d()][which]
+    A = assemble_csr(StructuredGrid((nx, ny)), stencil)
+    dense = A.to_dense()
+    assert np.array_equal(dense, dense.T)
+
+
+@given(st.integers(2, 8), st.integers(2, 8))
+@settings(max_examples=30, deadline=None)
+def test_assembly_row_sums_nonnegative(nx, ny):
+    """Dirichlet truncation only *removes* negative off-diagonals, so
+    row sums are >= 0 (0 on interior rows, > 0 on boundary rows)."""
+    A = assemble_csr(StructuredGrid((nx, ny)), star5_2d())
+    sums = A.to_dense().sum(axis=1)
+    assert np.all(sums >= -1e-12)
+    assert sums.max() > 0
+
+
+@given(st.integers(1, 512))
+@settings(max_examples=60, deadline=None)
+def test_decompose_ranks_product(n):
+    grid = decompose_ranks(n)
+    assert int(np.prod(grid)) == n
+    assert all(p >= 1 for p in grid)
+
+
+@given(st.integers(1, 200), st.integers(1, 200), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_counter_scaled_linearity(a, b, bsize):
+    c = OpCounter(bsize=bsize, vload=a, vfma=b, bytes_vector=8 * a)
+    doubled = c.scaled(2.0)
+    assert doubled.vload == 2 * a
+    assert doubled.vfma == 2 * b
+    assert doubled.total_bytes == 2 * c.total_bytes
+
+
+@given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_counter_merge_commutative_totals(x, y, z):
+    a = OpCounter(bsize=1, sload=x, sflop=y, bytes_vector=z)
+    b = OpCounter(bsize=1, sload=z, sflop=x, bytes_vector=y)
+    ab = OpCounter(bsize=1)
+    ab.merge(a)
+    ab.merge(b)
+    ba = OpCounter(bsize=1)
+    ba.merge(b)
+    ba.merge(a)
+    assert ab == ba
+
+
+@given(st.integers(1, 64), st.sampled_from([4, 8]))
+@settings(max_examples=40, deadline=None)
+def test_cycles_monotone_in_bsize_expansion(bsize, dtype_bytes):
+    """Wider logical vectors never take fewer cycles on a fixed ISA."""
+    base = OpCounter(bsize=bsize, vload=100, vfma=100)
+    wider = OpCounter(bsize=bsize * 2, vload=100, vfma=100)
+    for isa in (AVX512, NEON):
+        assert wider.cycles_on(isa, dtype_bytes) >= \
+            base.cycles_on(isa, dtype_bytes) - 1e-12
+
+
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(1, 3),
+       st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_vbmc_schedule_stats_consistent(kx, ky, bx, by):
+    from repro.ordering.schedule_stats import schedule_stats
+    from repro.ordering.vbmc import build_vbmc
+
+    g = StructuredGrid((bx * kx, by * ky))
+    vb = build_vbmc(g, box9_2d(), (bx, by), 2)
+    stats = schedule_stats(vb.schedule)
+    assert stats.n_groups * vb.points_per_block * 2 == vb.n_padded
+    assert stats.min_parallelism >= 1
+    assert stats.speedup_bound(1) == 1.0

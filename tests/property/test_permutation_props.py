@@ -1,0 +1,64 @@
+"""Property-based tests: permutation group laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering.permutation import Permutation
+
+
+@st.composite
+def permutations(draw, max_n=30):
+    n = draw(st.integers(1, max_n))
+    seed = draw(st.integers(0, 2**32 - 1))
+    return Permutation(np.random.default_rng(seed).permutation(n))
+
+
+@given(permutations())
+@settings(max_examples=50, deadline=None)
+def test_forward_backward_identity(p):
+    v = np.arange(p.n, dtype=float)
+    assert np.array_equal(p.backward(p.forward(v)), v)
+
+
+@given(permutations())
+@settings(max_examples=50, deadline=None)
+def test_double_inverse(p):
+    assert p.inverse().inverse() == p
+
+
+@given(permutations())
+@settings(max_examples=50, deadline=None)
+def test_compose_with_inverse_is_identity(p):
+    ident = p.compose(p.inverse())
+    assert ident == Permutation.identity(p.n)
+
+
+@given(st.integers(0, 2**31), st.integers(0, 2**31), st.integers(2, 20))
+@settings(max_examples=30, deadline=None)
+def test_compose_associative(s1, s2, n):
+    rng1 = np.random.default_rng(s1)
+    rng2 = np.random.default_rng(s2)
+    a = Permutation(rng1.permutation(n))
+    b = Permutation(rng2.permutation(n))
+    c = Permutation(rng1.permutation(n))
+    left = a.compose(b).compose(c)
+    right = a.compose(b.compose(c))
+    assert left == right
+
+
+@given(permutations())
+@settings(max_examples=30, deadline=None)
+def test_matrix_conjugation_preserves_spectrum(p):
+    from repro.formats.csr import CSRMatrix
+
+    rng = np.random.default_rng(p.n)
+    dense = rng.standard_normal((p.n, p.n))
+    dense = dense + dense.T
+    dense[np.abs(dense) < 1.0] = 0.0
+    np.fill_diagonal(dense, np.arange(1.0, p.n + 1))
+    A = CSRMatrix.from_dense(dense)
+    Ap = A.permute(p.old_to_new)
+    ev1 = np.sort(np.linalg.eigvalsh(A.to_dense()))
+    ev2 = np.sort(np.linalg.eigvalsh(Ap.to_dense()))
+    assert np.allclose(ev1, ev2)

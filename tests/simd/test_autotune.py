@@ -1,0 +1,64 @@
+"""Tests for automatic bsize selection."""
+
+import pytest
+
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import box27_3d, star5_2d
+from repro.simd.autotune import autotune_bsize, candidate_bsizes
+from repro.simd.machine import INTEL_XEON, KUNPENG_920
+
+
+def test_candidates_respect_lanes():
+    # AVX512: 8 f64 lanes -> 8,16,32,64.
+    assert candidate_bsizes(INTEL_XEON, 8) == [8, 16, 32, 64]
+    # NEON: 2 f64 lanes -> 2,...,64.
+    assert candidate_bsizes(KUNPENG_920, 8)[0] == 2
+    # f32 doubles the lane count.
+    assert candidate_bsizes(INTEL_XEON, 4)[0] == 16
+
+
+def test_large_grid_gets_large_bsize():
+    g = StructuredGrid((32, 32, 32))
+    b = autotune_bsize(g, box27_3d(), INTEL_XEON, n_workers=1)
+    assert b >= 8
+
+
+def test_coarse_level_shrinks_bsize():
+    """The paper's multigrid rule: coarse levels cannot feed wide
+    vectors, so bsize scales down with the level size."""
+    fine = StructuredGrid((32, 32, 32))
+    coarse = StructuredGrid((4, 4, 4))
+    b_fine = autotune_bsize(fine, box27_3d(), INTEL_XEON, n_workers=2)
+    b_coarse = autotune_bsize(coarse, box27_3d(), INTEL_XEON,
+                              n_workers=2)
+    assert b_coarse <= b_fine
+
+
+def test_more_workers_shrink_bsize():
+    g = StructuredGrid((16, 16, 16))
+    b_few = autotune_bsize(g, box27_3d(), KUNPENG_920, n_workers=1)
+    b_many = autotune_bsize(g, box27_3d(), KUNPENG_920, n_workers=64)
+    assert b_many <= b_few
+
+
+def test_fallback_to_one_on_tiny_grids():
+    g = StructuredGrid((2, 2))
+    b = autotune_bsize(g, star5_2d(), INTEL_XEON, n_workers=8)
+    assert b == 1
+
+
+def test_result_is_valid_vbmc_config():
+    """The tuned bsize must actually build a working ordering."""
+    from repro.formats.dbsr import DBSRMatrix
+    from repro.grids.assembly import assemble_csr
+    from repro.ordering.blocks import auto_block_dims
+    from repro.ordering.vbmc import build_vbmc
+
+    g = StructuredGrid((16, 16, 16))
+    st = box27_3d()
+    b = autotune_bsize(g, st, KUNPENG_920, n_workers=4)
+    dims = auto_block_dims(g, 4, bsize=b)
+    vb = build_vbmc(g, st, dims, b)
+    A = assemble_csr(g, st)
+    dbsr = DBSRMatrix.from_csr(vb.apply_matrix(A), b)
+    assert dbsr.n_tiles > 0

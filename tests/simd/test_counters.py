@@ -1,0 +1,78 @@
+"""Unit tests for OpCounter."""
+
+import pytest
+
+from repro.simd.counters import OpCounter
+from repro.simd.isa import AVX512, NEON, SCALAR_ISA
+
+
+def test_merge_accumulates():
+    a = OpCounter(bsize=4, vload=2, vfma=1, bytes_values=32)
+    b = OpCounter(bsize=4, vload=3, vstore=1, bytes_values=8)
+    a.merge(b)
+    assert a.vload == 5
+    assert a.vstore == 1
+    assert a.bytes_values == 40
+
+
+def test_merge_mismatched_bsize_rejected():
+    with pytest.raises(ValueError):
+        OpCounter(bsize=4, vload=1).merge(OpCounter(bsize=8, vload=1))
+
+
+def test_merge_scalar_counter_allowed():
+    a = OpCounter(bsize=4, vload=1)
+    a.merge(OpCounter(bsize=1, sload=5))
+    assert a.sload == 5
+
+
+def test_scaled():
+    c = OpCounter(bsize=2, vload=10, bytes_vector=100)
+    d = c.scaled(2.5)
+    assert d.vload == 25
+    assert d.bytes_vector == 250
+    assert c.vload == 10  # original untouched
+
+
+def test_total_bytes_includes_gathered():
+    c = OpCounter(bytes_values=10, bytes_index=5, bytes_vector=3,
+                  bytes_gathered=7)
+    assert c.total_bytes == 25
+
+
+def test_flops_fma_counts_double():
+    c = OpCounter(bsize=4, vfma=3, vadd=2, sflop=5)
+    assert c.flops() == (2 * 3 + 2) * 4 + 5
+
+
+def test_cycles_wide_bsize_expands():
+    c = OpCounter(bsize=8, vload=10, vfma=10)
+    cyc_avx = c.cycles_on(AVX512, dtype_bytes=8)
+    cyc_neon = c.cycles_on(NEON, dtype_bytes=8)
+    # NEON (2 lanes) needs 4x the instructions of AVX512 (8 lanes).
+    assert cyc_neon > cyc_avx
+
+
+def test_cycles_float32_cheaper():
+    c = OpCounter(bsize=8, vload=10, vfma=10)
+    assert c.cycles_on(NEON, dtype_bytes=4) < c.cycles_on(
+        NEON, dtype_bytes=8)
+
+
+def test_gather_dominates_when_present():
+    lo = OpCounter(bsize=8, vload=10)
+    hi = OpCounter(bsize=8, vgather=10)
+    assert hi.cycles_on(AVX512) > lo.cycles_on(AVX512)
+
+
+def test_gather_software_expansion_costlier_than_hw():
+    c = OpCounter(bsize=8, vgather=10)
+    hw = c.cycles_on(AVX512, use_gather_hw=True)
+    sw = c.cycles_on(AVX512, use_gather_hw=False)
+    assert sw > hw
+
+
+def test_scalar_ops_cycles():
+    c = OpCounter(bsize=1, sload=100, sflop=50, sdiv=2)
+    cyc = c.cycles_on(SCALAR_ISA)
+    assert cyc == (150 * 1.0 + 2 * 8.0) / SCALAR_ISA.issue_width

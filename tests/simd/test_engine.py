@@ -1,0 +1,85 @@
+"""Unit tests for the instrumented VectorEngine."""
+
+import numpy as np
+
+from repro.simd.engine import VectorEngine
+
+
+def test_load_counts_and_returns_slice():
+    eng = VectorEngine(4)
+    arr = np.arange(10.0)
+    v = eng.load(arr, 2)
+    assert np.array_equal(v, [2.0, 3.0, 4.0, 5.0])
+    assert eng.counter.vload == 1
+    assert eng.counter.bytes_vector == 4 * 8
+
+
+def test_load_values_separate_stream():
+    eng = VectorEngine(4)
+    arr = np.arange(8.0)
+    eng.load_values(arr, 0)
+    assert eng.counter.bytes_values == 32
+    assert eng.counter.bytes_vector == 0
+
+
+def test_gather_counts_gathered_bytes():
+    eng = VectorEngine(4)
+    arr = np.arange(10.0)
+    v = eng.gather(arr, np.array([0, 5, 9, 2]))
+    assert np.array_equal(v, [0.0, 5.0, 9.0, 2.0])
+    assert eng.counter.vgather == 1
+    assert eng.counter.bytes_gathered == 32
+
+
+def test_store_writes():
+    eng = VectorEngine(4)
+    arr = np.zeros(8)
+    eng.store(arr, 2, np.ones(4))
+    assert np.array_equal(arr, [0, 0, 1, 1, 1, 1, 0, 0])
+    assert eng.counter.vstore == 1
+
+
+def test_scatter_writes():
+    eng = VectorEngine(4)
+    arr = np.zeros(6)
+    eng.scatter(arr, np.array([1, 4]), np.array([7.0, 8.0]))
+    assert arr[1] == 7.0 and arr[4] == 8.0
+    assert eng.counter.vscatter == 1
+
+
+def test_arithmetic_counts():
+    eng = VectorEngine(2)
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 4.0])
+    acc = np.zeros(2)
+    out = eng.fma(acc, a, b)
+    assert np.array_equal(out, [3.0, 8.0])
+    out = eng.fnma(out, a, b)
+    assert np.allclose(out, 0.0)
+    eng.mul(a, b)
+    eng.add(a, b)
+    eng.div(a, b)
+    c = eng.counter
+    assert (c.vfma, c.vmul, c.vadd, c.vdiv) == (2, 1, 1, 1)
+
+
+def test_scalar_streams():
+    eng = VectorEngine(1)
+    eng.scalar_load(3, 8, stream="values")
+    eng.scalar_load(2, 4, stream="index")
+    eng.scalar_load(5, 8, stream="gathered")
+    eng.scalar_load(1, 8, stream="vector")
+    eng.scalar_store(2, 8)
+    c = eng.counter
+    assert c.bytes_values == 24
+    assert c.bytes_index == 8
+    assert c.bytes_gathered == 40
+    assert c.bytes_vector == 8 + 16
+    assert c.sload == 11 and c.sstore == 2
+
+
+def test_load_index():
+    eng = VectorEngine(4)
+    arr = np.array([5, 6, 7], dtype=np.int32)
+    assert eng.load_index(arr, 1) == 6
+    assert eng.counter.bytes_index == 4

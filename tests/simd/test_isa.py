@@ -1,0 +1,36 @@
+"""Unit tests for VectorISA."""
+
+import numpy as np
+import pytest
+
+from repro.simd.isa import AVX512, NEON, SCALAR_ISA, VectorISA
+
+
+def test_lanes_avx512():
+    assert AVX512.lanes(np.float64) == 8
+    assert AVX512.lanes(np.float32) == 16
+
+
+def test_lanes_neon():
+    assert NEON.lanes(np.float64) == 2
+    assert NEON.lanes(np.float32) == 4
+
+
+def test_lanes_requires_divisibility():
+    odd = VectorISA(name="odd", bits=100)
+    with pytest.raises(ValueError):
+        odd.lanes(np.float64)
+
+
+def test_vector_ops_for_wide_logical_vectors():
+    # bsize 8 on NEON (2 lanes f64) needs 4 instructions (§III-B:
+    # bsize is not limited by the hardware SIMD width).
+    assert NEON.vector_ops_for(8, np.float64) == 4
+    assert AVX512.vector_ops_for(8, np.float64) == 1
+    assert AVX512.vector_ops_for(12, np.float64) == 2
+
+
+def test_gather_more_expensive_than_load():
+    for isa in (AVX512, NEON):
+        lanes = isa.lanes(np.float64)
+        assert isa.gather_cost_per_lane * lanes > isa.load_cost

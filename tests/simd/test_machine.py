@@ -1,0 +1,105 @@
+"""Unit tests for the Table I machine models."""
+
+import pytest
+
+from repro.simd.counters import OpCounter
+from repro.simd.machine import (
+    INTEL_XEON,
+    KUNPENG_920,
+    PHYTIUM_2000,
+    TABLE1_MACHINES,
+    THUNDER_X2,
+)
+
+
+def test_table1_topology():
+    """The exact Table I numbers."""
+    assert INTEL_XEON.sockets == 2 and INTEL_XEON.cores_per_socket == 28
+    assert KUNPENG_920.cores == 64 and KUNPENG_920.numa_domains == 2
+    assert THUNDER_X2.cores == 32 and THUNDER_X2.numa_domains == 1
+    assert PHYTIUM_2000.sockets == 8 and PHYTIUM_2000.cores == 64
+    assert INTEL_XEON.freq_ghz == 2.6
+    assert THUNDER_X2.freq_ghz == 2.5
+    assert PHYTIUM_2000.freq_ghz == 2.2
+
+
+def test_table1_simd():
+    assert INTEL_XEON.simd_bits == 512
+    for m in (KUNPENG_920, THUNDER_X2, PHYTIUM_2000):
+        assert m.simd_bits == 128
+    assert PHYTIUM_2000.l3_mb == 0  # no L3 on Phytium
+
+
+def test_lanes():
+    assert INTEL_XEON.lanes(8) == 8
+    assert INTEL_XEON.lanes(4) == 16
+    assert KUNPENG_920.lanes(8) == 2
+
+
+def test_bandwidth_monotone_saturating():
+    prev = 0.0
+    for t in (1, 2, 4, 8, 16, 32, 56):
+        bw = INTEL_XEON.effective_bandwidth(t)
+        assert bw >= prev
+        prev = bw
+    assert prev <= INTEL_XEON.bw_gbs * 1e9 * 1.001
+
+
+def test_compute_scales_with_threads():
+    c = OpCounter(bsize=8, vload=10_000, vfma=10_000)
+    t1 = INTEL_XEON.compute_seconds(c, threads=1)
+    t8 = INTEL_XEON.compute_seconds(c, threads=8)
+    assert abs(t1 / t8 - 8) < 1e-9
+
+
+def test_parallelism_caps_threads():
+    c = OpCounter(bsize=8, vload=10_000)
+    capped = INTEL_XEON.compute_seconds(c, threads=56, parallelism=4)
+    assert capped == pytest.approx(
+        INTEL_XEON.compute_seconds(c, threads=4))
+
+
+def test_kernel_seconds_roofline():
+    # Compute-heavy counter: compute time dominates.
+    heavy = OpCounter(bsize=8, vfma=10**7)
+    t = INTEL_XEON.kernel_seconds(heavy, threads=1)
+    assert t >= INTEL_XEON.compute_seconds(heavy, threads=1)
+    # Traffic-heavy counter: memory time dominates.
+    stream = OpCounter(bsize=8, bytes_vector=10**9)
+    t2 = INTEL_XEON.kernel_seconds(stream, threads=56)
+    assert t2 == pytest.approx(
+        INTEL_XEON.memory_seconds(10**9, threads=56))
+
+
+def test_gather_overfetch_inflates_traffic():
+    base = OpCounter(bytes_vector=10**9)
+    gath = OpCounter(bytes_gathered=10**9)
+    assert INTEL_XEON.kernel_seconds(gath, threads=56) > \
+        INTEL_XEON.kernel_seconds(base, threads=56)
+
+
+def test_cache_residency_discount():
+    c = OpCounter(bytes_vector=10**9)
+    slow = INTEL_XEON.kernel_seconds(c, threads=56)
+    fast = INTEL_XEON.kernel_seconds(c, threads=56,
+                                     cache_resident_fraction=0.9)
+    assert fast < slow / 5
+
+
+def test_sync_cost_grows_with_threads_and_barriers():
+    s1 = INTEL_XEON.sync_seconds(10, threads=2)
+    s2 = INTEL_XEON.sync_seconds(10, threads=56)
+    assert s2 > s1
+    assert INTEL_XEON.sync_seconds(20, 8) == pytest.approx(
+        2 * INTEL_XEON.sync_seconds(10, 8))
+
+
+def test_vectorization_speeds_up_vector_counters():
+    c = OpCounter(bsize=8, vload=10**6, vfma=10**6)
+    vec = INTEL_XEON.compute_seconds(c, threads=1, vectorized=True)
+    sca = INTEL_XEON.compute_seconds(c, threads=1, vectorized=False)
+    assert sca > vec
+
+
+def test_machines_tuple():
+    assert len(TABLE1_MACHINES) == 4

@@ -1,0 +1,49 @@
+"""Unit tests for CG."""
+
+import numpy as np
+
+from repro.solvers.cg import cg
+
+
+def test_cg_solves_spd(problem_2d_5pt):
+    p = problem_2d_5pt
+    x, hist = cg(p.matrix, p.rhs, tol=1e-10, maxiter=500)
+    assert hist.converged
+    assert np.allclose(x, p.exact, atol=1e-7)
+
+
+def test_cg_exact_in_n_iterations():
+    """CG terminates in at most n steps in exact arithmetic."""
+    from repro.formats.csr import CSRMatrix
+
+    A = CSRMatrix.from_dense(np.diag([1.0, 2.0, 3.0, 4.0]))
+    b = np.ones(4)
+    x, hist = cg(A, b, tol=1e-14, maxiter=10)
+    assert hist.iterations <= 4
+    assert np.allclose(x, 1.0 / np.diag(A.to_dense()))
+
+
+def test_cg_residual_history_decreasing_overall(problem_2d_5pt):
+    p = problem_2d_5pt
+    _, hist = cg(p.matrix, p.rhs, tol=1e-10)
+    assert hist.residuals[-1] < hist.residuals[0] * 1e-9
+
+
+def test_cg_initial_guess(problem_2d_5pt):
+    p = problem_2d_5pt
+    x, hist = cg(p.matrix, p.rhs, x0=p.exact, tol=1e-10)
+    assert hist.iterations == 0
+    assert hist.converged
+
+
+def test_cg_maxiter_not_converged(problem_2d_5pt):
+    p = problem_2d_5pt
+    _, hist = cg(p.matrix, p.rhs, tol=1e-14, maxiter=2)
+    assert not hist.converged
+    assert hist.iterations <= 2
+
+
+def test_cg_zero_rhs(problem_2d_5pt):
+    x, hist = cg(problem_2d_5pt.matrix,
+                 np.zeros(problem_2d_5pt.n), tol=1e-10)
+    assert np.allclose(x, 0.0)

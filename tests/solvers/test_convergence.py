@@ -1,0 +1,62 @@
+"""Unit tests for convergence tracking."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.convergence import ConvergenceHistory, \
+    rel_residual_norm
+
+
+def test_iterations_excludes_initial():
+    h = ConvergenceHistory()
+    assert h.iterations == 0
+    h.record(1.0)
+    assert h.iterations == 0
+    h.record(0.1)
+    assert h.iterations == 1
+
+
+def test_endpoints():
+    h = ConvergenceHistory()
+    h.record(2.0)
+    h.record(0.5)
+    assert h.initial_residual == 2.0
+    assert h.final_residual == 0.5
+
+
+def test_empty_history_nan():
+    h = ConvergenceHistory()
+    assert np.isnan(h.initial_residual)
+    assert np.isnan(h.final_residual)
+
+
+def test_reduction_rate_geometric():
+    h = ConvergenceHistory()
+    for k in range(5):
+        h.record(10.0 ** (-k))
+    assert h.reduction_per_iteration() == pytest.approx(0.1)
+
+
+def test_reduction_rate_degenerate():
+    h = ConvergenceHistory()
+    h.record(1.0)
+    assert h.reduction_per_iteration() == 1.0
+    z = ConvergenceHistory()
+    z.record(0.0)
+    z.record(0.0)
+    assert z.reduction_per_iteration() == 1.0
+
+
+def test_rel_residual_norm(problem_2d_5pt):
+    p = problem_2d_5pt
+    assert rel_residual_norm(p.matrix, p.exact, p.rhs) < 1e-14
+    x0 = np.zeros(p.n)
+    assert rel_residual_norm(p.matrix, x0, p.rhs) == pytest.approx(1.0)
+
+
+def test_rel_residual_zero_rhs(problem_2d_5pt):
+    p = problem_2d_5pt
+    x = np.ones(p.n)
+    val = rel_residual_norm(p.matrix, x, np.zeros(p.n))
+    assert val == pytest.approx(
+        float(np.linalg.norm(p.matrix.matvec(x))))

@@ -1,0 +1,51 @@
+"""Unit tests for preconditioned CG."""
+
+import numpy as np
+
+from repro.solvers.cg import cg
+from repro.solvers.pcg import pcg
+
+
+def test_identity_preconditioner_equals_cg(problem_2d_5pt):
+    p = problem_2d_5pt
+    x1, h1 = cg(p.matrix, p.rhs, tol=1e-10)
+    x2, h2 = pcg(p.matrix, p.rhs, lambda r: r.copy(), tol=1e-10)
+    assert h1.iterations == h2.iterations
+    assert np.allclose(x1, x2)
+
+
+def test_jacobi_preconditioner_reduces_iterations():
+    """On a badly scaled SPD system, Jacobi PCG must beat plain CG."""
+    from repro.formats.csr import CSRMatrix
+
+    n = 40
+    rng = np.random.default_rng(0)
+    scales = 10.0 ** rng.uniform(-3, 3, n)
+    dense = np.diag(scales)
+    dense[0, 1] = dense[1, 0] = 0.1 * np.sqrt(scales[0] * scales[1])
+    A = CSRMatrix.from_dense(dense)
+    b = rng.standard_normal(n)
+    diag = A.diagonal()
+    _, h_plain = cg(A, b, tol=1e-10, maxiter=2000)
+    _, h_jac = pcg(A, b, lambda r: r / diag, tol=1e-10, maxiter=2000)
+    assert h_jac.iterations < h_plain.iterations
+
+
+def test_ilu_preconditioned_pcg(problem_3d_27pt):
+    from repro.ilu.ilu0_csr import ilu0_apply_csr, ilu0_factorize_csr
+
+    p = problem_3d_27pt
+    f = ilu0_factorize_csr(p.matrix)
+    x, hist = pcg(p.matrix, p.rhs, lambda r: ilu0_apply_csr(f, r),
+                  tol=1e-10, maxiter=100)
+    assert hist.converged
+    assert np.allclose(x, p.exact, atol=1e-6)
+    _, h_plain = cg(p.matrix, p.rhs, tol=1e-10, maxiter=200)
+    assert hist.iterations < h_plain.iterations
+
+
+def test_history_records_true_residuals(problem_2d_5pt):
+    p = problem_2d_5pt
+    x, hist = pcg(p.matrix, p.rhs, lambda r: r.copy(), tol=1e-10)
+    final = np.linalg.norm(p.rhs - p.matrix.matvec(x))
+    assert np.isclose(final, hist.final_residual, rtol=1e-6, atol=1e-12)

@@ -1,0 +1,136 @@
+"""Tests for the analysis package (spectra and rooflines)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.iteration_matrix import (
+    gs_iteration_matrix,
+    ilu_iteration_matrix,
+    ordering_convergence_report,
+    spectral_radius,
+)
+from repro.analysis.roofline import arithmetic_intensity, roofline_point
+from repro.simd.counters import OpCounter
+from repro.simd.machine import INTEL_XEON
+
+
+def test_spectral_radius_diagonal():
+    E = np.diag([0.5, -0.9, 0.1])
+    assert spectral_radius(E) == pytest.approx(0.9, abs=1e-3)
+
+
+def test_spectral_radius_zero_matrix():
+    assert spectral_radius(np.zeros((4, 4))) == 0.0
+
+
+def test_gs_contracts_on_spd(problem_2d_5pt):
+    rho = spectral_radius(gs_iteration_matrix(problem_2d_5pt.matrix))
+    assert 0.0 < rho < 1.0
+
+
+def test_symgs_contracts_at_least_as_fast_as_forward(problem_2d_5pt):
+    A = problem_2d_5pt.matrix
+    rho_f = spectral_radius(gs_iteration_matrix(A, symmetric=False))
+    rho_s = spectral_radius(gs_iteration_matrix(A, symmetric=True))
+    assert rho_s <= rho_f + 1e-6
+
+
+def test_rate_predicts_iteration_count(problem_2d_5pt):
+    """Measured residual reduction tracks the spectral radius."""
+    from repro.kernels.symgs import symgs_csr
+
+    A = problem_2d_5pt.matrix
+    rho = spectral_radius(gs_iteration_matrix(A))
+    x = np.zeros(problem_2d_5pt.n)
+    b = problem_2d_5pt.rhs
+    norms = []
+    for _ in range(25):
+        symgs_csr(A, A.diagonal(), x, b)
+        norms.append(np.linalg.norm(b - A.matvec(x)))
+    measured = (norms[-1] / norms[4]) ** (1 / 20)
+    assert measured == pytest.approx(rho, rel=0.2)
+
+
+def test_ordering_hierarchy_matches_paper(problem_3d_27pt):
+    """rho: lexicographic <= BMC < MC — the §II-B trade, measured."""
+    from repro.ordering.bmc import build_bmc
+
+    p = problem_3d_27pt
+    mc = build_bmc(p.grid, p.stencil, (1, 1, 1))
+    bmc = build_bmc(p.grid, p.stencil, (2, 2, 2))
+    report = ordering_convergence_report(p, {
+        "lex": None,
+        "bmc": bmc.perm.old_to_new,
+        "mc": mc.perm.old_to_new,
+    })
+    assert report["lex"] <= report["bmc"] + 1e-6
+    assert report["bmc"] < report["mc"]
+
+
+def test_vbmc_rho_equals_bmc(problem_3d_27pt):
+    """Same convergence rate as BMC — exactly (§III-A)."""
+    from repro.ordering.bmc import build_bmc
+    from repro.ordering.vbmc import build_vbmc
+
+    p = problem_3d_27pt
+    bmc = build_bmc(p.grid, p.stencil, (2, 2, 2))
+    vb = build_vbmc(p.grid, p.stencil, (2, 2, 2), 4)
+    rho_bmc = spectral_radius(gs_iteration_matrix(
+        p.matrix.permute(bmc.perm.old_to_new)))
+    rho_vb = spectral_radius(gs_iteration_matrix(
+        vb.apply_matrix(p.matrix)))
+    assert rho_vb == pytest.approx(rho_bmc, rel=1e-6)
+
+
+def test_ilu_iteration_matrix_contracts(problem_2d):
+    from repro.ilu.ilu0_csr import ilu0_factorize_csr
+
+    A = problem_2d.matrix
+    f = ilu0_factorize_csr(A)
+    rho = spectral_radius(ilu_iteration_matrix(A, f))
+    assert 0.0 < rho < 1.0
+    # ILU beats plain SYMGS on this operator.
+    assert rho < spectral_radius(gs_iteration_matrix(A))
+
+
+# --- Roofline ---------------------------------------------------------------
+
+def test_intensity_with_overfetch():
+    c = OpCounter(bsize=1, sflop=100, bytes_vector=50,
+                  bytes_gathered=50)
+    plain = arithmetic_intensity(c)
+    machine = arithmetic_intensity(c, INTEL_XEON)
+    assert plain == pytest.approx(100 / 100)
+    assert machine < plain  # over-fetch inflates the denominator
+
+
+def test_sparse_kernels_are_memory_bound(reordered_3d):
+    """The paper's premise: SpTRSV-class kernels sit under the
+    bandwidth roof at full thread count."""
+    from repro.kernels.counts import sptrsv_csr_counts, \
+        sptrsv_dbsr_counts
+
+    csr, dbsr = reordered_3d
+    for counter, vec in ((sptrsv_csr_counts(csr), False),
+                         (sptrsv_dbsr_counts(dbsr, True), True)):
+        pt = roofline_point(counter, INTEL_XEON, vectorized=vec)
+        assert pt.memory_bound
+
+
+def test_dbsr_higher_intensity_than_csr(reordered_3d):
+    """Fewer bytes per flop -> a higher roofline ceiling: the DBSR
+    mechanism in roofline terms."""
+    from repro.kernels.counts import sptrsv_csr_counts, \
+        sptrsv_dbsr_counts
+
+    csr, dbsr = reordered_3d
+    ai_csr = arithmetic_intensity(sptrsv_csr_counts(csr), INTEL_XEON)
+    ai_dbsr = arithmetic_intensity(sptrsv_dbsr_counts(dbsr, True),
+                                   INTEL_XEON)
+    assert ai_dbsr > ai_csr
+
+
+def test_dense_fma_kernel_compute_bound():
+    c = OpCounter(bsize=8, vfma=10**6, bytes_vector=1000)
+    pt = roofline_point(c, INTEL_XEON, threads=1)
+    assert not pt.memory_bound

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_hpcg_command(capsys):
+    assert main(["hpcg", "--nx", "8", "--levels", "2",
+                 "--variant", "dbsr", "--bsize", "4",
+                 "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "HPCG[dbsr]" in out
+    assert "converged=True" in out
+
+
+def test_hpcg_with_model(capsys):
+    assert main(["hpcg", "--nx", "8", "--levels", "2", "--bsize", "4",
+                 "--model"]) == 0
+    out = capsys.readouterr().out
+    assert "Phytium" in out
+    assert "GFLOPS" in out
+
+
+def test_ilu_single_strategy(capsys):
+    assert main(["ilu", "--nx", "8", "--strategy", "simd-auto",
+                 "--threads", "4", "--bsize", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "simd-auto" in out
+    assert "gather-free=yes" in out
+
+
+def test_storage_command(capsys):
+    assert main(["storage", "--nx", "8", "--bsizes", "1,2,4"]) == 0
+    out = capsys.readouterr().out
+    assert "DBSR total" in out
+
+
+def test_weak_scaling_command(capsys):
+    assert main(["weak-scaling", "--nx", "8", "--levels", "2",
+                 "--bsize", "4", "--nodes", "1,4,16"]) == 0
+    out = capsys.readouterr().out
+    assert "efficiency" in out
+
+
+def test_solve_command(tmp_path, capsys, rng):
+    from repro.formats.coo import COOMatrix
+    from repro.formats.io import write_matrix_market
+
+    n = 20
+    dense = rng.standard_normal((n, n))
+    dense[np.abs(dense) < 1.0] = 0.0
+    dense = (dense + dense.T) / 2
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1)
+    path = tmp_path / "sys.mtx"
+    write_matrix_market(COOMatrix.from_dense(dense), str(path))
+
+    assert main(["solve", str(path), "--block-size", "5",
+                 "--bsize", "2", "--tol", "1e-10"]) == 0
+    out = capsys.readouterr().out
+    assert "converged=True" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp-drive"])
+
+
+def test_spy_command(tmp_path, capsys, rng):
+    from repro.formats.coo import COOMatrix
+    from repro.formats.io import write_matrix_market
+
+    dense = np.eye(6)
+    dense[0, 5] = 1.0
+    path = tmp_path / "p.mtx"
+    write_matrix_market(COOMatrix.from_dense(dense), str(path))
+    assert main(["spy", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "6x6, nnz=7" in out
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "--nx", "6", "--stencil", "7pt",
+                 "--bsize", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "rho(SYMGS)" in out
+    assert "Phytium" in out
+    assert "intensity" in out
+
+
+def test_solve_command_prints_sparkline(tmp_path, capsys, rng):
+    from repro.formats.coo import COOMatrix
+    from repro.formats.io import write_matrix_market
+
+    n = 16
+    dense = rng.standard_normal((n, n))
+    dense[np.abs(dense) < 1.0] = 0.0
+    dense = (dense + dense.T) / 2
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1)
+    path = tmp_path / "s.mtx"
+    write_matrix_market(COOMatrix.from_dense(dense), str(path))
+    assert main(["solve", str(path), "--block-size", "4",
+                 "--bsize", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "residual |" in out

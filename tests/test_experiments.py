@@ -1,0 +1,78 @@
+"""Tests for the experiments package (fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig9, fig10, fig12, table1
+from repro.experiments.base import ExperimentResult, machine_by_name
+
+
+def test_registry_complete():
+    assert set(ALL_EXPERIMENTS) == {
+        "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12",
+    }
+
+
+def test_machine_by_name():
+    assert machine_by_name("intel").name.startswith("Intel")
+    assert machine_by_name("KP920").cores == 64
+    with pytest.raises(ValueError):
+        machine_by_name("riscv")
+
+
+def test_table1_render():
+    r = table1.generate()
+    text = r.render()
+    assert "Phytium 2000+" in text
+    assert "AVX512-512" in text
+    assert len(r.rows) == 4
+
+
+def test_result_render_with_notes():
+    r = ExperimentResult(name="x", title="T", headers=["a"],
+                         rows=[[1]], notes=["note line"])
+    assert r.render().endswith("note line")
+
+
+def test_fig9_small_config():
+    r = fig9.generate(nx=8, machine_name="intel", stencil="7pt",
+                      precision="f64", thread_counts=(1, 8),
+                      strategies=("bj", "bmc-fix", "simd-fix"))
+    assert set(r.series) >= {"bj", "bmc-fix", "simd-fix"}
+    assert len(r.series["bj"]) == 2
+    assert all(v > 0 for v in r.series["bj"])
+    assert "fig9" in r.name
+
+
+def test_fig10_small_config():
+    r = fig10.generate(nx=8, bsizes=(1, 4), threads=8)
+    assert set(r.series["seconds"]) == {1, 4}
+
+
+def test_fig12_small_config():
+    r = fig12.generate(nx=8, thread_counts=(4,),
+                       strategies=("mc", "simd-auto"))
+    assert r.series["simd-auto"][0] > 0
+
+
+def test_hpcg_experiments_share_models():
+    """fig5/6/7/8 accept prebuilt models so one build serves all."""
+    from repro.experiments import fig5, fig7
+
+    models = fig5.build_models(nx=8, n_levels=2, bsize=4, n_workers=4,
+                               variants=("cpo", "dbsr", "mkl", "arm",
+                                         "reference", "sell"))
+    panels = fig5.generate(models, nx_model=8)
+    assert any("ratios" in p.name for p in panels)
+    ws = fig7.generate(models, nx_model=8, node_counts=(1, 4))
+    assert len(ws.rows) == 2
+
+
+def test_cli_figures_command(capsys):
+    from repro.cli import main
+
+    assert main(["figures", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert main(["figures", "nope"]) == 2

@@ -1,0 +1,96 @@
+"""Tests for fused PCG, schedule stats, and parallel ILU apply."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.schedule_stats import schedule_stats
+from repro.solvers.pcg import pcg
+from repro.solvers.pcg_fused import pcg_fused
+
+
+def test_fused_pcg_identical_iterates(problem_3d_7pt):
+    p = problem_3d_7pt
+    ident = lambda r: r.copy()  # noqa: E731
+    x1, h1 = pcg(p.matrix, p.rhs, ident, tol=1e-10, maxiter=200)
+    x2, h2 = pcg_fused(p.matrix, p.rhs, ident, tol=1e-10, maxiter=200)
+    assert h1.iterations == h2.iterations
+    assert np.allclose(x1, x2)
+    assert np.allclose(h1.residuals, h2.residuals)
+
+
+def test_fused_pcg_with_mg(problem_2d):
+    from repro.multigrid.hierarchy import build_hierarchy
+    from repro.multigrid.smoothers import CSRSymgsSmoother
+    from repro.multigrid.vcycle import MGPreconditioner
+
+    p = problem_2d
+    top = build_hierarchy(p.grid, p.stencil,
+                          lambda g, s, m: CSRSymgsSmoother(m),
+                          n_levels=2, matrix=p.matrix)
+    x, hist = pcg_fused(p.matrix, p.rhs, MGPreconditioner(top),
+                        tol=1e-10, maxiter=100)
+    assert hist.converged
+    assert np.allclose(x, p.exact, atol=1e-7)
+
+
+# --- Schedule stats ---------------------------------------------------------
+
+def test_schedule_stats_basics(vbmc_3d):
+    stats = schedule_stats(vbmc_3d.schedule)
+    assert stats.n_colors == vbmc_3d.n_colors
+    assert stats.n_groups == vbmc_3d.schedule.n_groups
+    assert stats.groups_per_color.sum() == stats.n_groups
+    assert 0 < stats.balance <= 1.0
+    assert stats.barriers_per_sweep == stats.n_colors
+
+
+def test_speedup_bound_monotone(vbmc_3d):
+    stats = schedule_stats(vbmc_3d.schedule)
+    bounds = [stats.speedup_bound(w) for w in (1, 2, 4, 8, 1000)]
+    assert bounds[0] == pytest.approx(1.0)
+    assert all(b >= a - 1e-12 for a, b in zip(bounds, bounds[1:]))
+    # Unlimited workers: bound = mean groups per color.
+    assert bounds[-1] == pytest.approx(
+        stats.n_groups / stats.n_colors)
+
+
+def test_speedup_bound_caps_at_parallelism(vbmc_3d):
+    stats = schedule_stats(vbmc_3d.schedule)
+    assert stats.speedup_bound(10**6) <= stats.n_groups
+
+
+# --- Parallel ILU apply ------------------------------------------------------
+
+def test_parallel_ilu_apply_bit_identical(problem_3d_27pt, rng):
+    from repro.formats.dbsr import DBSRMatrix
+    from repro.ilu.ilu0_dbsr import ilu0_apply_dbsr, ilu0_factorize_dbsr
+    from repro.ilu.parallel_apply import ilu0_apply_dbsr_parallel
+    from repro.ordering.vbmc import build_vbmc
+
+    p = problem_3d_27pt
+    vb = build_vbmc(p.grid, p.stencil, (2, 2, 2), 4)
+    dbsr = DBSRMatrix.from_csr(vb.apply_matrix(p.matrix), 4)
+    f = ilu0_factorize_dbsr(dbsr)
+    r = rng.standard_normal(dbsr.n_rows)
+    serial = ilu0_apply_dbsr(f, r)
+    for workers in (1, 2, 4):
+        par = ilu0_apply_dbsr_parallel(f, r, vb.schedule,
+                                       n_workers=workers)
+        assert np.array_equal(par, serial), workers
+
+
+def test_parallel_ilu_apply_schedule_mismatch(problem_3d_27pt, rng):
+    from repro.formats.dbsr import DBSRMatrix
+    from repro.ilu.ilu0_dbsr import ilu0_factorize_dbsr
+    from repro.ilu.parallel_apply import ilu0_apply_dbsr_parallel
+    from repro.ordering.vbmc import ColorSchedule, build_vbmc
+
+    p = problem_3d_27pt
+    vb = build_vbmc(p.grid, p.stencil, (2, 2, 2), 4)
+    dbsr = DBSRMatrix.from_csr(vb.apply_matrix(p.matrix), 4)
+    f = ilu0_factorize_dbsr(dbsr)
+    bad = ColorSchedule(bsize=8, points_per_block=2,
+                        color_group_ptr=np.array([0, 1]))
+    with pytest.raises(ValueError):
+        ilu0_apply_dbsr_parallel(f, rng.standard_normal(dbsr.n_rows),
+                                 bad)

@@ -1,0 +1,49 @@
+"""Tests for the ASCII sparkline renderer."""
+
+import pytest
+
+from repro.solvers.convergence import ConvergenceHistory
+from repro.utils.sparkline import convergence_panel, sparkline
+
+
+def test_monotone_curve_monotone_glyphs():
+    vals = [10.0 ** (-k) for k in range(8)]
+    line = sparkline(vals, log=True)
+    # Glyph ranks must be non-increasing for a decreasing curve.
+    from repro.utils.sparkline import _BLOCKS
+
+    ranks = [_BLOCKS.index(c) for c in line]
+    assert ranks == sorted(ranks, reverse=True)
+    assert ranks[0] == len(_BLOCKS) - 1
+    assert ranks[-1] == 0
+
+
+def test_subsampling_caps_width():
+    line = sparkline(range(1, 1000), width=40, log=False)
+    assert len(line) == 40
+
+
+def test_constant_series():
+    line = sparkline([5.0, 5.0, 5.0], log=False)
+    assert len(set(line)) == 1
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        sparkline([])
+
+
+def test_zero_values_handled_in_log_mode():
+    line = sparkline([1.0, 0.0, 1e-8], log=True)
+    assert len(line) == 3
+
+
+def test_convergence_panel():
+    h = ConvergenceHistory(tol=1e-8)
+    for k in range(10):
+        h.record(10.0 ** (-k))
+    h.converged = True
+    panel = convergence_panel(h)
+    assert "iters=9" in panel
+    assert "converged=True" in panel
+    assert "|" in panel

@@ -1,0 +1,80 @@
+"""Unit tests for shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer, timeit_median
+from repro.utils.validation import (
+    check_1d,
+    check_positive,
+    check_power_of_two,
+    check_square,
+    require,
+)
+
+
+def test_require():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_positive():
+    assert check_positive(3, "x") == 3
+    with pytest.raises(ValueError):
+        check_positive(0, "x")
+    with pytest.raises(ValueError):
+        check_positive(-2, "x")
+
+
+def test_check_power_of_two():
+    assert check_power_of_two(8, "x") == 8
+    assert check_power_of_two(1, "x") == 1
+    with pytest.raises(ValueError):
+        check_power_of_two(6, "x")
+
+
+def test_check_1d():
+    arr = check_1d([1, 2, 3], "a")
+    assert arr.ndim == 1
+    with pytest.raises(ValueError):
+        check_1d(np.zeros((2, 2)), "a")
+
+
+def test_check_square():
+    assert check_square((4, 4)) == 4
+    with pytest.raises(ValueError):
+        check_square((4, 5))
+
+
+def test_make_rng_deterministic():
+    a = make_rng(7).standard_normal(5)
+    b = make_rng(7).standard_normal(5)
+    assert np.array_equal(a, b)
+    c = make_rng().standard_normal(5)
+    d = make_rng().standard_normal(5)
+    assert np.array_equal(c, d)  # default seed is fixed
+
+
+def test_timer():
+    with Timer() as t:
+        sum(range(1000))
+    assert t.elapsed >= 0.0
+
+
+def test_timeit_median_returns_seconds():
+    sec = timeit_median(lambda: sum(range(100)), repeats=3)
+    assert sec >= 0.0
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["a", 1.23456], ["bb", 42]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    # All data lines share the header width.
+    assert len(lines[3]) == len(lines[1])
