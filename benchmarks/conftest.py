@@ -16,6 +16,13 @@ from repro.grids.problems import poisson_problem
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ as ``bench`` so explicit runs
+    can still deselect it (tier-1 testpaths never collect it)."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def emit(name: str, text: str) -> None:
     """Print a figure table and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

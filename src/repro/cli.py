@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli ilu --nx 8 --strategy simd-auto --threads 16
     python -m repro.cli storage --nx 16 --bsizes 1,2,4,8,16
     python -m repro.cli weak-scaling --variant dbsr --nodes 1,4,16,64,256
+    python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
 
 or via the ``dbsr-repro`` console script.
@@ -143,6 +144,32 @@ def _cmd_solve(args) -> int:
     return 0 if hist.converged else 1
 
 
+def _cmd_bench_runtime(args) -> int:
+    from repro.runtime.metrics import (
+        collect_bench_runtime,
+        write_bench_json,
+    )
+
+    report = collect_bench_runtime(
+        nx=args.nx, stencil=args.stencil, bsize=args.bsize,
+        n_workers=args.workers, dtype=args.dtype,
+        repeats=args.repeats)
+    path = write_bench_json(report, args.out)
+    ker = report["kernels"]
+    for name in sorted(ker):
+        entry = ker[name]
+        c = entry["counts"]
+        line = (f"{name:20s} {entry['seconds'] * 1e3:8.3f} ms  "
+                f"{c['bytes']['total'] / 1024:8.1f} KiB  "
+                f"{c['flops']:>10d} flops")
+        if "speedup_vs_sequential" in entry:
+            line += f"  x{entry['speedup_vs_sequential']:.2f} parallel"
+        print(line)
+    print(f"pools created: {report['session']['pools_created']}")
+    print(f"[written to {path}]")
+    return 0
+
+
 def _cmd_spy(args) -> int:
     from repro.formats.csr import CSRMatrix
     from repro.formats.io import read_matrix_market
@@ -274,6 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-8)
     p.add_argument("--max-iters", type=int, default=500)
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("bench-runtime",
+                       help="run the pooled-runtime kernel benchmark "
+                            "and emit BENCH_runtime.json")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--bsize", type=int, default=4)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--out", default="BENCH_runtime.json")
+    p.set_defaults(func=_cmd_bench_runtime)
 
     p = sub.add_parser("spy", help="render a .mtx pattern as ASCII")
     p.add_argument("matrix", help="path to a .mtx file")

@@ -6,6 +6,12 @@ color concurrently (colors ascending), the backward upper solve runs
 colors descending — bit-identical to the sequential
 :func:`repro.ilu.ilu0_dbsr.ilu0_apply_dbsr` (tested), demonstrating
 that the paper's smoothing phase parallelizes exactly as claimed.
+
+Pass a :class:`~repro.runtime.session.SolverSession` to reuse its
+long-lived thread pool (one pool for a whole PCG solve instead of one
+per preconditioner application) and to tally the sweeps' op counts:
+each group task counts into a private counter, merged deterministically
+in group order after each color barrier.
 """
 
 from __future__ import annotations
@@ -15,12 +21,15 @@ import numpy as np
 from repro.ilu.ilu0_dbsr import DBSRILUFactors
 from repro.ordering.vbmc import ColorSchedule
 from repro.parallel.executor import ColorParallelExecutor
+from repro.simd.counters import OpCounter
 from repro.utils.validation import require
 
 
 def ilu0_apply_dbsr_parallel(factors: DBSRILUFactors, r: np.ndarray,
                              schedule: ColorSchedule,
-                             n_workers: int = 2) -> np.ndarray:
+                             n_workers: int = 2, session=None,
+                             counter: OpCounter | None = None
+                             ) -> np.ndarray:
     """Solve ``L U z = r`` with group-parallel sweeps."""
     m = factors.matrix
     bs = m.bsize
@@ -32,30 +41,78 @@ def ilu0_apply_dbsr_parallel(factors: DBSRILUFactors, r: np.ndarray,
     values = m.values
     anchors = m.anchors + bs
     r2 = np.asarray(r).reshape(-1, bs)
+    item = values.itemsize
+    idx_item = m.blk_ind.itemsize + m.blk_offset.itemsize
+
+    sink = counter if counter is not None else (
+        session.counter if session is not None else None)
+    group_counters: dict[int, OpCounter] = {}
+
+    def _group_counter(group: int) -> OpCounter | None:
+        if sink is None:
+            return None
+        gc = OpCounter(bsize=bs)
+        group_counters[group] = gc
+        return gc
+
+    def on_color(color, groups):
+        for g in groups:
+            gc = group_counters.pop(g, None)
+            if gc is not None:
+                sink.merge(gc)
 
     yp = np.zeros(n + 2 * bs, dtype=np.result_type(values, r))
 
     def forward_task(group: int) -> None:
+        gc = _group_counter(group)
         for i in schedule.block_rows_of_group(group):
             acc = r2[i].astype(yp.dtype, copy=True)
-            for p in range(int(blk_ptr[i]), int(dia_ptr[i])):
+            lo, dp = int(blk_ptr[i]), int(dia_ptr[i])
+            for p in range(lo, dp):
                 a = anchors[p]
                 acc -= values[p] * yp[a:a + bs]
             yp[bs + i * bs:bs + (i + 1) * bs] = acc
+            if gc is not None:
+                k = dp - lo
+                gc.vload += 2 * k + 1  # r plus per-tile vals+y
+                gc.vfma += k
+                gc.vstore += 1
+                gc.sload += 2 * k
+                gc.bytes_values += k * bs * item
+                gc.bytes_index += k * idx_item + blk_ptr.itemsize
+                gc.bytes_vector += (k + 2) * bs * item
 
     zp = np.zeros_like(yp)
 
     def backward_task(group: int) -> None:
+        gc = _group_counter(group)
         rows = schedule.block_rows_of_group(group)
         for i in reversed(rows):
             acc = yp[bs + i * bs:bs + (i + 1) * bs].copy()
-            for p in range(int(dia_ptr[i]) + 1, int(blk_ptr[i + 1])):
+            dp, hi = int(dia_ptr[i]), int(blk_ptr[i + 1])
+            for p in range(dp + 1, hi):
                 a = anchors[p]
                 acc -= values[p] * zp[a:a + bs]
-            acc /= values[int(dia_ptr[i])]
+            acc /= values[dp]
             zp[bs + i * bs:bs + (i + 1) * bs] = acc
+            if gc is not None:
+                k = hi - dp - 1
+                gc.vload += 2 * k + 2  # y, per-tile vals+z, diag tile
+                gc.vfma += k
+                gc.vdiv += 1
+                gc.vstore += 1
+                gc.sload += 2 * (k + 1)
+                gc.bytes_values += (k + 1) * bs * item
+                gc.bytes_index += (k + 1) * idx_item + blk_ptr.itemsize
+                gc.bytes_vector += (k + 2) * bs * item
 
-    with ColorParallelExecutor(schedule, n_workers) as ex:
-        ex.run_forward(forward_task)
-        ex.run_backward(backward_task)
+    on_color_cb = on_color if sink is not None else None
+    if session is not None:
+        ex = session.executor(schedule)
+        ex.run_forward(forward_task, on_color=on_color_cb)
+        ex.run_backward(backward_task, on_color=on_color_cb)
+    else:
+        with ColorParallelExecutor(schedule, n_workers) as ex:
+            ex.run_forward(forward_task, on_color=on_color_cb)
+            ex.run_backward(backward_task, on_color=on_color_cb)
     return zp[bs:bs + n].copy()

@@ -86,11 +86,15 @@ class DBSRSymgsSmoother:
         Block extents; AUTO-sized from ``n_workers`` when omitted.
     n_workers:
         Worker count for AUTO block sizing.
+    session:
+        Optional :class:`~repro.runtime.session.SolverSession`; every
+        application is then timed under its ``"symgs"`` phase and its
+        op counts are tallied into the session ledger.
     """
 
     def __init__(self, grid: StructuredGrid, stencil: Stencil,
                  matrix: CSRMatrix, bsize: int = 8,
-                 block_dims=None, n_workers: int = 1):
+                 block_dims=None, n_workers: int = 1, session=None):
         if block_dims is None:
             block_dims = auto_block_dims(grid, n_workers, bsize=bsize)
         self.vbmc = build_vbmc(grid, stencil, block_dims, bsize)
@@ -101,8 +105,17 @@ class DBSRSymgsSmoother:
         self.n_colors = self.vbmc.n_colors
         groups = np.diff(self.vbmc.schedule.color_group_ptr)
         self.parallelism = float(groups.min()) if len(groups) else 1.0
+        self.session = session
 
     def __call__(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.session is None:
+            return self._smooth(x, b)
+        with self.session.phase("symgs"):
+            out = self._smooth(x, b)
+            self.session.tally(self.op_counts())
+        return out
+
+    def _smooth(self, x: np.ndarray, b: np.ndarray) -> np.ndarray:
         xp = self.vbmc.extend(x)
         bp = self.vbmc.extend(b)
         symgs_dbsr(self.dbsr, self.diag, xp, bp)
@@ -151,11 +164,12 @@ class SELLSymgsSmoother:
 
 def make_smoother(kind: str, grid: StructuredGrid, stencil: Stencil,
                   matrix: CSRMatrix, bsize: int = 8,
-                  n_workers: int = 1):
+                  n_workers: int = 1, session=None):
     """Build a smoother by variant name.
 
     ``kind`` is one of ``"csr"`` (reference), ``"bmc"`` (CPO),
-    ``"sell"``, ``"dbsr"``.
+    ``"sell"``, ``"dbsr"``. ``session`` is forwarded to the DBSR
+    smoother for phase timing / op accounting.
     """
     kind = kind.lower()
     if kind == "csr":
@@ -169,5 +183,5 @@ def make_smoother(kind: str, grid: StructuredGrid, stencil: Stencil,
                                  n_workers=n_workers)
     if kind == "dbsr":
         return DBSRSymgsSmoother(grid, stencil, matrix, bsize=bsize,
-                                 n_workers=n_workers)
+                                 n_workers=n_workers, session=session)
     raise ValueError(f"unknown smoother kind {kind!r}")

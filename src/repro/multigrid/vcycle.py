@@ -35,11 +35,17 @@ class MGPreconditioner:
     """V-cycle preconditioner: ``z = MG(r)`` with zero initial guess.
 
     Usable directly as the ``precond`` argument of
-    :func:`repro.solvers.pcg.pcg`.
+    :func:`repro.solvers.pcg.pcg`. When a
+    :class:`~repro.runtime.session.SolverSession` is given, every
+    application is timed under its ``"vcycle"`` phase.
     """
 
-    def __init__(self, top: MGLevel):
+    def __init__(self, top: MGLevel, session=None):
         self.top = top
+        self.session = session
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        return mg_vcycle(self.top, r)
+        if self.session is None:
+            return mg_vcycle(self.top, r)
+        with self.session.phase("vcycle"):
+            return mg_vcycle(self.top, r)

@@ -12,12 +12,14 @@ parallel schedule itself.
 
 from repro.parallel.executor import (
     ColorParallelExecutor,
+    pool_stats,
     sptrsv_dbsr_lower_parallel,
     sptrsv_dbsr_upper_parallel,
 )
 
 __all__ = [
     "ColorParallelExecutor",
+    "pool_stats",
     "sptrsv_dbsr_lower_parallel",
     "sptrsv_dbsr_upper_parallel",
 ]

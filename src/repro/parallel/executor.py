@@ -4,59 +4,105 @@ The executor maps one task per vector group, synchronizing between
 colors. Group tasks only read ``x`` entries produced by earlier colors
 (the vectorized-BMC independence guarantee), so concurrent execution
 within a color is race-free.
+
+Pools can be shared: pass an existing ``ThreadPoolExecutor`` (e.g. the
+one owned by a :class:`~repro.runtime.session.SolverSession`) via the
+``pool`` argument and the executor will reuse it without ever shutting
+it down, so a long-lived runtime pays thread start-up once instead of
+per sweep. Pool constructions are tallied in :data:`pool_stats` so
+tests can assert how many pools a solve really created.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 import numpy as np
 
 from repro.formats.dbsr import DBSRMatrix
 from repro.ordering.vbmc import ColorSchedule
+from repro.simd.counters import OpCounter
 from repro.utils.validation import check_positive, require
 
 
+class _PoolStats:
+    """Instrumentation: how many thread pools were ever constructed."""
+
+    def __init__(self):
+        self.created = 0
+
+
+pool_stats = _PoolStats()
+
+
+def _new_pool(n_workers: int) -> ThreadPoolExecutor:
+    pool_stats.created += 1
+    return ThreadPoolExecutor(max_workers=n_workers)
+
+
 class ColorParallelExecutor:
-    """Runs per-group tasks color by color on a shared thread pool.
+    """Runs per-group tasks color by color on a thread pool.
 
     Parameters
     ----------
     schedule:
         The :class:`~repro.ordering.vbmc.ColorSchedule` to follow.
     n_workers:
-        Thread count.
+        Thread count (ignored when ``pool`` is given).
+    pool:
+        Optional externally-owned ``ThreadPoolExecutor`` to reuse; the
+        executor then neither creates nor shuts down any pool.
     """
 
-    def __init__(self, schedule: ColorSchedule, n_workers: int = 2):
+    def __init__(self, schedule: ColorSchedule, n_workers: int = 2,
+                 pool: ThreadPoolExecutor | None = None):
         self.schedule = schedule
         self.n_workers = check_positive(n_workers, "n_workers")
-        self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else _new_pool(self.n_workers)
 
-    def run_forward(self, task) -> None:
-        """Run ``task(group)`` for every group, colors in order."""
-        for color in range(self.schedule.n_colors):
-            futures = [
-                self._pool.submit(task, g)
-                for g in self.schedule.groups_of_color(color)
-            ]
-            wait(futures)
-            for f in futures:
-                f.result()  # surface exceptions
+    def _run_color(self, task, groups) -> None:
+        """Submit one color's groups; fail fast on the first exception.
 
-    def run_backward(self, task) -> None:
-        """Run ``task(group)`` for every group, colors reversed."""
-        for color in range(self.schedule.n_colors - 1, -1, -1):
-            futures = [
-                self._pool.submit(task, g)
-                for g in self.schedule.groups_of_color(color)
-            ]
-            wait(futures)
-            for f in futures:
+        On a task failure every not-yet-started future is cancelled and
+        the first (submission-order) exception is re-raised promptly,
+        instead of letting the remaining queued work drain first.
+        """
+        futures = [self._pool.submit(task, g) for g in groups]
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        if not_done:  # a task failed while work was still queued/running
+            for f in not_done:
+                f.cancel()
+            wait(not_done)  # let already-running tasks finish
+        for f in futures:  # surface the first failure in group order
+            if not f.cancelled():
                 f.result()
 
+    def run_forward(self, task, on_color=None) -> None:
+        """Run ``task(group)`` for every group, colors in order.
+
+        ``on_color(color, groups)``, if given, runs on the calling
+        thread after each color's barrier — the deterministic merge
+        point for per-group/worker op counters.
+        """
+        for color in range(self.schedule.n_colors):
+            groups = self.schedule.groups_of_color(color)
+            self._run_color(task, groups)
+            if on_color is not None:
+                on_color(color, groups)
+
+    def run_backward(self, task, on_color=None) -> None:
+        """Run ``task(group)`` for every group, colors reversed."""
+        for color in range(self.schedule.n_colors - 1, -1, -1):
+            groups = self.schedule.groups_of_color(color)
+            self._run_color(task, groups)
+            if on_color is not None:
+                on_color(color, groups)
+
     def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+        """Shut down the pool — only if this executor created it."""
+        if self._owns_pool:
+            self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ColorParallelExecutor":
         return self
@@ -66,7 +112,8 @@ class ColorParallelExecutor:
 
 
 def _group_sweep(matrix: DBSRMatrix, xp: np.ndarray, b2: np.ndarray,
-                 d2, rows: range, forward: bool) -> None:
+                 d2, rows: range, forward: bool,
+                 counter: OpCounter | None = None) -> None:
     """Solve the block-rows of one group (sequential positions)."""
     bs = matrix.bsize
     anchors = matrix.anchors + bs
@@ -80,48 +127,111 @@ def _group_sweep(matrix: DBSRMatrix, xp: np.ndarray, b2: np.ndarray,
         if d2 is not None:
             acc /= d2[i]
         xp[bs + i * bs:bs + (i + 1) * bs] = acc
+    if counter is not None:
+        _tally_group(matrix, rows, divide=d2 is not None, counter=counter)
+
+
+def _tally_group(matrix: DBSRMatrix, rows: range, divide: bool,
+                 counter: OpCounter) -> None:
+    """Closed-form Algorithm 2 tallies for one group's block-rows.
+
+    Matches :func:`repro.kernels.counts.sptrsv_dbsr_counts` exactly
+    when summed over all groups (plus the kernel-level ``blk_ptr``
+    sentinel load charged once per sweep by the caller).
+    """
+    nr = len(rows)
+    k = int(matrix.blk_ptr[rows.stop] - matrix.blk_ptr[rows.start])
+    bs = matrix.bsize
+    item = matrix.values.itemsize
+    counter.vload += 2 * k + nr + (nr if divide else 0)
+    counter.vfma += k
+    counter.vstore += nr
+    counter.vdiv += nr if divide else 0
+    counter.sload += 2 * k
+    counter.bytes_values += k * bs * item
+    counter.bytes_index += (
+        k * (matrix.blk_ind.itemsize + matrix.blk_offset.itemsize)
+        + nr * matrix.blk_ptr.itemsize)
+    counter.bytes_vector += (k + 2 * nr
+                             + (nr if divide else 0)) * bs * item
+
+
+def _sptrsv_parallel(matrix: DBSRMatrix, b: np.ndarray,
+                     schedule: ColorSchedule,
+                     diag: np.ndarray | None, n_workers: int,
+                     forward: bool, session=None,
+                     counter: OpCounter | None = None) -> np.ndarray:
+    """Shared driver of the forward/backward parallel sweeps."""
+    n = matrix.n_rows
+    bs = matrix.bsize
+    require(b.shape == (n,), "b has wrong length")
+    require(schedule.bsize == bs, "schedule bsize mismatch")
+    xp = np.zeros(n + 2 * bs, dtype=np.result_type(matrix.values, b))
+    b2 = np.asarray(b).reshape(-1, bs)
+    d2 = None if diag is None else np.asarray(diag).reshape(-1, bs)
+
+    sink = counter if counter is not None else (
+        session.counter if session is not None else None)
+    group_counters: dict[int, OpCounter] = {}
+
+    def task(group: int) -> None:
+        gc = None
+        if sink is not None:
+            gc = OpCounter(bsize=bs)
+            group_counters[group] = gc
+        _group_sweep(matrix, xp, b2, d2,
+                     schedule.block_rows_of_group(group),
+                     forward=forward, counter=gc)
+
+    on_color = None
+    if sink is not None:
+        # One sweep-level sentinel blk_ptr load (the +1 of brow+1).
+        sink.bytes_index += matrix.blk_ptr.itemsize
+
+        def on_color(color, groups):
+            # Deterministic merge point: group order, on the caller's
+            # thread, after the color barrier.
+            for g in groups:
+                gc = group_counters.pop(g, None)
+                if gc is not None:
+                    sink.merge(gc)
+
+    if session is not None:
+        ex = session.executor(schedule)
+        run = ex.run_forward if forward else ex.run_backward
+        run(task, on_color=on_color)
+    else:
+        with ColorParallelExecutor(schedule, n_workers) as ex:
+            run = ex.run_forward if forward else ex.run_backward
+            run(task, on_color=on_color)
+    return xp[bs:bs + n].copy()
 
 
 def sptrsv_dbsr_lower_parallel(lower: DBSRMatrix, b: np.ndarray,
                                schedule: ColorSchedule,
                                diag: np.ndarray | None = None,
-                               n_workers: int = 2) -> np.ndarray:
+                               n_workers: int = 2, session=None,
+                               counter: OpCounter | None = None
+                               ) -> np.ndarray:
     """Thread-parallel Algorithm 2 (forward); bit-identical to the
-    sequential :func:`~repro.kernels.sptrsv_dbsr.sptrsv_dbsr_lower`."""
-    n = lower.n_rows
-    bs = lower.bsize
-    require(b.shape == (n,), "b has wrong length")
-    require(schedule.bsize == bs, "schedule bsize mismatch")
-    xp = np.zeros(n + 2 * bs, dtype=np.result_type(lower.values, b))
-    b2 = np.asarray(b).reshape(-1, bs)
-    d2 = None if diag is None else np.asarray(diag).reshape(-1, bs)
+    sequential :func:`~repro.kernels.sptrsv_dbsr.sptrsv_dbsr_lower`.
 
-    def task(group: int) -> None:
-        _group_sweep(lower, xp, b2, d2,
-                     schedule.block_rows_of_group(group), forward=True)
-
-    with ColorParallelExecutor(schedule, n_workers) as ex:
-        ex.run_forward(task)
-    return xp[bs:bs + n].copy()
+    Pass ``session`` (a :class:`~repro.runtime.session.SolverSession`)
+    to reuse its long-lived thread pool and accumulate op counts into
+    its counter; pass ``counter`` to collect counts standalone.
+    """
+    return _sptrsv_parallel(lower, b, schedule, diag, n_workers,
+                            forward=True, session=session,
+                            counter=counter)
 
 
 def sptrsv_dbsr_upper_parallel(upper: DBSRMatrix, b: np.ndarray,
                                schedule: ColorSchedule,
                                diag: np.ndarray | None = None,
-                               n_workers: int = 2) -> np.ndarray:
+                               n_workers: int = 2, session=None,
+                               counter: OpCounter | None = None
+                               ) -> np.ndarray:
     """Thread-parallel backward Algorithm 2."""
-    n = upper.n_rows
-    bs = upper.bsize
-    require(b.shape == (n,), "b has wrong length")
-    require(schedule.bsize == bs, "schedule bsize mismatch")
-    xp = np.zeros(n + 2 * bs, dtype=np.result_type(upper.values, b))
-    b2 = np.asarray(b).reshape(-1, bs)
-    d2 = None if diag is None else np.asarray(diag).reshape(-1, bs)
-
-    def task(group: int) -> None:
-        _group_sweep(upper, xp, b2, d2,
-                     schedule.block_rows_of_group(group), forward=False)
-
-    with ColorParallelExecutor(schedule, n_workers) as ex:
-        ex.run_backward(task)
-    return xp[bs:bs + n].copy()
+    return _sptrsv_parallel(upper, b, schedule, diag, n_workers,
+                            forward=False, session=session,
+                            counter=counter)

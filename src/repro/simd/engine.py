@@ -26,32 +26,46 @@ class VectorEngine:
         Logical vector width (elements per operation).
     counter:
         Counter to accumulate into; a fresh one is created if omitted.
+    dtype:
+        Element dtype of the run; its itemsize is the default byte
+        width of scalar memory ops (``scalar_load`` / ``scalar_store``
+        call sites that do not pass an explicit itemsize).
 
     Notes
     -----
     All operations return plain ndarrays so kernels can mix engine ops
     with numpy arithmetic where no memory access is implied.
+
+    Memory ops charge the bytes *actually transferred*: a contiguous
+    load whose slice is clipped at the array tail (fewer than ``bsize``
+    elements remain) charges only the surviving lanes, exactly like
+    ``store``/``scatter`` charge ``len(vec)``.
     """
 
-    def __init__(self, bsize: int, counter: OpCounter | None = None):
+    def __init__(self, bsize: int, counter: OpCounter | None = None,
+                 dtype=np.float64):
         self.bsize = check_positive(bsize, "bsize")
+        self.itemsize = int(np.dtype(dtype).itemsize)
         self.counter = counter if counter is not None else OpCounter(
             bsize=bsize)
 
     # Memory operations --------------------------------------------------
     def load(self, arr: np.ndarray, start: int) -> np.ndarray:
-        """Contiguous vector load of ``bsize`` elements at ``start``."""
+        """Contiguous vector load of up to ``bsize`` elements at
+        ``start`` (clipped, and charged, at the array tail)."""
+        out = arr[start:start + self.bsize]
         c = self.counter
         c.vload += 1
-        c.bytes_vector += self.bsize * arr.itemsize
-        return arr[start:start + self.bsize]
+        c.bytes_vector += out.nbytes
+        return out
 
     def load_values(self, arr: np.ndarray, start: int) -> np.ndarray:
         """Load from the matrix value stream (accounted separately)."""
+        out = arr[start:start + self.bsize]
         c = self.counter
         c.vload += 1
-        c.bytes_values += self.bsize * arr.itemsize
-        return arr[start:start + self.bsize]
+        c.bytes_values += out.nbytes
+        return out
 
     def gather(self, arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
         """Indexed gather of ``len(idx)`` elements."""
@@ -111,8 +125,10 @@ class VectorEngine:
     def scalar_flop(self, n: int = 1) -> None:
         self.counter.sflop += n
 
-    def scalar_load(self, n: int = 1, itemsize: int = 8,
+    def scalar_load(self, n: int = 1, itemsize: int | None = None,
                     stream: str = "vector") -> None:
+        if itemsize is None:
+            itemsize = self.itemsize
         self.counter.sload += n
         if stream == "values":
             self.counter.bytes_values += n * itemsize
@@ -123,6 +139,8 @@ class VectorEngine:
         else:
             self.counter.bytes_vector += n * itemsize
 
-    def scalar_store(self, n: int = 1, itemsize: int = 8) -> None:
+    def scalar_store(self, n: int = 1, itemsize: int | None = None) -> None:
+        if itemsize is None:
+            itemsize = self.itemsize
         self.counter.sstore += n
         self.counter.bytes_vector += n * itemsize

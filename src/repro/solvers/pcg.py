@@ -8,7 +8,7 @@ from repro.solvers.convergence import ConvergenceHistory
 
 
 def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
-        tol: float = 1e-8, maxiter: int = 1000) -> tuple:
+        tol: float = 1e-8, maxiter: int = 1000, session=None) -> tuple:
     """Solve SPD ``A x = b`` with left-preconditioned CG.
 
     Parameters
@@ -22,6 +22,11 @@ def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
         multigrid V-cycle).
     tol, maxiter:
         Relative residual tolerance and iteration cap.
+    session:
+        Optional :class:`~repro.runtime.session.SolverSession`; each
+        ``A.matvec`` then runs under its ``"spmv"`` phase timer (the
+        preconditioner is expected to phase itself, e.g.
+        :class:`~repro.multigrid.vcycle.MGPreconditioner`).
 
     Returns
     -------
@@ -32,9 +37,11 @@ def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
     Matches HPCG's ``CG()`` reference loop: the convergence test uses
     the true residual 2-norm relative to ``||b||``.
     """
+    matvec = (A.matvec if session is None
+              else session.timed("spmv", A.matvec))
     b = np.asarray(b, dtype=float)
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
-    r = b - A.matvec(x)
+    r = b - matvec(x)
     bnorm = float(np.linalg.norm(b)) or 1.0
     hist = ConvergenceHistory(tol=tol)
     hist.record(np.linalg.norm(r))
@@ -45,7 +52,7 @@ def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
         if np.linalg.norm(r) / bnorm <= tol:
             hist.converged = True
             break
-        Ap = A.matvec(p)
+        Ap = matvec(p)
         alpha = rz / float(p @ Ap)
         x += alpha * p
         r -= alpha * Ap

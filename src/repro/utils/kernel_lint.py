@@ -1,0 +1,160 @@
+"""AST lint guarding the instrumented kernels' op accounting.
+
+The paper's core claim is an instruction-mix argument: DBSR kernels
+issue contiguous loads where CSR/SELL kernels gather. That claim is
+only as good as the accounting, so any *raw* fancy-indexing
+(``arr[idx_array]``) inside an engine-instrumented kernel is traffic
+the :class:`~repro.simd.counters.OpCounter` never sees — op counts
+silently drift from what the kernel does.
+
+This linter walks every function in ``src/repro/kernels/`` that takes
+an ``engine`` parameter and flags Load-context subscripts whose index
+is an *array expression* (an index-stream slice like
+``csr.indices[lo:hi]``, or a name bound to one) instead of a scalar —
+those accesses must route through :meth:`VectorEngine.gather` (or be
+explicitly accounted and waived with a ``# gather-ok`` comment on the
+same line).
+
+Invoked by the test suite (``tests/test_kernel_lint.py``) and runnable
+standalone::
+
+    PYTHONPATH=src python -m repro.utils.kernel_lint
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+
+WAIVER_TOKEN = "gather-ok"
+
+KERNELS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "kernels")
+
+
+@dataclass
+class LintViolation:
+    """One un-accounted fancy-indexing site."""
+
+    path: str
+    line: int
+    function: str
+    snippet: str
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.line}: in {self.function}(): raw "
+                f"fancy-indexing `{self.snippet}` bypasses "
+                f"VectorEngine.gather (add `# {WAIVER_TOKEN}: <why>` "
+                f"if the traffic is accounted another way)")
+
+
+def _is_array_index(node: ast.expr, array_names: set[str]) -> bool:
+    """Is this index expression an array (fancy indexing) rather than
+    a scalar/slice?"""
+    if isinstance(node, ast.Subscript):
+        # Slicing an array yields an array: ``x[cols[lo:hi]]``.
+        return isinstance(node.slice, ast.Slice)
+    if isinstance(node, ast.Name):
+        return node.id in array_names
+    return False
+
+
+def _collect_array_names(fn: ast.FunctionDef) -> set[str]:
+    """Names bound (anywhere in the function) to array-slice
+    expressions — the ``cols = sell.colidx[pos:pos+lanes]`` pattern."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        is_arr = (isinstance(value, ast.Subscript)
+                  and isinstance(value.slice, ast.Slice))
+        if not is_arr:
+            continue
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                names.add(tgt.id)
+    return names
+
+
+def _takes_engine(fn: ast.FunctionDef) -> bool:
+    return any(a.arg == "engine" for a in fn.args.args)
+
+
+def _is_engine_is_none(test: ast.expr) -> bool:
+    """Match the ``if engine is None:`` fast-path guard."""
+    return (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "engine"
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None)
+
+
+def _walk_instrumented(node: ast.AST):
+    """Like ``ast.walk`` but prunes ``if engine is None:`` bodies —
+    the *uninstrumented* fast-path twin inside a dual-mode kernel."""
+    if isinstance(node, ast.If) and _is_engine_is_none(node.test):
+        children = node.orelse
+    else:
+        children = list(ast.iter_child_nodes(node))
+    for child in children:
+        yield child
+        yield from _walk_instrumented(child)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintViolation]:
+    """Lint one module's source; returns the violations found."""
+    tree = ast.parse(source)
+    lines = source.splitlines()
+    out: list[LintViolation] = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, ast.FunctionDef) or not _takes_engine(fn):
+            continue
+        array_names = _collect_array_names(fn)
+        for node in _walk_instrumented(fn):
+            if not isinstance(node, ast.Subscript):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue  # stores surface as vstore/vscatter tallies
+            if not _is_array_index(node.slice, array_names):
+                continue
+            # Waiver on the flagged line or the line directly above.
+            line_text = lines[node.lineno - 1]
+            prev_text = lines[node.lineno - 2] if node.lineno > 1 else ""
+            if WAIVER_TOKEN in line_text or WAIVER_TOKEN in prev_text:
+                continue
+            out.append(LintViolation(
+                path=path, line=node.lineno, function=fn.name,
+                snippet=ast.unparse(node)))
+    return out
+
+
+def lint_kernels(directory: str = KERNELS_DIR) -> list[LintViolation]:
+    """Lint every module in the kernels package."""
+    out: list[LintViolation] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as fh:
+            out.extend(lint_source(fh.read(), path=path))
+    return out
+
+
+def main(argv=None) -> int:  # pragma: no cover - exercised via tests
+    import sys
+
+    args = sys.argv[1:] if argv is None else argv
+    directory = args[0] if args else KERNELS_DIR
+    violations = lint_kernels(directory)
+    for v in violations:
+        print(v)
+    print(f"{len(violations)} violation(s) in {directory}")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -99,3 +99,160 @@ def test_schedule_mismatch_rejected(setup, rng):
     with pytest.raises(ValueError):
         sptrsv_dbsr_lower_parallel(Ld, rng.standard_normal(L.n_rows),
                                    bad, diag=D)
+
+
+# Failure propagation ------------------------------------------------------
+
+def test_failure_cancels_pending_work():
+    """On a task exception, queued futures are cancelled and the error
+    surfaces promptly instead of draining the remaining color."""
+    import threading
+
+    from repro.ordering.vbmc import ColorSchedule
+
+    # One color, 16 independent groups.
+    wide = ColorSchedule(bsize=1, points_per_block=1,
+                         color_group_ptr=np.array([0, 16]))
+    ran = []
+    lock = threading.Lock()
+
+    def bad(group):
+        with lock:
+            ran.append(group)
+        if group == 0:
+            raise RuntimeError("boom")
+
+    # One worker: the failing first task is running while the rest of
+    # the color is still queued; those must be cancelled, not run.
+    with ColorParallelExecutor(wide, n_workers=1) as ex:
+        with pytest.raises(RuntimeError, match="boom"):
+            ex.run_forward(bad)
+    assert len(ran) < 16
+
+
+def test_pool_left_usable_after_failure(setup):
+    vb = setup[0]
+
+    def bad(group):
+        raise RuntimeError("boom")
+
+    seen = []
+    with ColorParallelExecutor(vb.schedule, n_workers=2) as ex:
+        with pytest.raises(RuntimeError):
+            ex.run_forward(bad)
+        ex.run_forward(seen.append)  # pool still drains work
+    assert len(seen) == vb.schedule.n_groups
+
+
+# Shared-pool reuse --------------------------------------------------------
+
+def test_external_pool_is_reused_not_owned(setup):
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.parallel.executor import pool_stats
+
+    vb = setup[0]
+    pool = ThreadPoolExecutor(max_workers=2)
+    try:
+        before = pool_stats.created
+        seen = []
+        with ColorParallelExecutor(vb.schedule, pool=pool) as ex:
+            ex.run_forward(seen.append)
+        assert pool_stats.created == before  # no new pool constructed
+        # shutdown() must not have closed the external pool:
+        assert pool.submit(lambda: 42).result() == 42
+        assert len(seen) == vb.schedule.n_groups
+    finally:
+        pool.shutdown(wait=True)
+
+
+def test_own_pool_creation_is_instrumented(setup):
+    from repro.parallel.executor import pool_stats
+
+    vb = setup[0]
+    before = pool_stats.created
+    with ColorParallelExecutor(vb.schedule, n_workers=2):
+        pass
+    assert pool_stats.created == before + 1
+
+
+# Bit-identical determinism across grids/bsizes/worker counts --------------
+
+def _tri_setup(dims, stencil, block_dims, bsize):
+    from repro.grids.problems import poisson_problem
+    from repro.ordering.vbmc import build_vbmc
+
+    p = poisson_problem(dims, stencil)
+    vb = build_vbmc(p.grid, p.stencil, block_dims, bsize)
+    csr = vb.apply_matrix(p.matrix)
+    L, D, U = split_triangular(csr)
+    return (vb, D, DBSRMatrix.from_csr(L, bsize),
+            DBSRMatrix.from_csr(U, bsize))
+
+
+@pytest.mark.fast
+@pytest.mark.parametrize("dims,stencil,block_dims,bsize", [
+    ((8, 8, 8), "27pt", (2, 2, 2), 4),
+    ((8, 8, 8), "7pt", (2, 2, 2), 2),
+    ((8, 8), "9pt", (4, 4), 4),
+])
+def test_parallel_bit_identical_sweep(dims, stencil, block_dims, bsize,
+                                      rng):
+    """Exact (bit-level) equality with the sequential DBSR kernels for
+    every worker count, repeated to catch ordering races."""
+    from repro.kernels.sptrsv_dbsr import (
+        sptrsv_dbsr_lower,
+        sptrsv_dbsr_upper,
+    )
+
+    vb, D, Ld, Ud = _tri_setup(dims, stencil, block_dims, bsize)
+    b = rng.standard_normal(Ld.n_rows)
+    ref_lo = sptrsv_dbsr_lower(Ld, b, diag=D)
+    ref_up = sptrsv_dbsr_upper(Ud, b, diag=D)
+    for workers in (1, 2, 4):
+        for _ in range(3):
+            got_lo = sptrsv_dbsr_lower_parallel(
+                Ld, b, vb.schedule, diag=D, n_workers=workers)
+            got_up = sptrsv_dbsr_upper_parallel(
+                Ud, b, vb.schedule, diag=D, n_workers=workers)
+            assert np.array_equal(got_lo, ref_lo), (workers, "lower")
+            assert np.array_equal(got_up, ref_up), (workers, "upper")
+
+
+# Parallel-path op accounting ----------------------------------------------
+
+def test_parallel_counter_matches_closed_form(setup, rng):
+    """The per-group tallies merged at color barriers reproduce the
+    closed-form Algorithm 2 counts exactly."""
+    from dataclasses import fields
+
+    from repro.kernels.counts import sptrsv_dbsr_counts
+    from repro.simd.counters import OpCounter
+
+    vb, L, D, U, Ld, Ud = setup
+    b = rng.standard_normal(L.n_rows)
+    for dbsr, fn in ((Ld, sptrsv_dbsr_lower_parallel),
+                     (Ud, sptrsv_dbsr_upper_parallel)):
+        c = OpCounter(bsize=dbsr.bsize)
+        fn(dbsr, b, vb.schedule, diag=D, n_workers=4, counter=c)
+        expect = sptrsv_dbsr_counts(dbsr, divide=True)
+        for f in fields(OpCounter):
+            assert getattr(c, f.name) == getattr(expect, f.name), f.name
+
+
+def test_parallel_counter_is_deterministic(setup, rng):
+    """Counter totals are identical run to run and across thread
+    counts (merge order cannot leak into the tallies)."""
+    from repro.simd.counters import OpCounter
+
+    vb, L, D, U, Ld, Ud = setup
+    b = rng.standard_normal(L.n_rows)
+    totals = set()
+    for workers in (1, 2, 4):
+        for _ in range(2):
+            c = OpCounter(bsize=Ld.bsize)
+            sptrsv_dbsr_lower_parallel(Ld, b, vb.schedule, diag=D,
+                                       n_workers=workers, counter=c)
+            totals.add((c.vload, c.vfma, c.vstore, c.vdiv,
+                        c.total_bytes))
+    assert len(totals) == 1

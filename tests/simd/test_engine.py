@@ -83,3 +83,58 @@ def test_load_index():
     arr = np.array([5, 6, 7], dtype=np.int32)
     assert eng.load_index(arr, 1) == 6
     assert eng.counter.bytes_index == 4
+
+
+# Tail-load and dtype-itemsize accounting regressions ---------------------
+
+def test_ragged_tail_load_charges_actual_bytes():
+    """A load clipped at the array tail charges only the lanes moved."""
+    eng = VectorEngine(4)
+    arr = np.arange(10.0)
+    v = eng.load(arr, 8)  # only 2 elements remain
+    assert len(v) == 2
+    assert eng.counter.bytes_vector == 2 * 8
+
+
+def test_ragged_tail_load_values_charges_actual_bytes():
+    eng = VectorEngine(4)
+    arr = np.arange(6.0)
+    v = eng.load_values(arr, 4)
+    assert len(v) == 2
+    assert eng.counter.bytes_values == 2 * 8
+
+
+def test_tail_load_and_store_charge_symmetrically():
+    """Loads and stores of the same ragged tail charge equal bytes."""
+    eng = VectorEngine(8)
+    arr = np.zeros(12)
+    v = eng.load(arr, 8)  # 4 lanes survive
+    eng.store(arr, 8, v)
+    assert eng.counter.bytes_vector == 2 * 4 * 8
+
+
+def test_float32_tail_load():
+    eng = VectorEngine(4, dtype=np.float32)
+    arr = np.arange(5, dtype=np.float32)
+    eng.load(arr, 4)  # 1 element remains, 4 bytes each
+    assert eng.counter.bytes_vector == 4
+
+
+def test_scalar_ops_default_to_engine_dtype_itemsize():
+    """f32 engines must not overcount scalar traffic at 8 B/element."""
+    eng = VectorEngine(1, dtype=np.float32)
+    eng.scalar_load(10)
+    eng.scalar_store(5)
+    assert eng.counter.bytes_vector == 10 * 4 + 5 * 4
+
+
+def test_scalar_ops_explicit_itemsize_still_honored():
+    eng = VectorEngine(1, dtype=np.float32)
+    eng.scalar_load(3, itemsize=8, stream="values")
+    assert eng.counter.bytes_values == 24
+
+
+def test_f64_default_unchanged():
+    eng = VectorEngine(1)
+    eng.scalar_load(2)
+    assert eng.counter.bytes_vector == 16

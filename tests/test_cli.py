@@ -104,3 +104,19 @@ def test_solve_command_prints_sparkline(tmp_path, capsys, rng):
                  "--bsize", "2"]) == 0
     out = capsys.readouterr().out
     assert "residual |" in out
+
+
+def test_bench_runtime_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_runtime.json"
+    assert main(["bench-runtime", "--nx", "8", "--bsize", "4",
+                 "--workers", "2", "--repeats", "1",
+                 "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "pools created: 1" in out
+    assert "sptrsv_dbsr_lower" in out
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "dbsr-repro/bench-runtime/v1"
+    for kernel in ("sptrsv_dbsr_lower", "spmv_dbsr", "symgs_dbsr"):
+        assert report["kernels"][kernel]["counts"]["bytes"]["total"] > 0

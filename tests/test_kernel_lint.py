@@ -1,0 +1,81 @@
+"""The kernels-directory gather lint, run as part of the suite."""
+
+import textwrap
+
+import pytest
+
+from repro.utils.kernel_lint import lint_kernels, lint_source
+
+pytestmark = pytest.mark.fast
+
+
+def test_repo_kernels_are_clean():
+    """No instrumented kernel bypasses VectorEngine.gather with raw
+    fancy indexing (op counts cannot silently drift)."""
+    violations = lint_kernels()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+BAD = textwrap.dedent("""
+    def bad_kernel(csr, x, engine):
+        for i in range(csr.n_rows):
+            lo, hi = csr.indptr[i], csr.indptr[i + 1]
+            cols = csr.indices[lo:hi]
+            acc = (csr.data[lo:hi] * x[cols]).sum()
+    """)
+
+
+def test_lint_flags_raw_fancy_indexing():
+    violations = lint_source(BAD, path="bad.py")
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.function == "bad_kernel"
+    assert "x[cols]" in v.snippet
+
+
+def test_lint_flags_inline_index_slice():
+    src = textwrap.dedent("""
+        def k(csr, x, engine):
+            for i in range(csr.n_rows):
+                y = x[csr.indices[0:4]]
+        """)
+    assert len(lint_source(src)) == 1
+
+
+def test_waiver_comment_suppresses():
+    src = BAD.replace(
+        "acc = (csr.data[lo:hi] * x[cols]).sum()",
+        "acc = (csr.data[lo:hi] * x[cols]).sum()  # gather-ok: test")
+    assert lint_source(src) == []
+
+
+def test_uninstrumented_functions_ignored():
+    src = textwrap.dedent("""
+        def fast_kernel(csr, x):
+            cols = csr.indices[0:4]
+            return x[cols]
+        """)
+    assert lint_source(src) == []
+
+
+def test_engine_none_fast_path_pruned():
+    src = textwrap.dedent("""
+        def dual(csr, x, engine=None):
+            cols = csr.indices[0:4]
+            if engine is None:
+                return x[cols]
+            return engine.gather(x, cols)
+        """)
+    assert lint_source(src) == []
+
+
+def test_scalar_and_slice_indexing_allowed():
+    src = textwrap.dedent("""
+        def k(m, x, engine):
+            for i in range(m.brow):
+                lo = int(m.blk_ptr[i])
+                v = engine.load(x, lo)
+                w = x[lo:lo + 4]
+                z = x[i * 4]
+        """)
+    assert lint_source(src) == []
