@@ -6,8 +6,12 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli ilu --nx 8 --strategy simd-auto --threads 16
     python -m repro.cli storage --nx 16 --bsizes 1,2,4,8,16
     python -m repro.cli weak-scaling --variant dbsr --nodes 1,4,16,64,256
+    python -m repro.cli figures fig9
     python -m repro.cli bench-runtime --nx 8 --workers 4
+    python -m repro.cli serve-bench --nx 8 --requests 24
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
+    python -m repro.cli spy path/to/matrix.mtx
+    python -m repro.cli analyze --nx 8 --stencil 7pt
 
 or via the ``dbsr-repro`` console script.
 """
@@ -170,6 +174,38 @@ def _cmd_bench_runtime(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.runtime.metrics import write_bench_json
+    from repro.serve.bench import collect_bench_serve
+
+    report = collect_bench_serve(
+        nx=args.nx, stencil=args.stencil, n_requests=args.requests,
+        max_batch=args.max_batch, n_workers=args.workers,
+        dtype=args.dtype, machine=args.machine)
+    path = write_bench_json(report, args.out)
+    cache = report["cache"]
+    print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(rate {cache['hit_rate'] * 100:.1f}%), "
+          f"{cache['compiles']} compiles in "
+          f"{cache['compile_seconds'] * 1e3:.1f} ms")
+    amort = report["amortization"]
+    print(f"amortized setup: "
+          f"{amort['amortized_setup_seconds_per_request'] * 1e3:.3f} "
+          f"ms/request over {report['config']['n_requests']} requests")
+    scaling = report["batch_scaling"]
+    for w in scaling["widths"]:
+        print(f"k={w['k']:2d}  value B/solve "
+              f"{w['value_bytes_per_solve']:10.1f}  total B/solve "
+              f"{w['total_bytes_per_solve']:10.1f}  "
+              f"bitwise={'yes' if w['bitwise_equal_to_unbatched'] else 'NO'}")
+    ok = (scaling["value_bytes_per_solve_decreasing"]
+          and scaling["all_bitwise_equal"])
+    print(f"value bytes/solve strictly decreasing: "
+          f"{'yes' if scaling['value_bytes_per_solve_decreasing'] else 'NO'}")
+    print(f"[written to {path}]")
+    return 0 if ok else 1
+
+
 def _cmd_spy(args) -> int:
     from repro.formats.csr import CSRMatrix
     from repro.formats.io import read_matrix_market
@@ -313,6 +349,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--out", default="BENCH_runtime.json")
     p.set_defaults(func=_cmd_bench_runtime)
+
+    p = sub.add_parser("serve-bench",
+                       help="run the serving-layer benchmark (plan "
+                            "cache + multi-RHS batching) and emit "
+                            "BENCH_serve.json")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--requests", type=int, default=24)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
+    p.add_argument("--machine", default="kp920",
+                   choices=("intel", "kp920", "thunderx2", "phytium"))
+    p.add_argument("--out", default="BENCH_serve.json")
+    p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser("spy", help="render a .mtx pattern as ASCII")
     p.add_argument("matrix", help="path to a .mtx file")

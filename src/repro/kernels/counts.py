@@ -80,6 +80,32 @@ def sptrsv_dbsr_counts(dbsr: DBSRMatrix, divide: bool = False) -> OpCounter:
     return c
 
 
+def sptrsv_dbsr_multi_counts(dbsr: DBSRMatrix, k: int,
+                             divide: bool = False) -> OpCounter:
+    """Multi-RHS Algorithm 2 over an ``(n, k)`` RHS block.
+
+    Matches :func:`repro.serve.batch.sptrsv_dbsr_lower_multi_counted`:
+    per tile **one** value load (value-stream bytes are independent of
+    ``k``) plus ``k`` x-loads/FMAs; per block-row ``k`` b-loads and
+    stores and — when dividing — one diag load and ``k`` divides.
+    ``k = 1`` reduces exactly to :func:`sptrsv_dbsr_counts`.
+    """
+    c = OpCounter(bsize=dbsr.bsize)
+    t, brow, bs = dbsr.n_tiles, dbsr.brow, dbsr.bsize
+    item = dbsr.values.itemsize
+    c.vload = t * (1 + k) + k * brow + (brow if divide else 0)
+    c.vfma = t * k
+    c.vstore = k * brow
+    c.vdiv = k * brow if divide else 0
+    c.sload = 2 * t
+    c.bytes_values = t * bs * item
+    c.bytes_index = (t * (dbsr.blk_ind.itemsize + dbsr.blk_offset.itemsize)
+                     + (brow + 1) * dbsr.blk_ptr.itemsize)
+    c.bytes_vector = ((k * t + 2 * k * brow + (brow if divide else 0))
+                      * bs * item)
+    return c
+
+
 def sptrsv_csr_counts(csr: CSRMatrix, divide: bool = True) -> OpCounter:
     """Algorithm 1: scalar row loop with indirect x accesses."""
     c = OpCounter(bsize=1)

@@ -1,0 +1,60 @@
+"""Request-serving layer: compile once, cache, batch, serve.
+
+The paper's one-time preprocessing (BMC reorder + DBSR conversion,
+§V) amortized across requests, as a subsystem:
+
+* :mod:`repro.serve.plan` — :func:`compile_plan` /
+  :class:`SolvePlan` / :func:`structural_fingerprint`: the expensive
+  setup behind a deterministic structural key.
+* :mod:`repro.serve.cache` — :class:`PlanCache`: thread-safe LRU with
+  hit/miss/eviction/compile counters and JSON-persisted autotune picks.
+* :mod:`repro.serve.batch` — multi-RHS batched DBSR kernels that load
+  each tile's values once per batch (value bytes per solve ~ 1/k).
+* :mod:`repro.serve.service` — :class:`SolveService`: submit/drain
+  with per-structure coalescing, bounded-queue backpressure, and
+  per-request error isolation.
+* :mod:`repro.serve.bench` — the ``repro serve-bench`` collection
+  behind ``BENCH_serve.json``.
+"""
+
+from repro.serve.batch import (
+    spmv_dbsr_multi,
+    sptrsv_dbsr_lower_multi,
+    sptrsv_dbsr_lower_multi_counted,
+    sptrsv_dbsr_upper_multi,
+    sptrsv_dbsr_upper_multi_counted,
+    symgs_dbsr_multi,
+)
+from repro.serve.cache import PlanCache
+from repro.serve.plan import (
+    PLAN_OPS,
+    PlanConfig,
+    SolvePlan,
+    compile_plan,
+    structural_fingerprint,
+)
+from repro.serve.service import (
+    Backpressure,
+    RequestError,
+    SolveService,
+    SolveTicket,
+)
+
+__all__ = [
+    "PLAN_OPS",
+    "Backpressure",
+    "PlanCache",
+    "PlanConfig",
+    "RequestError",
+    "SolvePlan",
+    "SolveService",
+    "SolveTicket",
+    "compile_plan",
+    "spmv_dbsr_multi",
+    "sptrsv_dbsr_lower_multi",
+    "sptrsv_dbsr_lower_multi_counted",
+    "sptrsv_dbsr_upper_multi",
+    "sptrsv_dbsr_upper_multi_counted",
+    "structural_fingerprint",
+    "symgs_dbsr_multi",
+]

@@ -1,0 +1,206 @@
+"""Multi-RHS batched DBSR kernels — amortizing matrix loads over k solves.
+
+The SELL-C-σ line of work (Kreutzer et al.) and Bramas & Kus's
+block-based AVX-512 SpMV both observe that wide-SIMD sparse formats pay
+off most when the matrix *values* are loaded once and reused across
+multiple right-hand sides. These kernels apply that to DBSR: each tile's
+``bsize`` value vector is loaded once per sweep and FMA'd against all
+``k`` columns of an ``(n, k)`` RHS block, so value-stream traffic per
+solve drops as ``1/k`` while the vector-stream traffic stays linear.
+
+Layout note: the padded working buffers are ``(k, n + 2*bsize)``
+RHS-major so every per-RHS slice is contiguous — the gather-free
+property of Algorithm 2 survives batching (nothing here indexes with an
+array; the gather-lint runs over this module). The public API accepts
+``(n, k)`` blocks column-per-RHS, matching how callers stack requests.
+
+Every kernel is bit-identical per column to its unbatched twin in
+:mod:`repro.kernels.sptrsv_dbsr` / :mod:`repro.kernels.symgs` /
+:meth:`~repro.formats.dbsr.DBSRMatrix.matvec`: batching reorders no
+floating-point operation within a column. Instrumented ``*_counted``
+twins execute through a :class:`~repro.simd.engine.VectorEngine`;
+closed forms live in :func:`repro.kernels.counts.sptrsv_dbsr_multi_counts`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.dbsr import DBSRMatrix
+from repro.simd.engine import VectorEngine
+from repro.utils.validation import require
+
+
+def _check_rhs_block(matrix: DBSRMatrix, B: np.ndarray) -> np.ndarray:
+    B = np.asarray(B)
+    require(B.ndim == 2, "RHS block must be (n, k)")
+    require(B.shape[0] == matrix.n_rows, "RHS block has wrong length")
+    require(B.shape[1] >= 1, "RHS block must have at least one column")
+    return B
+
+
+def _sptrsv_multi(matrix: DBSRMatrix, B: np.ndarray,
+                  diag: np.ndarray | None, forward: bool) -> np.ndarray:
+    """Shared forward/backward multi-RHS Algorithm 2 sweep."""
+    B = _check_rhs_block(matrix, B)
+    n, k = B.shape
+    bs = matrix.bsize
+    dtype = np.result_type(matrix.values, B)
+    # RHS-major padded buffer: Xp[j] is one contiguous padded solution.
+    Xp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    Bk = np.ascontiguousarray(B.T)
+    b3 = Bk.reshape(k, -1, bs)
+    d2 = None if diag is None else np.asarray(diag).reshape(-1, bs)
+    anchors = matrix.anchors + bs
+    blk_ptr, values = matrix.blk_ptr, matrix.values
+    rng = range(matrix.brow) if forward \
+        else range(matrix.brow - 1, -1, -1)
+    for i in rng:
+        acc = b3[:, i, :].astype(dtype, copy=True)   # (k, bs)
+        for t in range(blk_ptr[i], blk_ptr[i + 1]):
+            a = anchors[t]
+            # One values[t] load serves all k RHS columns.
+            acc -= values[t] * Xp[:, a:a + bs]
+        if d2 is not None:
+            acc /= d2[i]
+        Xp[:, bs + i * bs:bs + (i + 1) * bs] = acc
+    return np.ascontiguousarray(Xp[:, bs:bs + n].T)
+
+
+def sptrsv_dbsr_lower_multi(lower: DBSRMatrix, B: np.ndarray,
+                            diag: np.ndarray | None = None) -> np.ndarray:
+    """Solve ``(L + D) X = B`` for an ``(n, k)`` RHS block.
+
+    Column ``j`` of the result is bit-identical to
+    ``sptrsv_dbsr_lower(lower, B[:, j], diag)``.
+    """
+    return _sptrsv_multi(lower, B, diag, forward=True)
+
+
+def sptrsv_dbsr_upper_multi(upper: DBSRMatrix, B: np.ndarray,
+                            diag: np.ndarray | None = None) -> np.ndarray:
+    """Solve ``(D + U) X = B`` for an ``(n, k)`` RHS block."""
+    return _sptrsv_multi(upper, B, diag, forward=False)
+
+
+def spmv_dbsr_multi(matrix: DBSRMatrix, X: np.ndarray) -> np.ndarray:
+    """``Y = A X`` over an ``(n, k)`` block, one tile pass total.
+
+    Column-identical to :meth:`DBSRMatrix.matvec` per RHS; the tile
+    value table is traversed once, not ``k`` times.
+    """
+    X = np.asarray(X)
+    require(X.ndim == 2 and X.shape[0] == matrix.n_cols,
+            "X block must be (n_cols, k)")
+    n, k = X.shape
+    bs = matrix.bsize
+    dtype = np.result_type(matrix.values, X)
+    Xp = np.zeros((k, matrix.n_cols + 2 * bs), dtype=X.dtype)
+    Xp[:, bs:bs + matrix.n_cols] = X.T
+    if matrix.n_tiles == 0:
+        return np.zeros((matrix.n_rows, k), dtype=X.dtype)
+    starts = matrix.anchors + bs
+    window = starts[:, None] + np.arange(bs)
+    # (k, n_tiles, bs): one values load broadcast across the k RHS.
+    prod = matrix.values[None, :, :] * Xp[:, window]
+    Y = np.zeros((k, matrix.brow, bs), dtype=dtype)
+    nonempty = np.flatnonzero(np.diff(matrix.blk_ptr) > 0)
+    if len(nonempty):
+        Y[:, nonempty] = np.add.reduceat(prod, matrix.blk_ptr[nonempty],
+                                         axis=1)
+    return np.ascontiguousarray(Y.reshape(k, -1).T)
+
+
+def symgs_dbsr_multi(matrix: DBSRMatrix, diag: np.ndarray,
+                     X: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """One SYMGS sweep (forward + backward GS) over ``(n, k)`` blocks.
+
+    Updates ``X`` in place and returns it; column-identical to
+    :func:`repro.kernels.symgs.symgs_dbsr` per RHS.
+    """
+    B = _check_rhs_block(matrix, B)
+    require(X.shape == B.shape, "X/B block shape mismatch")
+    n, k = B.shape
+    bs = matrix.bsize
+    dtype = np.result_type(matrix.values, X)
+    Xp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    Xp[:, bs:bs + n] = X.T
+    b3 = np.ascontiguousarray(B.T).reshape(k, -1, bs)
+    d2 = np.asarray(diag).reshape(-1, bs)
+    anchors = matrix.anchors + bs
+    blk_ptr, values = matrix.blk_ptr, matrix.values
+    for forward in (True, False):
+        rng = range(matrix.brow) if forward \
+            else range(matrix.brow - 1, -1, -1)
+        for i in rng:
+            rowsum = np.zeros((k, bs), dtype=dtype)
+            for t in range(blk_ptr[i], blk_ptr[i + 1]):
+                a = anchors[t]
+                rowsum += values[t] * Xp[:, a:a + bs]
+            xi = Xp[:, bs + i * bs:bs + (i + 1) * bs]
+            xi += (b3[:, i, :] - rowsum) / d2[i]
+    X[:] = Xp[:, bs:bs + n].T
+    return X
+
+
+# Instrumented twins ------------------------------------------------------
+
+def _sptrsv_multi_counted(matrix: DBSRMatrix, B: np.ndarray,
+                          engine: VectorEngine,
+                          diag: np.ndarray | None,
+                          forward: bool) -> np.ndarray:
+    """Multi-RHS Algorithm 2 through the instrumented vector engine.
+
+    The op stream makes the amortization observable: per tile there is
+    exactly **one** ``load_values`` (charged to ``bytes_values``) and
+    ``k`` x-loads/FMAs, so the value-stream bytes of a sweep are
+    independent of ``k`` while per-solve value bytes fall as ``1/k``.
+    """
+    B = _check_rhs_block(matrix, B)
+    n, k = B.shape
+    bs = matrix.bsize
+    require(engine.bsize == bs, "engine width must equal bsize")
+    dtype = np.result_type(matrix.values, B)
+    Xp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    Bk = np.ascontiguousarray(B.T)
+    anchors = matrix.anchors + bs
+    vals_flat = matrix.values.reshape(-1)
+    dp = None if diag is None else np.asarray(diag)
+    blk_ptr = matrix.blk_ptr
+    engine.counter.bytes_index += blk_ptr.itemsize
+    rng = range(matrix.brow) if forward \
+        else range(matrix.brow - 1, -1, -1)
+    for i in rng:
+        engine.counter.bytes_index += blk_ptr.itemsize
+        accs = [engine.load(Bk[j], i * bs).astype(dtype)
+                for j in range(k)]
+        for t in range(blk_ptr[i], blk_ptr[i + 1]):
+            engine.counter.bytes_index += (
+                matrix.blk_ind.itemsize + matrix.blk_offset.itemsize)
+            vec_vals = engine.load_values(vals_flat, t * bs)
+            a = int(anchors[t])
+            for j in range(k):
+                vec_x = engine.load(Xp[j], a)
+                accs[j] = engine.fnma(accs[j], vec_vals, vec_x)
+        if dp is not None:
+            vec_d = engine.load(dp, i * bs)
+            accs = [engine.div(acc, vec_d) for acc in accs]
+        for j in range(k):
+            engine.store(Xp[j], bs + i * bs, accs[j])
+    return np.ascontiguousarray(Xp[:, bs:bs + n].T)
+
+
+def sptrsv_dbsr_lower_multi_counted(lower: DBSRMatrix, B: np.ndarray,
+                                    engine: VectorEngine,
+                                    diag: np.ndarray | None = None
+                                    ) -> np.ndarray:
+    """Instrumented multi-RHS forward solve (one value load per tile)."""
+    return _sptrsv_multi_counted(lower, B, engine, diag, forward=True)
+
+
+def sptrsv_dbsr_upper_multi_counted(upper: DBSRMatrix, B: np.ndarray,
+                                    engine: VectorEngine,
+                                    diag: np.ndarray | None = None
+                                    ) -> np.ndarray:
+    """Instrumented multi-RHS backward solve."""
+    return _sptrsv_multi_counted(upper, B, engine, diag, forward=False)

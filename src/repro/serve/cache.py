@@ -1,0 +1,206 @@
+"""Structural plan cache — compile once per structure, serve forever.
+
+A :class:`PlanCache` is a thread-safe LRU map from structural
+fingerprints (:func:`repro.serve.plan.structural_fingerprint`) to
+compiled :class:`~repro.serve.plan.SolvePlan` objects. It is the
+serving layer's realization of the paper's amortization argument: the
+expensive reorder/convert/autotune pipeline runs on the first request
+of a structure and every subsequent request pays only the kernel cost.
+
+Counters (hits, misses, evictions, compiles, compile seconds) make the
+amortization measurable — ``repro serve-bench`` reports the hit rate
+and the per-request amortized setup time straight from
+:meth:`PlanCache.stats`.
+
+Autotune picks can optionally be **persisted** across processes: with a
+``persist_path``, every autotuned ``bsize`` is recorded under its
+fingerprint in a small JSON file, and later processes (whose caches
+start cold) skip the autotune sweep on their first compile of that
+structure. Only the pick is persisted, never the plan itself — matrices
+re-derive deterministically from the structure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+
+from repro.grids.grid import StructuredGrid
+from repro.serve.plan import (
+    PlanConfig,
+    SolvePlan,
+    compile_plan,
+    structural_fingerprint,
+)
+from repro.utils.validation import check_positive
+
+
+class PlanCache:
+    """Thread-safe LRU cache of compiled solve plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident plans; the least-recently-used plan
+        is evicted when a compile would exceed it.
+    persist_path:
+        Optional JSON file remembering autotuned ``bsize`` picks per
+        fingerprint across processes. Missing or corrupt files are
+        treated as empty (persistence must never break serving).
+
+    Notes
+    -----
+    Concurrent :meth:`get_or_compile` calls for the *same* fingerprint
+    serialize on a per-fingerprint lock so a structure is compiled
+    exactly once; calls for different fingerprints compile in parallel.
+    """
+
+    def __init__(self, capacity: int = 8,
+                 persist_path: str | None = None):
+        self.capacity = check_positive(capacity, "capacity")
+        self.persist_path = persist_path
+        self._plans: OrderedDict[str, SolvePlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self._compile_locks: dict[str, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.compiles = 0
+        self.compile_seconds = 0.0
+        self._picks = self._load_picks()
+
+    # Persistence -------------------------------------------------------
+    def _load_picks(self) -> dict:
+        if not self.persist_path or not os.path.exists(self.persist_path):
+            return {}
+        try:
+            with open(self.persist_path) as fh:
+                data = json.load(fh)
+            picks = data.get("autotune_picks", {})
+            return {fp: entry for fp, entry in picks.items()
+                    if isinstance(entry, dict) and "bsize" in entry}
+        except (OSError, ValueError):
+            return {}
+
+    def _save_picks(self) -> None:
+        if not self.persist_path:
+            return
+        blob = {
+            "schema": "dbsr-repro/autotune-picks/v1",
+            "autotune_picks": self._picks,
+        }
+        tmp = f"{self.persist_path}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.persist_path)
+
+    def persisted_bsize(self, fingerprint: str) -> int | None:
+        """The persisted autotune pick for a fingerprint, if any."""
+        with self._lock:
+            entry = self._picks.get(fingerprint)
+        return int(entry["bsize"]) if entry else None
+
+    # Core map ----------------------------------------------------------
+    def get(self, fingerprint: str) -> SolvePlan | None:
+        """Look up a plan; counts a hit or miss and refreshes LRU."""
+        with self._lock:
+            plan = self._plans.get(fingerprint)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(fingerprint)
+            self.hits += 1
+            return plan
+
+    def put(self, plan: SolvePlan) -> None:
+        """Insert a plan, evicting LRU entries beyond capacity."""
+        with self._lock:
+            self._plans[plan.fingerprint] = plan
+            self._plans.move_to_end(plan.fingerprint)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._plans
+
+    # Compile-through ----------------------------------------------------
+    def get_or_compile(self, grid: StructuredGrid, stencil,
+                       config: PlanConfig | None = None
+                       ) -> tuple[SolvePlan, bool]:
+        """Return ``(plan, was_hit)`` for a structure, compiling on miss.
+
+        The compile (and its counters) happens under a per-fingerprint
+        lock: N concurrent first requests of one structure cost one
+        compile, not N.
+        """
+        config = config if config is not None else PlanConfig()
+        fp = structural_fingerprint(grid, stencil, config)
+        plan = self.get(fp)
+        if plan is not None:
+            return plan, True
+        with self._lock:
+            flock = self._compile_locks.setdefault(fp, threading.Lock())
+        with flock:
+            # Double-check: another thread may have compiled meanwhile.
+            # Reclassify this request's miss as a hit — it is served
+            # from cache, so each get_or_compile contributes exactly
+            # one hit-or-miss event.
+            with self._lock:
+                plan = self._plans.get(fp)
+                if plan is not None:
+                    self._plans.move_to_end(fp)
+                    self.misses -= 1
+                    self.hits += 1
+                    return plan, True
+            hint = self.persisted_bsize(fp) if config.bsize is None \
+                else None
+            t0 = time.perf_counter()
+            plan = compile_plan(grid, stencil, config, bsize_hint=hint)
+            seconds = time.perf_counter() - t0
+            with self._lock:
+                self.compiles += 1
+                self.compile_seconds += seconds
+                if plan.autotuned:
+                    self._picks[fp] = {
+                        "bsize": int(plan.bsize),
+                        "block_dims": list(plan.block_dims),
+                        "grid": list(plan.grid.dims),
+                        "stencil": plan.stencil.name,
+                    }
+                    self._save_picks()
+            self.put(plan)
+            return plan, False
+
+    # Reporting ----------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Machine-readable counter snapshot."""
+        with self._lock:
+            size = len(self._plans)
+            picks = len(self._picks)
+        return {
+            "capacity": self.capacity,
+            "size": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "compiles": self.compiles,
+            "compile_seconds": self.compile_seconds,
+            "persisted_picks": picks,
+        }

@@ -1,0 +1,360 @@
+"""Solve-plan compilation — the serving layer's "compile once" step.
+
+The paper's amortization argument (§V) is that BMC reordering and DBSR
+conversion are one-time preprocessing paid once per matrix *structure*
+and amortized over many SpTRSV/SYMGS sweeps. A :class:`SolvePlan`
+reifies that one-time work as a value: the block partition, the
+vectorized-BMC coloring and permutation, the DBSR (or SELL) conversion,
+the triangular split, and the autotuned ``bsize`` pick — everything a
+request-serving frontend needs to execute a solve with nothing but
+kernel calls.
+
+Plans are keyed by a **structural fingerprint**: a SHA-256 digest over
+the canonical JSON of the fields that determine the compiled artifacts
+(grid dims, stencil signature, dtype, bsize, strategy, worker count).
+The digest is deterministic across processes (no Python hash
+randomization) and across dict orderings (keys are sorted), so it can
+double as a persistence key for autotune picks
+(:class:`repro.serve.cache.PlanCache`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.dbsr import DBSRMatrix
+from repro.grids.grid import StructuredGrid
+from repro.grids.stencils import Stencil, stencil_by_name
+from repro.utils.validation import check_positive, require
+
+#: Kernel families a plan can be compiled for.
+STRATEGIES = ("dbsr", "sell")
+
+#: Ops a compiled plan can execute (see :meth:`SolvePlan.execute`).
+PLAN_OPS = ("lower", "upper", "spmv", "symgs")
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Tunables that select what a plan compiles to.
+
+    Attributes
+    ----------
+    bsize:
+        Vector length; ``None`` lets
+        :func:`repro.simd.autotune.autotune_bsize` pick per structure.
+    n_workers:
+        Worker count the block partition is sized for.
+    dtype:
+        ``"f64"`` or ``"f32"`` (normalized into the fingerprint).
+    strategy:
+        ``"dbsr"`` (gather-free batched kernels) or ``"sell"``
+        (gather-based comparison kernels).
+    machine:
+        Short machine name (``intel``/``kp920``/``thunderx2``/
+        ``phytium``) feeding the autotuner's lane count.
+    groups_per_worker:
+        Autotune slack: vector groups each worker should get per color.
+    """
+
+    bsize: int | None = None
+    n_workers: int = 4
+    dtype: str = "f64"
+    strategy: str = "dbsr"
+    machine: str = "intel"
+    groups_per_worker: int = 1
+
+    def __post_init__(self):
+        require(self.strategy in STRATEGIES,
+                f"unknown strategy {self.strategy!r}; known: {STRATEGIES}")
+        if self.bsize is not None:
+            check_positive(self.bsize, "bsize")
+        check_positive(self.n_workers, "n_workers")
+        check_positive(self.groups_per_worker, "groups_per_worker")
+
+    @property
+    def np_dtype(self):
+        return np.float32 if self.dtype in ("f32", "float32") \
+            else np.float64
+
+
+def _resolve_stencil(stencil: Stencil | str) -> Stencil:
+    return stencil_by_name(stencil) if isinstance(stencil, str) \
+        else stencil
+
+
+def structural_fingerprint(grid: StructuredGrid,
+                           stencil: Stencil | str,
+                           config: PlanConfig) -> str:
+    """Deterministic digest of everything that shapes the compiled plan.
+
+    Two requests with equal fingerprints can share one plan; any field
+    that changes the compiled artifacts (dims, stencil, dtype, bsize,
+    strategy, worker count) changes the digest.
+    """
+    stencil = _resolve_stencil(stencil)
+    payload = {
+        "v": 1,
+        "grid": [int(d) for d in grid.dims],
+        "stencil": {
+            "name": stencil.name,
+            "offsets": [[int(c) for c in off] for off in stencil.offsets],
+            "weights": [float(w) for w in stencil.weights],
+        },
+        "dtype": str(np.dtype(config.np_dtype)),
+        "bsize": "auto" if config.bsize is None else int(config.bsize),
+        "strategy": config.strategy,
+        "machine": config.machine,
+        "n_workers": int(config.n_workers),
+        "groups_per_worker": int(config.groups_per_worker),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+@dataclass
+class SolvePlan:
+    """One structure's compiled solve artifacts.
+
+    Everything here is request-independent: plans are immutable after
+    compilation and safe to share across threads (kernels only read the
+    matrices; per-request state lives in the caller's buffers).
+
+    Attributes
+    ----------
+    fingerprint:
+        The :func:`structural_fingerprint` this plan answers to.
+    config:
+        The :class:`PlanConfig` it was compiled under.
+    grid, stencil:
+        Problem geometry and operator.
+    bsize:
+        Resolved vector length (autotuned when ``config.bsize`` is
+        ``None``).
+    block_dims:
+        The AUTO block partition extents.
+    ordering:
+        The :class:`~repro.ordering.vbmc.VBMCOrdering` (permutation,
+        schedule, padding).
+    matrix:
+        Permuted + padded operator in CSR (assembly output).
+    dbsr:
+        Full operator in DBSR.
+    lower, upper:
+        Strictly triangular DBSR factors.
+    diag:
+        Diagonal of the permuted operator.
+    sell_lower, sell_upper:
+        SELL factors (``strategy == "sell"`` only, else ``None``).
+    compile_seconds:
+        Wall-clock cost of this compilation (the quantity the cache
+        amortizes).
+    """
+
+    fingerprint: str
+    config: PlanConfig
+    grid: StructuredGrid
+    stencil: Stencil
+    bsize: int
+    block_dims: tuple
+    ordering: object
+    matrix: CSRMatrix
+    dbsr: DBSRMatrix
+    lower: DBSRMatrix
+    upper: DBSRMatrix
+    diag: np.ndarray
+    sell_lower: object = None
+    sell_upper: object = None
+    compile_seconds: float = 0.0
+    autotuned: bool = field(default=False)
+
+    @property
+    def n(self) -> int:
+        """Original (unpadded) problem size."""
+        return self.ordering.n_orig
+
+    @property
+    def n_padded(self) -> int:
+        return self.ordering.n_padded
+
+    # Vector mapping (multi-RHS aware) ---------------------------------
+    def extend(self, B: np.ndarray) -> np.ndarray:
+        """Original-order ``(n,)`` or ``(n, k)`` block -> padded order."""
+        B = np.asarray(B)
+        single = B.ndim == 1
+        cols = B.reshape(self.n, -1)
+        out = np.zeros((self.n_padded, cols.shape[1]), dtype=cols.dtype)
+        out[self.ordering.old_to_new, :] = cols
+        return out[:, 0] if single else out
+
+    def restrict(self, B: np.ndarray) -> np.ndarray:
+        """Padded-order block -> original order (inverse of extend)."""
+        B = np.asarray(B)
+        single = B.ndim == 1
+        cols = B.reshape(self.n_padded, -1)
+        out = cols[self.ordering.old_to_new, :]
+        return out[:, 0] if single else out
+
+    # Execution ---------------------------------------------------------
+    def execute(self, op: str, B: np.ndarray) -> np.ndarray:
+        """Run one op over a ``(n,)`` vector or ``(n, k)`` RHS block.
+
+        Ops (all in original ordering; padding is internal):
+
+        * ``"lower"`` — solve ``(L + D) x = b``.
+        * ``"upper"`` — solve ``(D + U) x = b``.
+        * ``"spmv"``  — ``y = A x``.
+        * ``"symgs"`` — one SYMGS sweep from a zero initial guess.
+
+        Batched (k > 1) and unbatched execution are bit-identical per
+        column (verified by the serve test suite).
+        """
+        require(op in PLAN_OPS, f"unknown op {op!r}; known: {PLAN_OPS}")
+        B = np.asarray(B, dtype=self.config.np_dtype)
+        single = B.ndim == 1
+        require(B.shape[0] == self.n,
+                f"rhs length {B.shape[0]} != problem size {self.n}")
+        Bp = self.extend(B.reshape(self.n, -1))
+        if self.config.strategy == "sell" and op in ("lower", "upper"):
+            Xp = self._execute_sell(op, Bp)
+        else:
+            Xp = self._execute_dbsr(op, Bp)
+        out = self.restrict(Xp)
+        return out[:, 0] if single else out
+
+    def _execute_dbsr(self, op: str, Bp: np.ndarray) -> np.ndarray:
+        from repro.serve.batch import (
+            spmv_dbsr_multi,
+            sptrsv_dbsr_lower_multi,
+            sptrsv_dbsr_upper_multi,
+            symgs_dbsr_multi,
+        )
+
+        if op == "lower":
+            return sptrsv_dbsr_lower_multi(self.lower, Bp, diag=self.diag)
+        if op == "upper":
+            return sptrsv_dbsr_upper_multi(self.upper, Bp, diag=self.diag)
+        if op == "spmv":
+            return spmv_dbsr_multi(self.dbsr, Bp)
+        X = np.zeros_like(Bp)
+        return symgs_dbsr_multi(self.dbsr, self.diag, X, Bp)
+
+    def _execute_sell(self, op: str, Bp: np.ndarray) -> np.ndarray:
+        from repro.kernels.sptrsv_sell import (
+            sptrsv_sell_lower,
+            sptrsv_sell_upper,
+        )
+
+        kern = sptrsv_sell_lower if op == "lower" else sptrsv_sell_upper
+        sell = self.sell_lower if op == "lower" else self.sell_upper
+        out = np.empty_like(Bp)
+        for j in range(Bp.shape[1]):
+            out[:, j] = kern(sell, Bp[:, j], diag=self.diag)
+        return out
+
+    def describe(self) -> dict:
+        """JSON-friendly summary (for metrics and persistence)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "grid": list(self.grid.dims),
+            "stencil": self.stencil.name,
+            "dtype": str(np.dtype(self.config.np_dtype)),
+            "strategy": self.config.strategy,
+            "bsize": self.bsize,
+            "autotuned": self.autotuned,
+            "block_dims": list(self.block_dims),
+            "n": self.n,
+            "n_padded": self.n_padded,
+            "n_tiles": self.dbsr.n_tiles,
+            "n_colors": self.ordering.n_colors,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
+                 config: PlanConfig | None = None,
+                 bsize_hint: int | None = None) -> SolvePlan:
+    """Run the full one-time setup for one structure.
+
+    Pipeline: autotune ``bsize`` (unless pinned by ``config.bsize`` or
+    a persisted ``bsize_hint``) → AUTO block partition → vectorized BMC
+    coloring + permutation → assembly → DBSR conversion → triangular
+    split (and SELL conversion under the ``"sell"`` strategy).
+
+    Parameters
+    ----------
+    bsize_hint:
+        A previously-autotuned pick (e.g. restored from a
+        :class:`~repro.serve.cache.PlanCache` persistence file); skips
+        the autotune sweep. Ignored when ``config.bsize`` is set.
+    """
+    from repro.grids.assembly import assemble_csr
+    from repro.kernels.sptrsv_csr import split_triangular
+    from repro.ordering.blocks import auto_block_dims
+    from repro.ordering.coloring import _is_star
+    from repro.ordering.vbmc import build_vbmc
+    from repro.simd.autotune import autotune_bsize
+
+    config = config if config is not None else PlanConfig()
+    stencil = _resolve_stencil(stencil)
+    fingerprint = structural_fingerprint(grid, stencil, config)
+    np_dtype = config.np_dtype
+
+    t0 = time.perf_counter()
+    autotuned = False
+    if config.bsize is not None:
+        bsize = config.bsize
+    elif bsize_hint is not None:
+        bsize = check_positive(bsize_hint, "bsize_hint")
+    else:
+        from repro.experiments.base import machine_by_name
+
+        machine = machine_by_name(config.machine)
+        bsize = autotune_bsize(
+            grid, stencil, machine, n_workers=config.n_workers,
+            dtype_bytes=int(np.dtype(np_dtype).itemsize),
+            groups_per_worker=config.groups_per_worker)
+        autotuned = True
+
+    n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim
+    block_dims = auto_block_dims(grid, config.n_workers, bsize=bsize,
+                                 n_colors=n_colors)
+    ordering = build_vbmc(grid, stencil, block_dims, bsize)
+    A = assemble_csr(grid, stencil, dtype=np_dtype)
+    Ap = ordering.apply_matrix(A)
+    dbsr = DBSRMatrix.from_csr(Ap, bsize)
+    L, D, U = split_triangular(Ap)
+    Ld = DBSRMatrix.from_csr(L, bsize)
+    Ud = DBSRMatrix.from_csr(U, bsize)
+
+    sell_lower = sell_upper = None
+    if config.strategy == "sell":
+        from repro.formats.sell import SELLMatrix
+
+        sell_lower = SELLMatrix(L, chunk=bsize)
+        sell_upper = SELLMatrix(U, chunk=bsize)
+
+    return SolvePlan(
+        fingerprint=fingerprint,
+        config=config,
+        grid=grid,
+        stencil=stencil,
+        bsize=bsize,
+        block_dims=tuple(block_dims),
+        ordering=ordering,
+        matrix=Ap,
+        dbsr=dbsr,
+        lower=Ld,
+        upper=Ud,
+        diag=D,
+        sell_lower=sell_lower,
+        sell_upper=sell_upper,
+        compile_seconds=time.perf_counter() - t0,
+        autotuned=autotuned,
+    )

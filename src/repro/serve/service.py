@@ -1,0 +1,322 @@
+"""Request-serving frontend: submit/drain with per-structure batching.
+
+:class:`SolveService` is the traffic-facing layer on top of the plan
+compiler and cache. Callers :meth:`~SolveService.submit` solve requests
+(a grid + stencil structure, an op, and a right-hand side) and receive
+a :class:`SolveTicket`; :meth:`~SolveService.drain` coalesces pending
+requests **per structural fingerprint and op** into ``(n, k)`` RHS
+blocks and executes them through the batched kernels of
+:mod:`repro.serve.batch`, so the matrix values stream from memory once
+per batch instead of once per request.
+
+Design points:
+
+* **Backpressure** — the pending queue is bounded
+  (``max_pending``); :meth:`submit` raises :class:`Backpressure` when
+  full instead of growing without limit. Callers drain and retry.
+* **Error isolation** — a request that fails (bad RHS detected at
+  drain time, or a kernel error during its batch) carries its own
+  exception on its ticket; batch-mates are re-executed individually so
+  one poisoned request cannot fail its neighbors.
+* **Metrics** — every ticket carries a per-request metrics dict
+  (batch width, cache hit, solve seconds, amortized per-solve op
+  counts via :mod:`repro.kernels.counts`), and the service aggregates
+  phase timings in a :class:`~repro.runtime.session.SolverSession`
+  ledger (``compile`` / ``solve`` phases) for
+  :mod:`repro.runtime.metrics`-style reporting.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grids.grid import StructuredGrid
+from repro.runtime.session import SolverSession
+from repro.serve.cache import PlanCache
+from repro.serve.plan import (
+    PLAN_OPS,
+    PlanConfig,
+    SolvePlan,
+    structural_fingerprint,
+)
+from repro.utils.validation import check_positive
+
+
+class Backpressure(RuntimeError):
+    """Raised by :meth:`SolveService.submit` when the queue is full."""
+
+
+class RequestError(ValueError):
+    """A request was rejected (bad op, wrong RHS shape, non-finite)."""
+
+
+@dataclass
+class SolveTicket:
+    """Handle to one submitted request.
+
+    ``result()`` returns the solution (original ordering) or raises the
+    request's own error; ``metrics`` is populated when the request is
+    executed.
+    """
+
+    request_id: int
+    fingerprint: str
+    op: str
+    metrics: dict = field(default_factory=dict)
+    _result: np.ndarray | None = None
+    _error: BaseException | None = None
+    _done: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Block until executed; return the solution or raise."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} not drained yet")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result: np.ndarray | None,
+                error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _Pending:
+    ticket: SolveTicket
+    grid: StructuredGrid
+    stencil: object
+    config: PlanConfig
+    rhs: np.ndarray
+
+
+class SolveService:
+    """Batched solve frontend over a :class:`PlanCache`.
+
+    Parameters
+    ----------
+    cache:
+        Plan cache to compile through (a private 8-plan cache by
+        default).
+    config:
+        Default :class:`PlanConfig` for requests that do not pass one.
+    max_batch:
+        Largest RHS block width ``k`` a single kernel call may carry.
+    max_pending:
+        Bound on queued (submitted, not yet drained) requests.
+    """
+
+    def __init__(self, cache: PlanCache | None = None,
+                 config: PlanConfig | None = None,
+                 max_batch: int = 8, max_pending: int = 64):
+        self.cache = cache if cache is not None else PlanCache()
+        self.config = config if config is not None else PlanConfig()
+        self.max_batch = check_positive(max_batch, "max_batch")
+        self.max_pending = check_positive(max_pending, "max_pending")
+        self.session = SolverSession(n_workers=self.config.n_workers)
+        self._lock = threading.Lock()
+        self._pending: list[_Pending] = []
+        self._ids = itertools.count()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches_executed = 0
+
+    # Submission ---------------------------------------------------------
+    def submit(self, grid: StructuredGrid, stencil, rhs: np.ndarray,
+               op: str = "lower",
+               config: PlanConfig | None = None) -> SolveTicket:
+        """Queue one request; returns its ticket.
+
+        Shape and op validation happens here, synchronously, so a
+        malformed request fails at the submission site instead of
+        poisoning a batch. Raises :class:`Backpressure` when the
+        pending queue is at ``max_pending``.
+        """
+        config = config if config is not None else self.config
+        if op not in PLAN_OPS:
+            raise RequestError(f"unknown op {op!r}; known: {PLAN_OPS}")
+        rhs = np.asarray(rhs)
+        if rhs.ndim != 1 or rhs.shape[0] != grid.n_points:
+            raise RequestError(
+                f"rhs must be ({grid.n_points},), got {rhs.shape}")
+        fp = structural_fingerprint(grid, stencil, config)
+        ticket = SolveTicket(request_id=next(self._ids),
+                             fingerprint=fp, op=op)
+        entry = _Pending(ticket=ticket, grid=grid, stencil=stencil,
+                         config=config,
+                         rhs=rhs.astype(config.np_dtype, copy=True))
+        with self._lock:
+            if len(self._pending) >= self.max_pending:
+                raise Backpressure(
+                    f"{self.max_pending} requests pending; drain first")
+            self._pending.append(entry)
+            self.submitted += 1
+        return ticket
+
+    @property
+    def n_pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # Execution ----------------------------------------------------------
+    def drain(self) -> int:
+        """Execute every pending request; returns how many completed.
+
+        Requests are grouped by ``(fingerprint, op)`` — submission
+        order is preserved inside a group — and each group is executed
+        in ``max_batch``-wide RHS blocks through the structure's
+        compiled plan.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        groups: dict[tuple, list[_Pending]] = {}
+        for entry in pending:
+            key = (entry.ticket.fingerprint, entry.ticket.op)
+            groups.setdefault(key, []).append(entry)
+        n_done = 0
+        for (fp, op), entries in groups.items():
+            # One cache transaction per request: the first may compile,
+            # coalesced followers count (and are served) as hits — the
+            # per-request hit rate is what serve-bench reports.
+            lookups = [self._plan_for(e) for e in entries]
+            plan = lookups[0][0]
+            hits = [hit for _, hit in lookups]
+            for lo in range(0, len(entries), self.max_batch):
+                chunk = entries[lo:lo + self.max_batch]
+                n_done += self._run_batch(plan, hits[lo:lo + self.max_batch],
+                                          op, chunk)
+        return n_done
+
+    def _plan_for(self, entry: _Pending) -> tuple[SolvePlan, bool]:
+        with self.session.phase("compile"):
+            return self.cache.get_or_compile(entry.grid, entry.stencil,
+                                             entry.config)
+
+    def _validate(self, plan: SolvePlan, entry: _Pending) -> None:
+        """Drain-time per-request checks (cheap, isolates bad RHS)."""
+        if not np.all(np.isfinite(entry.rhs)):
+            raise RequestError(
+                f"request {entry.ticket.request_id}: non-finite rhs")
+
+    def _run_batch(self, plan: SolvePlan, hits: list[bool], op: str,
+                   entries: list[_Pending]) -> int:
+        """Execute one coalesced batch with per-request isolation."""
+        good: list[tuple[_Pending, bool]] = []
+        for entry, hit in zip(entries, hits):
+            try:
+                self._validate(plan, entry)
+            except BaseException as exc:  # noqa: BLE001 - per-request
+                entry.ticket._finish(None, exc)
+                self.failed += 1
+            else:
+                good.append((entry, hit))
+        if not good:
+            return 0
+        B = np.stack([e.rhs for e, _ in good], axis=1)
+        t0 = time.perf_counter()
+        try:
+            with self.session.phase("solve"):
+                X = plan.execute(op, B)
+        except BaseException:
+            # A kernel-level failure cannot name its culprit; re-run
+            # each request alone so only the offender fails.
+            return self._run_individually(plan, op, good)
+        seconds = time.perf_counter() - t0
+        self.batches_executed += 1
+        k = len(good)
+        for j, (entry, hit) in enumerate(good):
+            entry.ticket.metrics = self._request_metrics(
+                plan, hit, op, k, seconds)
+            entry.ticket._finish(np.ascontiguousarray(X[:, j]))
+            self.completed += 1
+        return k
+
+    def _run_individually(self, plan: SolvePlan, op: str,
+                          entries: list[tuple[_Pending, bool]]) -> int:
+        n_done = 0
+        for entry, hit in entries:
+            t0 = time.perf_counter()
+            try:
+                with self.session.phase("solve"):
+                    x = plan.execute(op, entry.rhs)
+            except BaseException as exc:  # noqa: BLE001 - per-request
+                entry.ticket._finish(None, exc)
+                self.failed += 1
+                continue
+            entry.ticket.metrics = self._request_metrics(
+                plan, hit, op, 1, time.perf_counter() - t0)
+            entry.ticket._finish(x)
+            self.completed += 1
+            n_done += 1
+        return n_done
+
+    def _request_metrics(self, plan: SolvePlan, cache_hit: bool,
+                         op: str, k: int, batch_seconds: float) -> dict:
+        """Per-request share of one batch's cost."""
+        from repro.runtime.metrics import counter_to_dict
+
+        metrics = {
+            "op": op,
+            "fingerprint": plan.fingerprint,
+            "batch_k": k,
+            "cache_hit": cache_hit,
+            "bsize": plan.bsize,
+            "strategy": plan.config.strategy,
+            "seconds": batch_seconds / k,
+        }
+        counts = self._op_counts(plan, op, k)
+        if counts is not None:
+            metrics["counts_per_solve"] = counter_to_dict(
+                counts.scaled(1.0 / k))
+        return metrics
+
+    @staticmethod
+    def _op_counts(plan: SolvePlan, op: str, k: int):
+        """Closed-form batch op counts (DBSR strategy only)."""
+        from repro.kernels.counts import sptrsv_dbsr_multi_counts
+
+        if plan.config.strategy != "dbsr":
+            return None
+        if op == "lower":
+            return sptrsv_dbsr_multi_counts(plan.lower, k, divide=True)
+        if op == "upper":
+            return sptrsv_dbsr_multi_counts(plan.upper, k, divide=True)
+        return None
+
+    # Reporting ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Service + cache counter snapshot."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "pending": self.n_pending,
+            "batches_executed": self.batches_executed,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+            "cache": self.cache.stats(),
+            "phases": self.session.phase_report(),
+        }
+
+    def close(self) -> None:
+        self.session.close()
+
+    def __enter__(self) -> "SolveService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

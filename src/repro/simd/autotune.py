@@ -27,14 +27,30 @@ MAX_BSIZE = 64
 
 def candidate_bsizes(machine: MachineModel,
                      dtype_bytes: int = 8) -> list:
-    """Power-of-two bsizes that are multiples of the SIMD lane count."""
+    """Candidate bsizes: ``lanes * 2**k`` capped at :data:`MAX_BSIZE`.
+
+    Every candidate is a multiple of the platform's SIMD lane count so
+    vector groups fill whole registers. Two edge cases are handled
+    explicitly rather than degenerating to scalar execution:
+
+    * ``lanes > MAX_BSIZE`` (a register wider than the paper's
+      practical ceiling): the only width that both fills a register
+      and wastes none is one full register, so the candidate list is
+      ``[lanes]`` — previously this silently returned ``[1]``.
+    * Non-power-of-two lane counts (e.g. a 384-bit SVE-style register
+      giving 6 f64 lanes): doubling from ``lanes`` keeps candidates
+      at register multiples (6, 12, 24, 48); the ceiling applies to
+      the multiple, not to power-of-two-ness.
+    """
     lanes = machine.lanes(dtype_bytes)
+    if lanes > MAX_BSIZE:
+        return [lanes]
     out = []
     b = lanes
     while b <= MAX_BSIZE:
         out.append(b)
         b *= 2
-    return out or [1]
+    return out
 
 
 def min_blocks_per_color(grid: StructuredGrid, stencil: Stencil,

@@ -1,0 +1,168 @@
+"""Multi-RHS batched kernels: bit-identity and byte amortization."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.counts import (
+    sptrsv_dbsr_counts,
+    sptrsv_dbsr_multi_counts,
+)
+from repro.kernels.sptrsv_csr import split_triangular
+from repro.kernels.sptrsv_dbsr import (
+    sptrsv_dbsr_lower,
+    sptrsv_dbsr_upper,
+)
+from repro.kernels.symgs import symgs_dbsr
+from repro.serve.batch import (
+    spmv_dbsr_multi,
+    sptrsv_dbsr_lower_multi,
+    sptrsv_dbsr_lower_multi_counted,
+    sptrsv_dbsr_upper_multi,
+    sptrsv_dbsr_upper_multi_counted,
+    symgs_dbsr_multi,
+)
+from repro.simd.engine import VectorEngine
+
+
+@pytest.fixture(scope="module")
+def factors(reordered_3d):
+    csr, dbsr = reordered_3d
+    L, D, U = split_triangular(csr)
+    from repro.formats.dbsr import DBSRMatrix
+
+    return (dbsr, DBSRMatrix.from_csr(L, dbsr.bsize),
+            DBSRMatrix.from_csr(U, dbsr.bsize), D)
+
+
+@pytest.fixture(scope="module")
+def rhs_block(factors):
+    rng = np.random.default_rng(7)
+    n = factors[0].n_rows
+    return rng.standard_normal((n, 8))
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 8])
+def test_lower_multi_bitwise_equals_unbatched(factors, rhs_block, k):
+    _, Ld, _, D = factors
+    B = rhs_block[:, :k]
+    X = sptrsv_dbsr_lower_multi(Ld, B, diag=D)
+    for j in range(k):
+        xj = sptrsv_dbsr_lower(Ld, B[:, j], diag=D)
+        assert np.array_equal(X[:, j], xj)
+
+
+@pytest.mark.parametrize("k", [1, 2, 8])
+def test_upper_multi_bitwise_equals_unbatched(factors, rhs_block, k):
+    _, _, Ud, D = factors
+    B = rhs_block[:, :k]
+    X = sptrsv_dbsr_upper_multi(Ud, B, diag=D)
+    for j in range(k):
+        assert np.array_equal(X[:, j],
+                              sptrsv_dbsr_upper(Ud, B[:, j], diag=D))
+
+
+def test_lower_multi_unit_diag(factors, rhs_block):
+    _, Ld, _, _ = factors
+    B = rhs_block[:, :3]
+    X = sptrsv_dbsr_lower_multi(Ld, B)
+    for j in range(3):
+        assert np.array_equal(X[:, j], sptrsv_dbsr_lower(Ld, B[:, j]))
+
+
+@pytest.mark.parametrize("k", [1, 4])
+def test_spmv_multi_bitwise_equals_matvec(factors, rhs_block, k):
+    dbsr = factors[0]
+    X = rhs_block[:, :k]
+    Y = spmv_dbsr_multi(dbsr, X)
+    for j in range(k):
+        assert np.array_equal(Y[:, j], dbsr.matvec(X[:, j]))
+
+
+def test_symgs_multi_bitwise_equals_unbatched(reordered_3d, rhs_block):
+    csr, dbsr = reordered_3d
+    diag = csr.diagonal()
+    B = rhs_block[:, :4]
+    X = np.zeros_like(B)
+    symgs_dbsr_multi(dbsr, diag, X, B)
+    for j in range(4):
+        xj = np.zeros(dbsr.n_rows)
+        symgs_dbsr(dbsr, diag, xj, B[:, j].copy())
+        assert np.array_equal(X[:, j], xj)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_counted_twin_matches_closed_form(factors, rhs_block, k):
+    _, Ld, _, D = factors
+    engine = VectorEngine(Ld.bsize)
+    X = sptrsv_dbsr_lower_multi_counted(Ld, rhs_block[:, :k], engine,
+                                        diag=D)
+    closed = sptrsv_dbsr_multi_counts(Ld, k, divide=True)
+    c = engine.counter
+    assert c.vload == closed.vload
+    assert c.vfma == closed.vfma
+    assert c.vstore == closed.vstore
+    assert c.vdiv == closed.vdiv
+    # (sload is modeled, not instrumented — same convention as the
+    # unbatched twins, which charge index traffic via bytes_index.)
+    assert c.bytes_values == closed.bytes_values
+    assert c.bytes_index == closed.bytes_index
+    assert c.bytes_vector == closed.bytes_vector
+    # And it still computes the right answer.
+    for j in range(k):
+        assert np.array_equal(X[:, j],
+                              sptrsv_dbsr_lower(Ld, rhs_block[:, j],
+                                                diag=D))
+
+
+def test_counted_upper_twin_matches_closed_form(factors, rhs_block):
+    _, _, Ud, D = factors
+    engine = VectorEngine(Ud.bsize)
+    sptrsv_dbsr_upper_multi_counted(Ud, rhs_block[:, :3], engine, diag=D)
+    closed = sptrsv_dbsr_multi_counts(Ud, 3, divide=True)
+    assert engine.counter.bytes_values == closed.bytes_values
+    assert engine.counter.total_vector_ops == closed.total_vector_ops
+
+
+def test_multi_counts_reduce_to_single_rhs_counts(factors):
+    """k = 1 must reproduce the established unbatched closed form."""
+    _, Ld, _, _ = factors
+    for divide in (False, True):
+        single = sptrsv_dbsr_counts(Ld, divide=divide)
+        multi = sptrsv_dbsr_multi_counts(Ld, 1, divide=divide)
+        for f in ("vload", "vfma", "vstore", "vdiv", "sload",
+                  "bytes_values", "bytes_index", "bytes_vector"):
+            assert getattr(single, f) == getattr(multi, f), (f, divide)
+
+
+def test_value_bytes_amortize_as_one_over_k(factors, rhs_block):
+    """The serving claim: value-stream bytes per solve fall as 1/k."""
+    _, Ld, _, D = factors
+    per_solve = []
+    for k in (1, 2, 4, 8):
+        engine = VectorEngine(Ld.bsize)
+        sptrsv_dbsr_lower_multi_counted(Ld, rhs_block[:, :k], engine,
+                                        diag=D)
+        # Batch-level value bytes never grow with k...
+        assert engine.counter.bytes_values \
+            == Ld.n_tiles * Ld.bsize * Ld.values.itemsize
+        per_solve.append(engine.counter.bytes_values / k)
+    # ...so per-solve value bytes strictly decrease, exactly 1/k.
+    assert all(b > a for b, a in zip(per_solve, per_solve[1:]))
+    assert per_solve[0] / per_solve[-1] == pytest.approx(8.0)
+
+
+def test_gather_free(factors, rhs_block):
+    """Batched kernels must not introduce gathers."""
+    _, Ld, _, D = factors
+    engine = VectorEngine(Ld.bsize)
+    sptrsv_dbsr_lower_multi_counted(Ld, rhs_block, engine, diag=D)
+    assert engine.counter.vgather == 0
+    assert engine.counter.bytes_gathered == 0
+
+
+def test_rhs_block_validation(factors):
+    _, Ld, _, _ = factors
+    with pytest.raises(ValueError):
+        sptrsv_dbsr_lower_multi(Ld, np.zeros(Ld.n_rows))  # 1-D
+    with pytest.raises(ValueError):
+        sptrsv_dbsr_lower_multi(Ld, np.zeros((Ld.n_rows + 1, 2)))

@@ -17,6 +17,57 @@ def test_candidates_respect_lanes():
     assert candidate_bsizes(INTEL_XEON, 4)[0] == 16
 
 
+def _machine_with_bits(bits: int):
+    from dataclasses import replace
+
+    from repro.simd.isa import VectorISA
+
+    isa = VectorISA(name=f"wide{bits}", bits=bits)
+    return replace(INTEL_XEON, isa=isa)
+
+
+def test_candidates_wider_than_ceiling_fall_back_to_one_register():
+    """Regression: lanes > MAX_BSIZE used to silently return [1]
+    (scalar), discarding vectorization entirely; the sane fallback is
+    a single full register."""
+    from repro.simd.autotune import MAX_BSIZE
+
+    wide = _machine_with_bits(8192)  # 128 f64 lanes > MAX_BSIZE
+    lanes = wide.lanes(8)
+    assert lanes > MAX_BSIZE
+    assert candidate_bsizes(wide, 8) == [lanes]
+
+
+def test_candidates_non_power_of_two_lanes_stay_register_multiples():
+    """A 384-bit (SVE-style) register has 6 f64 lanes; candidates must
+    be multiples of 6 capped at MAX_BSIZE, never silently empty."""
+    sve = _machine_with_bits(384)
+    cands = candidate_bsizes(sve, 8)
+    assert cands == [6, 12, 24, 48]
+    assert all(b % 6 == 0 for b in cands)
+
+
+def test_candidates_never_empty():
+    from repro.simd.autotune import MAX_BSIZE
+
+    for bits in (64, 128, 256, 384, 512, 1024, 4096, 8192, 16384):
+        for dtype_bytes in (4, 8):
+            cands = candidate_bsizes(_machine_with_bits(bits),
+                                     dtype_bytes)
+            assert cands, (bits, dtype_bytes)
+            lanes = _machine_with_bits(bits).lanes(dtype_bytes)
+            assert all(b % lanes == 0 for b in cands)
+            assert all(b <= max(MAX_BSIZE, lanes) for b in cands)
+
+
+def test_autotune_survives_ultra_wide_machine():
+    """autotune_bsize must stay well-defined with one huge candidate."""
+    g = StructuredGrid((8, 8, 8))
+    b = autotune_bsize(g, box27_3d(), _machine_with_bits(8192),
+                       n_workers=1)
+    assert b >= 1  # falls back rather than crashing
+
+
 def test_large_grid_gets_large_bsize():
     g = StructuredGrid((32, 32, 32))
     b = autotune_bsize(g, box27_3d(), INTEL_XEON, n_workers=1)

@@ -120,3 +120,27 @@ def test_bench_runtime_command(tmp_path, capsys):
     assert report["schema"] == "dbsr-repro/bench-runtime/v1"
     for kernel in ("sptrsv_dbsr_lower", "spmv_dbsr", "symgs_dbsr"):
         assert report["kernels"][kernel]["counts"]["bytes"]["total"] > 0
+
+
+def test_serve_bench_command(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_serve.json"
+    assert main(["serve-bench", "--nx", "8", "--requests", "24",
+                 "--max-batch", "8", "--workers", "2",
+                 "--machine", "kp920", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "plan cache" in out
+    assert "value B/solve" in out
+    import json
+
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "dbsr-repro/bench-serve/v1"
+    # ISSUE acceptance: high hit rate on a repeated-structure workload
+    # and strictly decreasing value bytes per solve with k.
+    assert report["cache"]["hit_rate"] >= 0.9
+    assert report["batch_scaling"]["value_bytes_per_solve_decreasing"]
+    assert report["batch_scaling"]["all_bitwise_equal"]
+    widths = report["batch_scaling"]["widths"]
+    per_solve = [w["value_bytes_per_solve"] for w in widths]
+    assert per_solve == sorted(per_solve, reverse=True)
+    assert all(w["bitwise_equal_to_unbatched"] for w in widths)
+    assert all(w["matches_closed_form"] for w in widths)

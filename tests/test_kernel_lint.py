@@ -16,6 +16,18 @@ def test_repo_kernels_are_clean():
     assert violations == [], "\n".join(str(v) for v in violations)
 
 
+def test_serve_kernels_are_clean():
+    """The batched serving kernels must stay gather-free too — the
+    1/k value-byte amortization claim rests on contiguous loads."""
+    import os
+
+    import repro.serve
+
+    serve_dir = os.path.dirname(repro.serve.__file__)
+    violations = lint_kernels(serve_dir)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
 BAD = textwrap.dedent("""
     def bad_kernel(csr, x, engine):
         for i in range(csr.n_rows):
