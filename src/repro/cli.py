@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli figures fig9
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
+    python -m repro.cli chaos-bench --nx 8 --quick
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
     python -m repro.cli spy path/to/matrix.mtx
     python -m repro.cli analyze --nx 8 --stencil 7pt
@@ -206,6 +207,37 @@ def _cmd_serve_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_bench(args) -> int:
+    from repro.resilience.chaos import collect_bench_chaos
+    from repro.runtime.metrics import write_bench_json
+
+    report = collect_bench_chaos(nx=args.nx, stencil=args.stencil,
+                                 bsize=args.bsize, quick=args.quick)
+    path = write_bench_json(report, args.out)
+    for s in report["scenarios"]:
+        status = ("ok" if s["recovered"] and s["bit_identical"]
+                  else "FAIL")
+        depth = (f"depth {s['fallback_depth']} ({s['rung']})"
+                 if s["recovered"] else "unrecovered")
+        print(f"{s['scenario']:28s} {status:4s} {depth:16s} "
+              f"+{max(s['added_seconds'], 0.0) * 1e3:7.2f} ms"
+              + ("  [recompiled]" if s["recompiled"] else ""))
+    breaker = report["circuit_breaker"]
+    print(f"recovery rate: {report['recovery_rate'] * 100:.1f}% "
+          f"({report['n_scenarios']} scenarios, all bit-identical to "
+          f"their rung's clean path)")
+    print(f"circuit breaker: opened after "
+          f"{breaker['exhausted_failures']} exhausted failures = "
+          f"{'yes' if breaker['breaker_opened'] else 'NO'}, "
+          f"fails fast while open = "
+          f"{'yes' if breaker['fails_fast_when_open'] else 'NO'}")
+    print(f"[written to {path}]")
+    ok = (report["recovery_rate"] == 1.0
+          and breaker["breaker_opened"]
+          and breaker["fails_fast_when_open"])
+    return 0 if ok else 1
+
+
 def _cmd_spy(args) -> int:
     from repro.formats.csr import CSRMatrix
     from repro.formats.io import read_matrix_market
@@ -364,6 +396,18 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("intel", "kp920", "thunderx2", "phytium"))
     p.add_argument("--out", default="BENCH_serve.json")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser("chaos-bench",
+                       help="run the fault-injection benchmark "
+                            "(self-healing fallback chain + circuit "
+                            "breaker) and emit BENCH_chaos.json")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--bsize", type=int, default=4)
+    p.add_argument("--quick", action="store_true",
+                   help="smaller scenario set (CI smoke)")
+    p.add_argument("--out", default="BENCH_chaos.json")
+    p.set_defaults(func=_cmd_chaos_bench)
 
     p = sub.add_parser("spy", help="render a .mtx pattern as ASCII")
     p.add_argument("matrix", help="path to a .mtx file")

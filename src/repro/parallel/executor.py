@@ -19,6 +19,8 @@ from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 import numpy as np
 
+from repro.resilience import hooks
+
 from repro.formats.dbsr import DBSRMatrix
 from repro.ordering.vbmc import ColorSchedule
 from repro.simd.counters import OpCounter
@@ -61,6 +63,12 @@ class ColorParallelExecutor:
         self._owns_pool = pool is None
         self._pool = pool if pool is not None else _new_pool(self.n_workers)
 
+    @staticmethod
+    def _worker_task(task, group):
+        """One pooled unit of work (the ``parallel.worker`` fault site)."""
+        hooks.fire("parallel.worker", group=group)
+        return task(group)
+
     def _run_color(self, task, groups) -> None:
         """Submit one color's groups; fail fast on the first exception.
 
@@ -68,7 +76,8 @@ class ColorParallelExecutor:
         the first (submission-order) exception is re-raised promptly,
         instead of letting the remaining queued work drain first.
         """
-        futures = [self._pool.submit(task, g) for g in groups]
+        futures = [self._pool.submit(self._worker_task, task, g)
+                   for g in groups]
         done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
         if not_done:  # a task failed while work was still queued/running
             for f in not_done:

@@ -1,0 +1,162 @@
+"""Typed failure taxonomy of the resilience subsystem.
+
+Every failure the serving stack can *recover from* gets its own type so
+callers (the fallback chain, the service frontend, tests) can branch on
+semantics instead of parsing messages:
+
+* :class:`ResilienceError` — common base of all guarded failures.
+* :class:`SolverBreakdown` / :class:`NonFiniteError` — iterative-solver
+  breakdowns (non-finite residual, rho breakdown, stagnation), carrying
+  the iteration number and the last finite residual.
+* :class:`PlanValidationError` — a compiled plan's artifacts failed a
+  structural or integrity check (corrupt permutation, out-of-range
+  block index, non-finite value, digest mismatch).
+* :class:`DrainTimeout` / :class:`DeadlineExceeded` — service-level
+  deadlines, naming the tickets left behind.
+* :class:`CircuitOpen` / :class:`FallbackExhausted` — the self-healing
+  ladder gave up (temporarily, resp. for this request).
+* :class:`FaultInjected` — deliberately raised by an armed
+  :class:`~repro.resilience.faults.FaultInjector`; intentionally *not*
+  a :class:`ResilienceError` so the chain must treat it like any other
+  unexpected worker/kernel error.
+
+This module is a dependency leaf (stdlib only) so every layer — simd,
+parallel, solvers, serve — can import it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class of all typed, guarded failures."""
+
+
+class SolverBreakdown(ResilienceError):
+    """An iterative solver cannot make further progress.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the breakdown.
+    iteration:
+        Iteration index at which the breakdown was detected (0 is the
+        first iteration after the initial residual).
+    last_residual:
+        Last residual norm known to be finite (``nan`` when even the
+        initial residual was bad).
+    reason:
+        Machine-readable class: ``"non_finite"``, ``"rho_breakdown"``,
+        or ``"stagnation"``.
+    """
+
+    def __init__(self, message: str, iteration: int = -1,
+                 last_residual: float = float("nan"),
+                 reason: str = "breakdown"):
+        super().__init__(
+            f"{message} (iteration {iteration}, "
+            f"last good residual {last_residual:.6e})")
+        self.iteration = int(iteration)
+        self.last_residual = float(last_residual)
+        self.reason = reason
+
+
+class NonFiniteError(SolverBreakdown):
+    """A residual, solution, or intermediate quantity went NaN/Inf."""
+
+    def __init__(self, message: str, iteration: int = -1,
+                 last_residual: float = float("nan")):
+        super().__init__(message, iteration=iteration,
+                         last_residual=last_residual,
+                         reason="non_finite")
+
+
+class PlanValidationError(ResilienceError):
+    """A compiled plan's artifacts failed validation.
+
+    ``artifact`` names the offending array (``"ordering.old_to_new"``,
+    ``"lower.values"``, ...); ``index`` locates the first bad entry
+    when known.
+    """
+
+    def __init__(self, message: str, artifact: str = "",
+                 index: int | None = None):
+        loc = f" [{artifact}" + (
+            f"@{index}]" if index is not None else "]") if artifact else ""
+        super().__init__(f"{message}{loc}")
+        self.artifact = artifact
+        self.index = index
+
+
+class DrainTimeout(ResilienceError):
+    """``SolveService.drain`` hit its deadline with work left over.
+
+    ``ticket_ids`` lists the requests that were *not* executed; they
+    remain queued and a later ``drain`` call will pick them up.
+    """
+
+    def __init__(self, timeout: float, ticket_ids: list[int]):
+        super().__init__(
+            f"drain exceeded {timeout:g}s with "
+            f"{len(ticket_ids)} request(s) unfinished: "
+            f"{sorted(ticket_ids)}")
+        self.timeout = float(timeout)
+        self.ticket_ids = list(ticket_ids)
+
+
+class DeadlineExceeded(ResilienceError):
+    """A single request's deadline expired before it was executed."""
+
+    def __init__(self, request_id: int, deadline_seconds: float):
+        super().__init__(
+            f"request {request_id} missed its "
+            f"{deadline_seconds:g}s deadline")
+        self.request_id = int(request_id)
+        self.deadline_seconds = float(deadline_seconds)
+
+
+class CircuitOpen(ResilienceError):
+    """The per-fingerprint circuit breaker is open — solve refused."""
+
+    def __init__(self, fingerprint: str, failures: int,
+                 retry_after: float):
+        super().__init__(
+            f"circuit open for {fingerprint[:12]}… after "
+            f"{failures} consecutive failures; retry in "
+            f"{retry_after:.3g}s")
+        self.fingerprint = fingerprint
+        self.failures = int(failures)
+        self.retry_after = float(retry_after)
+
+
+class FallbackExhausted(ResilienceError):
+    """Every rung of the fallback ladder failed for one request.
+
+    ``attempts`` is a list of ``(rung, error_repr)`` pairs in the order
+    they were tried.
+    """
+
+    def __init__(self, fingerprint: str, op: str,
+                 attempts: list[tuple[str, str]]):
+        chain = " -> ".join(f"{rung}: {err}" for rung, err in attempts)
+        super().__init__(
+            f"all fallback rungs failed for op {op!r} on "
+            f"{fingerprint[:12]}…: {chain}")
+        self.fingerprint = fingerprint
+        self.op = op
+        self.attempts = list(attempts)
+
+
+class FaultInjected(RuntimeError):
+    """Raised by an armed fault injector (chaos testing only).
+
+    Deliberately *not* a :class:`ResilienceError`: injected faults
+    model arbitrary worker/kernel crashes, so recovery code must not
+    be able to special-case them.
+    """
+
+    def __init__(self, site: str, kind: str, detail: str = ""):
+        super().__init__(
+            f"injected fault {kind!r} at site {site!r}"
+            + (f": {detail}" if detail else ""))
+        self.site = site
+        self.kind = kind

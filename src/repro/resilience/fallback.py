@@ -1,0 +1,505 @@
+"""Self-healing solve path: the DBSR → SELL → CSR fallback ladder.
+
+The paper's format family is a natural degradation ladder: DBSR is the
+fastest but structurally most fragile format (one corrupted anchor
+poisons a whole sweep), SELL-C-σ tolerates irregular rows, and scalar
+CSR is the always-correct reference. A :class:`FallbackChain` walks
+that ladder for one solve:
+
+1. **Validate** the rung's artifacts (structural checks + sealed
+   SHA-256 integrity digests from :mod:`repro.resilience.guardrails`).
+2. **Heal** — if validation shows the compiled plan is poisoned, the
+   chain invalidates its :class:`~repro.serve.cache.PlanCache` entry
+   and recompiles once; the fresh plan serves this request *and* every
+   later one (self-healing, not just degradation).
+3. **Execute** the rung, then **verify** the solution: finiteness
+   always, and for triangular ops a relative-residual check against
+   the trusted permuted CSR operator (which catches silent value
+   corruption such as mantissa bit-flips).
+4. On failure, **back off exponentially** and descend to the next
+   rung.
+
+A per-fingerprint :class:`CircuitBreaker` sits in front: after
+``threshold`` consecutive exhausted ladders the structure is declared
+sick and solves fail fast with
+:class:`~repro.resilience.errors.CircuitOpen` until a cooldown elapses
+(then one half-open probe decides whether to close again).
+
+The fallback rungs fire the same ``plan.execute`` hook site as the
+native path, so chaos plans can strike any rung.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience import hooks
+from repro.resilience.errors import (
+    CircuitOpen,
+    FallbackExhausted,
+    NonFiniteError,
+    PlanValidationError,
+    ResilienceError,
+)
+from repro.resilience.guardrails import (
+    check_integrity,
+    validate_csr,
+    validate_dbsr,
+    validate_diag,
+    validate_permutation,
+    validate_sell,
+)
+
+#: The degradation ladder, fastest (most fragile) first.
+LADDER = ("dbsr", "sell", "csr")
+
+#: Circuit-breaker states.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Per-fingerprint failure circuit.
+
+    ``threshold`` consecutive unrecoverable failures open the circuit;
+    while open, :meth:`allow` raises
+    :class:`~repro.resilience.errors.CircuitOpen` without doing any
+    work. After ``cooldown_seconds`` the circuit goes half-open: one
+    probe solve is let through — success closes the circuit, failure
+    re-opens it (and restarts the cooldown).
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(self, threshold: int = 3,
+                 cooldown_seconds: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._failures: dict[str, int] = {}
+        self._state: dict[str, str] = {}
+        self._opened_at: dict[str, float] = {}
+        self.open_events = 0
+        self.rejections = 0
+
+    def state(self, fingerprint: str) -> str:
+        with self._lock:
+            return self._state.get(fingerprint, CLOSED)
+
+    def allow(self, fingerprint: str) -> None:
+        """Raise :class:`CircuitOpen` unless a solve may proceed."""
+        with self._lock:
+            state = self._state.get(fingerprint, CLOSED)
+            if state != OPEN:
+                return
+            elapsed = self.clock() - self._opened_at[fingerprint]
+            if elapsed >= self.cooldown_seconds:
+                self._state[fingerprint] = HALF_OPEN
+                return
+            self.rejections += 1
+            raise CircuitOpen(fingerprint,
+                              self._failures.get(fingerprint, 0),
+                              retry_after=self.cooldown_seconds - elapsed)
+
+    def record_success(self, fingerprint: str) -> None:
+        with self._lock:
+            self._failures[fingerprint] = 0
+            self._state[fingerprint] = CLOSED
+
+    def record_failure(self, fingerprint: str) -> bool:
+        """Count a failure; returns ``True`` if the circuit opened."""
+        with self._lock:
+            was = self._state.get(fingerprint, CLOSED)
+            n = self._failures.get(fingerprint, 0) + 1
+            self._failures[fingerprint] = n
+            if was == HALF_OPEN or n >= self.threshold:
+                self._state[fingerprint] = OPEN
+                self._opened_at[fingerprint] = self.clock()
+                self.open_events += 1
+                return True
+            return False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown_seconds,
+                "open_events": self.open_events,
+                "rejections": self.rejections,
+                "states": dict(self._state),
+                "failures": dict(self._failures),
+            }
+
+
+@dataclass
+class FallbackResult:
+    """Outcome of one chain execution."""
+
+    solution: np.ndarray
+    rung: str
+    depth: int
+    recompiled: bool
+    attempts: list = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        return self.depth > 0 or self.recompiled
+
+
+class FallbackChain:
+    """Executes solves down the DBSR → SELL → CSR ladder.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`~repro.serve.cache.PlanCache`; poisoned
+        entries are invalidated there and recompiled through it so the
+        healing is visible to every later request.
+    breaker:
+        Circuit breaker (a default 3-failure/30 s one if omitted).
+    max_recompiles:
+        Recompile budget per request (healing attempts).
+    backoff_base, backoff_factor, backoff_max:
+        Exponential backoff between rung attempts:
+        ``base * factor**(failures-1)`` seconds, capped. ``base=0``
+        disables sleeping (tests).
+    residual_check, residual_scale:
+        Verify triangular solves against the trusted permuted CSR
+        operator with relative tolerance
+        ``residual_scale * eps(dtype)``; catches silent value
+        corruption the structural validators cannot see.
+    integrity:
+        Also compare sealed SHA-256 digests before each rung.
+    sleep:
+        Injectable sleep function (tests).
+    """
+
+    def __init__(self, cache=None, breaker: CircuitBreaker | None = None,
+                 max_recompiles: int = 1, backoff_base: float = 0.01,
+                 backoff_factor: float = 2.0, backoff_max: float = 1.0,
+                 residual_check: bool = True,
+                 residual_scale: float = 1e6,
+                 integrity: bool = True, sleep=time.sleep):
+        self.cache = cache
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.max_recompiles = int(max_recompiles)
+        self.backoff_base = float(backoff_base)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_max = float(backoff_max)
+        self.residual_check = residual_check
+        self.residual_scale = float(residual_scale)
+        self.integrity = integrity
+        self.sleep = sleep
+        self._lock = threading.Lock()
+        # Counters -------------------------------------------------------
+        self.solves = 0
+        self.faults_detected = 0
+        self.recovered = 0
+        self.recompiles = 0
+        self.exhausted = 0
+        self.depth_histogram = {i: 0 for i in range(len(LADDER))}
+        self.rung_failures = {r: 0 for r in LADDER}
+        self.seconds_by_depth = {i: 0.0 for i in range(len(LADDER))}
+
+    # Public API -----------------------------------------------------------
+    def execute(self, plan, op: str, B: np.ndarray) -> FallbackResult:
+        """Solve ``op`` for ``B`` with validation, healing, fallback.
+
+        Returns a :class:`FallbackResult`; raises
+        :class:`~repro.resilience.errors.CircuitOpen` when the
+        breaker refuses the fingerprint and
+        :class:`~repro.resilience.errors.FallbackExhausted` when every
+        rung fails.
+        """
+        fp = plan.fingerprint
+        self.breaker.allow(fp)
+        t0 = time.perf_counter()
+        ladder = self._ladder_for(plan)
+        attempts: list[tuple[str, str]] = []
+        current = plan
+        recompiled = False
+        failures = 0
+        for depth, rung in enumerate(ladder):
+            if failures:
+                self._backoff(failures)
+            try:
+                self._validate_rung(current, rung)
+            except PlanValidationError as exc:
+                self._count("faults_detected")
+                attempts.append((rung, repr(exc)))
+                healed = self._heal(current)
+                if healed is None:
+                    self._count_rung_failure(rung)
+                    failures += 1
+                    continue
+                current, recompiled = healed, True
+                try:
+                    self._validate_rung(current, rung)
+                except PlanValidationError as exc2:
+                    attempts.append((rung, repr(exc2)))
+                    self._count_rung_failure(rung)
+                    failures += 1
+                    continue
+            try:
+                X = self._run_rung(current, rung, op, B)
+                self._check_solution(current, rung, op, B, X)
+            except Exception as exc:  # noqa: BLE001 - ladder boundary
+                self._count("faults_detected")
+                self._count_rung_failure(rung)
+                attempts.append((rung, repr(exc)))
+                failures += 1
+                continue
+            seconds = time.perf_counter() - t0
+            self._record_success(fp, depth, attempts, recompiled, seconds)
+            return FallbackResult(solution=X, rung=rung, depth=depth,
+                                  recompiled=recompiled,
+                                  attempts=list(attempts),
+                                  seconds=seconds)
+        with self._lock:
+            self.solves += 1
+            self.exhausted += 1
+        self.breaker.record_failure(fp)
+        raise FallbackExhausted(fp, op, attempts)
+
+    # Reference path --------------------------------------------------------
+    def execute_reference(self, plan, op: str, B: np.ndarray) -> np.ndarray:
+        """The clean scalar CSR reference path (the ladder's last rung).
+
+        Chaos tests compare recovered solutions against this — a
+        recovery that lands on the CSR rung is bit-identical to it.
+        """
+        return self._run_csr(plan, op, B, fire=False)
+
+    # Internals -------------------------------------------------------------
+    @staticmethod
+    def _ladder_for(plan) -> tuple:
+        strategy = plan.config.strategy
+        start = LADDER.index(strategy) if strategy in LADDER else 0
+        return LADDER[start:]
+
+    def _backoff(self, failures: int) -> None:
+        if self.backoff_base <= 0:
+            return
+        delay = self.backoff_base * self.backoff_factor ** (failures - 1)
+        self.sleep(min(delay, self.backoff_max))
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def _count_rung_failure(self, rung: str) -> None:
+        with self._lock:
+            self.rung_failures[rung] += 1
+
+    def _record_success(self, fp: str, depth: int, attempts,
+                        recompiled: bool, seconds: float) -> None:
+        with self._lock:
+            self.solves += 1
+            self.depth_histogram[depth] += 1
+            self.seconds_by_depth[depth] += seconds
+            if depth > 0 or recompiled or attempts:
+                self.recovered += 1
+        self.breaker.record_success(fp)
+
+    def _heal(self, plan):
+        """Invalidate + recompile a poisoned plan; ``None`` on failure."""
+        with self._lock:
+            if self.recompiles_used_for(plan) >= self.max_recompiles:
+                return None
+        try:
+            if self.cache is not None:
+                self.cache.invalidate(plan.fingerprint)
+                fresh, _ = self.cache.get_or_compile(
+                    plan.grid, plan.stencil, plan.config)
+            else:
+                from repro.serve.plan import compile_plan
+
+                fresh = compile_plan(plan.grid, plan.stencil, plan.config)
+        except Exception:  # noqa: BLE001 - compile itself may be poisoned
+            self._count("recompiles")
+            self._note_recompile(plan)
+            return None
+        self._count("recompiles")
+        self._note_recompile(plan, fresh)
+        return fresh
+
+    # Per-request recompile budget: tracked on the plan object itself so
+    # a retry storm over one poisoned structure cannot recompile forever.
+    @staticmethod
+    def recompiles_used_for(plan) -> int:
+        return getattr(plan, "_heal_attempts", 0)
+
+    @staticmethod
+    def _note_recompile(plan, fresh=None) -> None:
+        used = getattr(plan, "_heal_attempts", 0) + 1
+        plan._heal_attempts = used
+        if fresh is not None:
+            fresh._heal_attempts = 0
+
+    # Rung validation -------------------------------------------------------
+    def _validate_rung(self, plan, rung: str) -> None:
+        validate_permutation(plan.ordering.old_to_new, plan.n_padded)
+        validate_diag(plan.diag)
+        if rung == "dbsr":
+            validate_dbsr(plan.dbsr, "dbsr")
+            validate_dbsr(plan.lower, "lower", triangular="lower")
+            validate_dbsr(plan.upper, "upper", triangular="upper")
+            scope = ("ordering.old_to_new", "diag", "dbsr", "lower",
+                     "upper")
+        elif rung == "sell":
+            validate_csr(plan.matrix, "matrix")
+            if plan.sell_lower is not None:
+                validate_sell(plan.sell_lower, "sell_lower")
+                validate_sell(plan.sell_upper, "sell_upper")
+            scope = ("ordering.old_to_new", "diag", "matrix")
+        else:
+            validate_csr(plan.matrix, "matrix")
+            scope = ("ordering.old_to_new", "diag", "matrix")
+        if self.integrity:
+            check_integrity(plan, artifacts=scope)
+
+    # Rung execution --------------------------------------------------------
+    def _run_rung(self, plan, rung: str, op: str,
+                  B: np.ndarray) -> np.ndarray:
+        if rung == plan.config.strategy:
+            return plan.execute(op, B)
+        if rung == "sell":
+            return self._run_sell(plan, op, B)
+        return self._run_csr(plan, op, B)
+
+    def _run_sell(self, plan, op: str, B: np.ndarray) -> np.ndarray:
+        from repro.kernels.sptrsv_sell import (
+            sptrsv_sell_lower,
+            sptrsv_sell_upper,
+        )
+        from repro.kernels.symgs_sell import symgs_sell
+
+        hooks.fire("plan.execute", strategy="sell", op=op,
+                   fingerprint=plan.fingerprint)
+        arts = self._sell_artifacts(plan)
+        single, Bp = self._extend(plan, B)
+        out = np.empty_like(Bp)
+        for j in range(Bp.shape[1]):
+            if op == "lower":
+                out[:, j] = sptrsv_sell_lower(arts["lower"], Bp[:, j],
+                                              diag=plan.diag)
+            elif op == "upper":
+                out[:, j] = sptrsv_sell_upper(arts["upper"], Bp[:, j],
+                                              diag=plan.diag)
+            elif op == "spmv":
+                out[:, j] = arts["full"].matvec(Bp[:, j])
+            else:  # symgs from a zero initial guess
+                x = np.zeros_like(Bp[:, j])
+                out[:, j] = symgs_sell(arts["full"], plan.diag, x,
+                                       Bp[:, j])
+        return self._restrict(plan, out, single)
+
+    def _run_csr(self, plan, op: str, B: np.ndarray,
+                 fire: bool = True) -> np.ndarray:
+        from repro.kernels.sptrsv_csr import sptrsv_csr, sptrsv_csr_upper
+        from repro.kernels.symgs import symgs_csr
+
+        if fire:
+            hooks.fire("plan.execute", strategy="csr", op=op,
+                       fingerprint=plan.fingerprint)
+        L, D, U = self._csr_artifacts(plan)
+        single, Bp = self._extend(plan, B)
+        out = np.empty_like(Bp)
+        for j in range(Bp.shape[1]):
+            if op == "lower":
+                out[:, j] = sptrsv_csr(L, D, Bp[:, j])
+            elif op == "upper":
+                out[:, j] = sptrsv_csr_upper(U, D, Bp[:, j])
+            elif op == "spmv":
+                out[:, j] = plan.matrix.matvec(Bp[:, j])
+            else:
+                x = np.zeros_like(Bp[:, j])
+                out[:, j] = symgs_csr(plan.matrix, D, x, Bp[:, j])
+        return self._restrict(plan, out, single)
+
+    # Derived artifacts, built once per plan object and cached on it.
+    @staticmethod
+    def _csr_artifacts(plan):
+        cached = getattr(plan, "_fallback_csr", None)
+        if cached is None:
+            from repro.kernels.sptrsv_csr import split_triangular
+
+            cached = split_triangular(plan.matrix)
+            plan._fallback_csr = cached
+        return cached
+
+    def _sell_artifacts(self, plan):
+        cached = getattr(plan, "_fallback_sell", None)
+        if cached is None:
+            from repro.formats.sell import SELLMatrix
+
+            L, _, U = self._csr_artifacts(plan)
+            cached = {
+                "lower": SELLMatrix(L, chunk=plan.bsize),
+                "upper": SELLMatrix(U, chunk=plan.bsize),
+                "full": SELLMatrix(plan.matrix, chunk=plan.bsize),
+            }
+            plan._fallback_sell = cached
+        return cached
+
+    # Vector mapping (mirrors SolvePlan.execute's extend/restrict).
+    @staticmethod
+    def _extend(plan, B: np.ndarray):
+        B = np.asarray(B, dtype=plan.config.np_dtype)
+        single = B.ndim == 1
+        return single, plan.extend(B.reshape(plan.n, -1))
+
+    @staticmethod
+    def _restrict(plan, Xp: np.ndarray, single: bool) -> np.ndarray:
+        out = plan.restrict(Xp)
+        return out[:, 0] if single else out
+
+    # Solution verification -------------------------------------------------
+    def _check_solution(self, plan, rung: str, op: str, B: np.ndarray,
+                        X: np.ndarray) -> None:
+        if not np.all(np.isfinite(X)):
+            raise NonFiniteError(
+                f"{rung} rung produced a non-finite solution for "
+                f"op {op!r}")
+        if not self.residual_check or op not in ("lower", "upper"):
+            return
+        L, D, U = self._csr_artifacts(plan)
+        single, Bp = self._extend(plan, B)
+        _, Xp = self._extend(plan, X)
+        T = L if op == "lower" else U
+        tol = self.residual_scale * float(
+            np.finfo(np.asarray(Xp).dtype).eps)
+        for j in range(Bp.shape[1]):
+            r = T.matvec(Xp[:, j]) + D * Xp[:, j] - Bp[:, j]
+            scale = float(np.linalg.norm(Bp[:, j])) or 1.0
+            rel = float(np.linalg.norm(r)) / scale
+            if not np.isfinite(rel) or rel > tol:
+                raise ResilienceError(
+                    f"{rung} solution failed the residual guard: "
+                    f"relative residual {rel:.3e} > {tol:.3e} "
+                    f"(silent value corruption?)")
+
+    # Reporting -------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "solves": self.solves,
+                "faults_detected": self.faults_detected,
+                "recovered": self.recovered,
+                "recompiles": self.recompiles,
+                "exhausted": self.exhausted,
+                "depth_histogram": {str(k): v for k, v
+                                    in self.depth_histogram.items()},
+                "rung_failures": dict(self.rung_failures),
+                "seconds_by_depth": {str(k): v for k, v
+                                     in self.seconds_by_depth.items()},
+                "breaker": self.breaker.stats(),
+            }

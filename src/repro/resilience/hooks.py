@@ -1,0 +1,67 @@
+"""Fault-injection hook sites — zero-cost when disarmed.
+
+Kernel phases that chaos tests need to reach (pooled worker tasks,
+vectorized kernel entry, plan compilation) call :func:`fire` with a
+site name. When no injector is installed the call is a module-level
+``None`` check and an immediate return: no allocation, no engine op,
+no counter mutation — the clean path's op counts are bit-identical to
+a build without hooks.
+
+Sites currently wired:
+
+======================  ====================================================
+site                    fired from
+======================  ====================================================
+``parallel.worker``     each group task of
+                        :class:`~repro.parallel.executor.ColorParallelExecutor`
+``simd.engine``         :class:`~repro.simd.engine.VectorEngine` creation
+                        (counted-kernel entry)
+``plan.execute``        :meth:`repro.serve.plan.SolvePlan.execute`
+``serve.compile``       end of :func:`repro.serve.plan.compile_plan`,
+                        *before* compile-time validation
+======================  ====================================================
+
+The installed object only needs a ``fire(site, **ctx)`` method — in
+practice a :class:`~repro.resilience.faults.FaultInjector`. Install via
+:func:`repro.resilience.faults.inject` (a context manager) rather than
+calling :func:`install` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_active = None
+_lock = threading.Lock()
+
+
+def install(injector) -> None:
+    """Arm ``injector`` globally (one at a time; last install wins)."""
+    global _active
+    with _lock:
+        _active = injector
+
+
+def uninstall(injector=None) -> None:
+    """Disarm; pass the injector to only remove if it is still active."""
+    global _active
+    with _lock:
+        if injector is None or _active is injector:
+            _active = None
+
+
+def active():
+    """The installed injector, or ``None``."""
+    return _active
+
+
+def fire(site: str, **ctx) -> None:
+    """Give the armed injector (if any) a chance to act at ``site``.
+
+    May raise (exception faults), sleep (delay faults), or mutate the
+    artifacts passed via ``ctx`` (corruption faults). No-op when
+    disarmed.
+    """
+    inj = _active
+    if inj is not None:
+        inj.fire(site, **ctx)

@@ -69,6 +69,7 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.compiles = 0
+        self.invalidations = 0
         self.compile_seconds = 0.0
         self._picks = self._load_picks()
 
@@ -124,6 +125,49 @@ class PlanCache:
             while len(self._plans) > self.capacity:
                 self._plans.popitem(last=False)
                 self.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop a (poisoned) plan; the next request recompiles it.
+
+        Returns whether an entry was actually removed. Used by the
+        self-healing fallback chain
+        (:class:`repro.resilience.fallback.FallbackChain`) when a
+        cached plan fails validation.
+        """
+        with self._lock:
+            removed = self._plans.pop(fingerprint, None) is not None
+            if removed:
+                self.invalidations += 1
+            return removed
+
+    def verify(self, fingerprint: str | None = None,
+               evict_bad: bool = True) -> list:
+        """Integrity-check cached plans; returns poisoned fingerprints.
+
+        Runs the structural + digest validators of
+        :mod:`repro.resilience.guardrails` over one plan (or all of
+        them) and, with ``evict_bad``, invalidates every plan that
+        fails so it recompiles on next use.
+        """
+        from repro.resilience.errors import PlanValidationError
+        from repro.resilience.guardrails import validate_plan
+
+        with self._lock:
+            fps = [fingerprint] if fingerprint is not None \
+                else list(self._plans)
+        bad = []
+        for fp in fps:
+            with self._lock:
+                plan = self._plans.get(fp)
+            if plan is None:
+                continue
+            try:
+                validate_plan(plan, level="integrity")
+            except PlanValidationError:
+                bad.append(fp)
+                if evict_bad:
+                    self.invalidate(fp)
+        return bad
 
     def __len__(self) -> int:
         with self._lock:
@@ -200,6 +244,7 @@ class PlanCache:
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "compiles": self.compiles,
             "compile_seconds": self.compile_seconds,
             "persisted_picks": picks,

@@ -31,6 +31,8 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dbsr import DBSRMatrix
 from repro.grids.grid import StructuredGrid
 from repro.grids.stencils import Stencil, stencil_by_name
+from repro.resilience import hooks
+from repro.resilience.guardrails import seal_plan, validate_plan
 from repro.utils.validation import check_positive, require
 
 #: Kernel families a plan can be compiled for.
@@ -173,6 +175,11 @@ class SolvePlan:
     sell_upper: object = None
     compile_seconds: float = 0.0
     autotuned: bool = field(default=False)
+    #: Per-artifact SHA-256 digests sealed at compile time by
+    #: :func:`repro.resilience.guardrails.seal_plan`; lets the fallback
+    #: chain detect byte-level corruption of cached artifacts.
+    integrity: dict | None = field(default=None, repr=False,
+                                   compare=False)
 
     @property
     def n(self) -> int:
@@ -216,6 +223,8 @@ class SolvePlan:
         column (verified by the serve test suite).
         """
         require(op in PLAN_OPS, f"unknown op {op!r}; known: {PLAN_OPS}")
+        hooks.fire("plan.execute", strategy=self.config.strategy, op=op,
+                   fingerprint=self.fingerprint)
         B = np.asarray(B, dtype=self.config.np_dtype)
         single = B.ndim == 1
         require(B.shape[0] == self.n,
@@ -340,7 +349,7 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
         sell_lower = SELLMatrix(L, chunk=bsize)
         sell_upper = SELLMatrix(U, chunk=bsize)
 
-    return SolvePlan(
+    plan = SolvePlan(
         fingerprint=fingerprint,
         config=config,
         grid=grid,
@@ -358,3 +367,9 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
         compile_seconds=time.perf_counter() - t0,
         autotuned=autotuned,
     )
+    # Chaos may corrupt the freshly compiled plan here; compile-time
+    # validation then rejects it before it can reach a cache or kernel.
+    hooks.fire("serve.compile", plan=plan, fingerprint=fingerprint)
+    validate_plan(plan)
+    seal_plan(plan)
+    return plan

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.grids.grid import StructuredGrid
+from repro.resilience.errors import DeadlineExceeded, DrainTimeout
 from repro.runtime.session import SolverSession
 from repro.serve.cache import PlanCache
 from repro.serve.plan import (
@@ -87,6 +88,12 @@ class SolveTicket:
 
     def _finish(self, result: np.ndarray | None,
                 error: BaseException | None = None) -> None:
+        if error is not None and hasattr(error, "add_note"):
+            # Name the originating request so a bare kernel error read
+            # off a ticket is traceable to its op and structure.
+            error.add_note(
+                f"[request {self.request_id}: op={self.op!r}, "
+                f"fingerprint={self.fingerprint[:12]}…]")
         self._result = result
         self._error = error
         self._done.set()
@@ -99,6 +106,9 @@ class _Pending:
     stencil: object
     config: PlanConfig
     rhs: np.ndarray
+    #: Absolute monotonic expiry (``None`` = no deadline).
+    deadline_at: float | None = None
+    deadline_seconds: float = 0.0
 
 
 class SolveService:
@@ -119,11 +129,18 @@ class SolveService:
 
     def __init__(self, cache: PlanCache | None = None,
                  config: PlanConfig | None = None,
-                 max_batch: int = 8, max_pending: int = 64):
+                 max_batch: int = 8, max_pending: int = 64,
+                 resilience=None):
         self.cache = cache if cache is not None else PlanCache()
         self.config = config if config is not None else PlanConfig()
         self.max_batch = check_positive(max_batch, "max_batch")
         self.max_pending = check_positive(max_pending, "max_pending")
+        #: Optional :class:`repro.resilience.fallback.FallbackChain`.
+        #: ``None`` (the default) keeps the serve path byte-identical
+        #: to a build without the resilience subsystem; when set, every
+        #: solve goes through validation + the self-healing ladder and
+        #: the chain's cache should be this service's cache.
+        self.resilience = resilience
         self.session = SolverSession(n_workers=self.config.n_workers)
         self._lock = threading.Lock()
         self._pending: list[_Pending] = []
@@ -136,17 +153,26 @@ class SolveService:
     # Submission ---------------------------------------------------------
     def submit(self, grid: StructuredGrid, stencil, rhs: np.ndarray,
                op: str = "lower",
-               config: PlanConfig | None = None) -> SolveTicket:
+               config: PlanConfig | None = None,
+               deadline: float | None = None) -> SolveTicket:
         """Queue one request; returns its ticket.
 
         Shape and op validation happens here, synchronously, so a
         malformed request fails at the submission site instead of
         poisoning a batch. Raises :class:`Backpressure` when the
         pending queue is at ``max_pending``.
+
+        ``deadline`` (seconds from now) bounds how stale the request
+        may become: a request still queued when its deadline passes is
+        failed with
+        :class:`~repro.resilience.errors.DeadlineExceeded` at drain
+        time instead of being executed.
         """
         config = config if config is not None else self.config
         if op not in PLAN_OPS:
             raise RequestError(f"unknown op {op!r}; known: {PLAN_OPS}")
+        if deadline is not None and deadline <= 0:
+            raise RequestError(f"deadline must be > 0, got {deadline}")
         rhs = np.asarray(rhs)
         if rhs.ndim != 1 or rhs.shape[0] != grid.n_points:
             raise RequestError(
@@ -156,7 +182,10 @@ class SolveService:
                              fingerprint=fp, op=op)
         entry = _Pending(ticket=ticket, grid=grid, stencil=stencil,
                          config=config,
-                         rhs=rhs.astype(config.np_dtype, copy=True))
+                         rhs=rhs.astype(config.np_dtype, copy=True),
+                         deadline_at=(time.monotonic() + deadline
+                                      if deadline is not None else None),
+                         deadline_seconds=deadline or 0.0)
         with self._lock:
             if len(self._pending) >= self.max_pending:
                 raise Backpressure(
@@ -171,14 +200,22 @@ class SolveService:
             return len(self._pending)
 
     # Execution ----------------------------------------------------------
-    def drain(self) -> int:
+    def drain(self, timeout: float | None = None) -> int:
         """Execute every pending request; returns how many completed.
 
         Requests are grouped by ``(fingerprint, op)`` — submission
         order is preserved inside a group — and each group is executed
         in ``max_batch``-wide RHS blocks through the structure's
         compiled plan.
+
+        ``timeout`` bounds the whole drain: when the budget runs out
+        between batches, the not-yet-executed requests are re-queued
+        (a later ``drain`` picks them up, ahead of newer submissions)
+        and :class:`~repro.resilience.errors.DrainTimeout` is raised
+        naming them. Requests already executed stay executed.
         """
+        deadline_at = (time.monotonic() + timeout
+                       if timeout is not None else None)
         with self._lock:
             pending, self._pending = self._pending, []
         if not pending:
@@ -188,7 +225,17 @@ class SolveService:
             key = (entry.ticket.fingerprint, entry.ticket.op)
             groups.setdefault(key, []).append(entry)
         n_done = 0
-        for (fp, op), entries in groups.items():
+        work: list[tuple[object, str, list[bool], list[_Pending]]] = []
+        leftover: list[_Pending] = []
+        group_items = list(groups.items())
+        for gi, ((fp, op), entries) in enumerate(group_items):
+            if deadline_at is not None \
+                    and time.monotonic() > deadline_at:
+                # Out of budget before this group even compiled.
+                leftover.extend(entries)
+                for _, rest in group_items[gi + 1:]:
+                    leftover.extend(rest)
+                self._requeue_and_raise(timeout, leftover)
             # One cache transaction per request: the first may compile,
             # coalesced followers count (and are served) as hits — the
             # per-request hit rate is what serve-bench reports.
@@ -196,10 +243,24 @@ class SolveService:
             plan = lookups[0][0]
             hits = [hit for _, hit in lookups]
             for lo in range(0, len(entries), self.max_batch):
-                chunk = entries[lo:lo + self.max_batch]
-                n_done += self._run_batch(plan, hits[lo:lo + self.max_batch],
-                                          op, chunk)
+                work.append((plan, op, hits[lo:lo + self.max_batch],
+                             entries[lo:lo + self.max_batch]))
+        for wi, (plan, op, hits, chunk) in enumerate(work):
+            if deadline_at is not None \
+                    and time.monotonic() > deadline_at:
+                for _, _, _, rest in work[wi:]:
+                    leftover.extend(rest)
+                self._requeue_and_raise(timeout, leftover)
+            n_done += self._run_batch(plan, hits, op, chunk)
         return n_done
+
+    def _requeue_and_raise(self, timeout: float,
+                           leftover: list) -> None:
+        """Put unexecuted requests back (ahead of newer submissions)."""
+        with self._lock:
+            self._pending = leftover + self._pending
+        raise DrainTimeout(timeout,
+                           [e.ticket.request_id for e in leftover])
 
     def _plan_for(self, entry: _Pending) -> tuple[SolvePlan, bool]:
         with self.session.phase("compile"):
@@ -208,6 +269,10 @@ class SolveService:
 
     def _validate(self, plan: SolvePlan, entry: _Pending) -> None:
         """Drain-time per-request checks (cheap, isolates bad RHS)."""
+        if entry.deadline_at is not None \
+                and time.monotonic() > entry.deadline_at:
+            raise DeadlineExceeded(entry.ticket.request_id,
+                                   entry.deadline_seconds)
         if not np.all(np.isfinite(entry.rhs)):
             raise RequestError(
                 f"request {entry.ticket.request_id}: non-finite rhs")
@@ -230,7 +295,7 @@ class SolveService:
         t0 = time.perf_counter()
         try:
             with self.session.phase("solve"):
-                X = plan.execute(op, B)
+                X = self._execute(plan, op, B)
         except BaseException:
             # A kernel-level failure cannot name its culprit; re-run
             # each request alone so only the offender fails.
@@ -245,6 +310,13 @@ class SolveService:
             self.completed += 1
         return k
 
+    def _execute(self, plan: SolvePlan, op: str,
+                 B: np.ndarray) -> np.ndarray:
+        """One solve — native, or through the self-healing ladder."""
+        if self.resilience is None:
+            return plan.execute(op, B)
+        return self.resilience.execute(plan, op, B).solution
+
     def _run_individually(self, plan: SolvePlan, op: str,
                           entries: list[tuple[_Pending, bool]]) -> int:
         n_done = 0
@@ -252,7 +324,7 @@ class SolveService:
             t0 = time.perf_counter()
             try:
                 with self.session.phase("solve"):
-                    x = plan.execute(op, entry.rhs)
+                    x = self._execute(plan, op, entry.rhs)
             except BaseException as exc:  # noqa: BLE001 - per-request
                 entry.ticket._finish(None, exc)
                 self.failed += 1
@@ -310,6 +382,8 @@ class SolveService:
             "max_pending": self.max_pending,
             "cache": self.cache.stats(),
             "phases": self.session.phase_report(),
+            "resilience": (self.resilience.stats()
+                           if self.resilience is not None else None),
         }
 
     def close(self) -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.resilience import hooks
 from repro.simd.counters import OpCounter
 from repro.utils.validation import check_positive
 
@@ -44,6 +45,7 @@ class VectorEngine:
 
     def __init__(self, bsize: int, counter: OpCounter | None = None,
                  dtype=np.float64):
+        hooks.fire("simd.engine", bsize=bsize)
         self.bsize = check_positive(bsize, "bsize")
         self.itemsize = int(np.dtype(dtype).itemsize)
         self.counter = counter if counter is not None else OpCounter(

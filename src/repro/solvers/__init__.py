@@ -5,15 +5,22 @@ the ILU(0) strategies of Fig. 9 stop "when equal and sufficiently
 small residuals are reached", and HPCG's driver is a preconditioned CG.
 """
 
+from repro.resilience.errors import NonFiniteError, SolverBreakdown
 from repro.solvers.convergence import ConvergenceHistory
 from repro.solvers.cg import cg
+from repro.solvers.guards import check_curvature, check_residual, check_rho
 from repro.solvers.pcg import pcg
 from repro.solvers.pcg_fused import pcg_fused
 from repro.solvers.stationary import preconditioned_richardson
 
 __all__ = [
     "ConvergenceHistory",
+    "NonFiniteError",
+    "SolverBreakdown",
     "cg",
+    "check_curvature",
+    "check_residual",
+    "check_rho",
     "pcg",
     "pcg_fused",
     "preconditioned_richardson",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.solvers.convergence import ConvergenceHistory
+from repro.solvers.guards import check_curvature, check_residual
 
 
 def cg(A, b: np.ndarray, x0: np.ndarray | None = None,
@@ -28,6 +29,14 @@ def cg(A, b: np.ndarray, x0: np.ndarray | None = None,
     -------
     (x, history):
         Solution estimate and its :class:`ConvergenceHistory`.
+
+    Raises
+    ------
+    NonFiniteError
+        When the residual norm goes NaN/Inf (carries the iteration and
+        the last finite residual).
+    SolverBreakdown
+        On non-positive curvature ``p . A p``.
     """
     b = np.asarray(b, dtype=float)
     x = np.zeros_like(b) if x0 is None else np.asarray(x0, dtype=float).copy()
@@ -36,16 +45,20 @@ def cg(A, b: np.ndarray, x0: np.ndarray | None = None,
     rs = float(r @ r)
     bnorm = float(np.linalg.norm(b)) or 1.0
     hist = ConvergenceHistory(tol=tol)
-    hist.record(np.sqrt(rs))
-    for _ in range(maxiter):
+    last_good = check_residual(np.sqrt(rs), -1, float("nan"))
+    hist.record(last_good)
+    for it in range(maxiter):
         if np.sqrt(rs) / bnorm <= tol:
             hist.converged = True
             break
         Ap = A.matvec(p)
-        alpha = rs / float(p @ Ap)
+        pAp = float(p @ Ap)
+        check_curvature(pAp, it, last_good)
+        alpha = rs / pAp
         x += alpha * p
         r -= alpha * Ap
         rs_new = float(r @ r)
+        last_good = check_residual(np.sqrt(rs_new), it, last_good)
         hist.record(np.sqrt(rs_new))
         beta = rs_new / rs
         p = r + beta * p

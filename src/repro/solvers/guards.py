@@ -1,0 +1,68 @@
+"""Breakdown guards shared by the iterative solvers.
+
+Krylov loops silently produce garbage when fed a corrupted operator or
+preconditioner: one NaN in the matrix turns every later iterate into
+NaN while the loop keeps "iterating" to ``maxiter``. These checks turn
+that into a typed, early failure —
+:class:`~repro.resilience.errors.NonFiniteError` for non-finite
+residuals and :class:`~repro.resilience.errors.SolverBreakdown` for
+curvature/rho breakdowns — each carrying the iteration index and the
+last residual norm known to be finite, so callers (and the fallback
+chain) can report exactly where the solve died.
+
+Every guard is O(1) on scalars already computed by the loop; the
+per-iteration cost is a couple of comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.resilience.errors import NonFiniteError, SolverBreakdown
+
+
+def check_residual(rnorm: float, iteration: int,
+                   last_good: float) -> float:
+    """Residual norm must be finite; returns it as the new last-good."""
+    if not math.isfinite(rnorm):
+        raise NonFiniteError("residual norm became non-finite",
+                             iteration=iteration,
+                             last_residual=last_good)
+    return rnorm
+
+
+def check_curvature(pAp: float, iteration: int,
+                    last_good: float) -> None:
+    """CG curvature ``p . A p`` must be finite and positive.
+
+    Zero or negative curvature means the operator is no longer SPD as
+    seen by the iteration (corruption, or a broken preconditioner) and
+    the next ``alpha`` would be meaningless or a division by zero.
+    """
+    if not math.isfinite(pAp):
+        raise NonFiniteError("curvature p.Ap became non-finite",
+                             iteration=iteration,
+                             last_residual=last_good)
+    if pAp <= 0.0:
+        raise SolverBreakdown(
+            f"non-positive curvature p.Ap = {pAp:.6e}",
+            iteration=iteration, last_residual=last_good,
+            reason="indefinite_operator")
+
+
+def check_rho(rz: float, iteration: int, last_good: float) -> None:
+    """PCG's ``rho = r . z`` must be finite and non-zero.
+
+    ``rho == 0`` with a non-zero residual means the preconditioner
+    annihilated the residual direction — ``beta`` would divide by zero
+    next iteration.
+    """
+    if not math.isfinite(rz):
+        raise NonFiniteError("rho = r.z became non-finite",
+                             iteration=iteration,
+                             last_residual=last_good)
+    if rz == 0.0:
+        raise SolverBreakdown(
+            "rho breakdown: r.z == 0 with a non-converged residual",
+            iteration=iteration, last_residual=last_good,
+            reason="rho_breakdown")

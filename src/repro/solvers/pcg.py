@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.solvers.convergence import ConvergenceHistory
+from repro.solvers.guards import check_curvature, check_residual, check_rho
 
 
 def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
@@ -44,18 +45,25 @@ def pcg(A, b: np.ndarray, precond, x0: np.ndarray | None = None,
     r = b - matvec(x)
     bnorm = float(np.linalg.norm(b)) or 1.0
     hist = ConvergenceHistory(tol=tol)
-    hist.record(np.linalg.norm(r))
+    last_good = check_residual(float(np.linalg.norm(r)), -1,
+                               float("nan"))
+    hist.record(last_good)
     z = precond(r)
     p = z.copy()
     rz = float(r @ z)
-    for _ in range(maxiter):
+    for it in range(maxiter):
         if np.linalg.norm(r) / bnorm <= tol:
             hist.converged = True
             break
+        check_rho(rz, it, last_good)
         Ap = matvec(p)
-        alpha = rz / float(p @ Ap)
+        pAp = float(p @ Ap)
+        check_curvature(pAp, it, last_good)
+        alpha = rz / pAp
         x += alpha * p
         r -= alpha * Ap
+        last_good = check_residual(float(np.linalg.norm(r)), it,
+                                   last_good)
         hist.record(np.linalg.norm(r))
         z = precond(r)
         rz_new = float(r @ z)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.solvers.convergence import ConvergenceHistory
+from repro.solvers.guards import check_residual
 
 
 def preconditioned_richardson(A, b: np.ndarray, precond,
@@ -28,13 +29,17 @@ def preconditioned_richardson(A, b: np.ndarray, precond,
     bnorm = float(np.linalg.norm(b)) or 1.0
     hist = ConvergenceHistory(tol=tol)
     r = b - A.matvec(x)
-    hist.record(np.linalg.norm(r))
-    for _ in range(maxiter):
+    last_good = check_residual(float(np.linalg.norm(r)), -1,
+                               float("nan"))
+    hist.record(last_good)
+    for it in range(maxiter):
         if np.linalg.norm(r) / bnorm <= tol:
             hist.converged = True
             break
         x += precond(r)
         r = b - A.matvec(x)
+        last_good = check_residual(float(np.linalg.norm(r)), it,
+                                   last_good)
         hist.record(np.linalg.norm(r))
     else:
         hist.converged = float(np.linalg.norm(r)) / bnorm <= tol

@@ -141,8 +141,8 @@ def test_stats_schema():
     assert s["size"] == 1
     assert s["compiles"] == 1
     assert set(s) == {"capacity", "size", "hits", "misses", "hit_rate",
-                      "evictions", "compiles", "compile_seconds",
-                      "persisted_picks"}
+                      "evictions", "invalidations", "compiles",
+                      "compile_seconds", "persisted_picks"}
     json.dumps(s)
 
 

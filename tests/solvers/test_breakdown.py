@@ -1,0 +1,133 @@
+"""Numerical guardrails inside the Krylov loops."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.errors import NonFiniteError, SolverBreakdown
+from repro.solvers.cg import cg
+from repro.solvers.guards import (
+    check_curvature,
+    check_residual,
+    check_rho,
+)
+from repro.solvers.pcg import pcg
+
+pytestmark = pytest.mark.chaos
+
+
+class _Dense:
+    def __init__(self, A):
+        self.A = np.asarray(A, dtype=float)
+
+    def matvec(self, x):
+        return self.A @ x
+
+
+def _spd(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    Q = rng.standard_normal((n, n))
+    return Q @ Q.T + n * np.eye(n)
+
+
+# Guard primitives ---------------------------------------------------------
+
+def test_check_residual_passes_through_finite():
+    assert check_residual(1.5, 0, 2.0) == 1.5
+
+
+def test_check_residual_raises_with_context():
+    with pytest.raises(NonFiniteError) as ei:
+        check_residual(float("nan"), iteration=7, last_good=0.25)
+    assert ei.value.iteration == 7
+    assert ei.value.last_residual == 0.25
+
+
+def test_check_curvature_rejects_indefinite():
+    with pytest.raises(SolverBreakdown) as ei:
+        check_curvature(-1e-3, iteration=2, last_good=1.0)
+    assert ei.value.reason == "indefinite_operator"
+    check_curvature(1e-3, iteration=2, last_good=1.0)  # fine
+
+
+def test_check_rho_rejects_zero_and_nonfinite():
+    with pytest.raises(SolverBreakdown) as ei:
+        check_rho(0.0, iteration=3, last_good=1.0)
+    assert ei.value.reason == "rho_breakdown"
+    with pytest.raises(NonFiniteError):
+        check_rho(float("inf"), iteration=3, last_good=1.0)
+
+
+# In-loop behavior ---------------------------------------------------------
+
+def test_cg_clean_spd_still_converges():
+    A = _spd()
+    b = np.ones(12)
+    x, hist = cg(_Dense(A), b, tol=1e-10)
+    assert np.allclose(A @ x, b, atol=1e-7)
+
+
+def test_cg_nan_operator_raises_before_iterating():
+    """A NaN in A poisons the very first residual: iteration -1."""
+    A = _spd()
+    A[3, 4] = np.nan
+    with pytest.raises(NonFiniteError) as ei:
+        cg(_Dense(A), np.ones(12), maxiter=50)
+    assert ei.value.iteration == -1
+
+
+class _DecayingOperator(_Dense):
+    """Healthy for the first matvec, NaN afterwards (mid-run fault)."""
+
+    def __init__(self, A):
+        super().__init__(A)
+        self.calls = 0
+
+    def matvec(self, x):
+        self.calls += 1
+        y = super().matvec(x)
+        if self.calls > 1:
+            y[0] = np.nan
+        return y
+
+
+def test_cg_midrun_corruption_reports_iteration_and_last_good():
+    A = _DecayingOperator(_spd())
+    with pytest.raises(NonFiniteError) as ei:
+        cg(A, np.ones(12), maxiter=50)
+    assert ei.value.iteration >= 0
+    # The last residual known finite is reported for triage.
+    assert np.isfinite(ei.value.last_residual)
+
+
+def test_cg_indefinite_operator_raises_breakdown():
+    A = -_spd()  # negative definite: p.Ap < 0 on the first iteration
+    with pytest.raises(SolverBreakdown) as ei:
+        cg(_Dense(A), np.ones(12), maxiter=50)
+    assert ei.value.reason == "indefinite_operator"
+
+
+def test_pcg_nan_preconditioner_raises_nonfinite():
+    A = _spd()
+
+    def bad_precond(r):
+        z = r.copy()
+        z[0] = np.nan
+        return z
+
+    with pytest.raises(NonFiniteError):
+        pcg(_Dense(A), np.ones(12), bad_precond, maxiter=50)
+
+
+def test_pcg_exact_convergence_is_not_a_rho_breakdown():
+    """rz == 0 at exact convergence must exit cleanly, not raise."""
+    A = np.eye(4)
+    b = np.array([1.0, 2.0, 3.0, 4.0])
+    x, hist = pcg(_Dense(A), b, lambda r: r, tol=1e-12, maxiter=10)
+    assert np.allclose(x, b)
+
+
+def test_breakdown_errors_are_importable_from_solvers():
+    import repro.solvers as solvers
+
+    assert solvers.NonFiniteError is NonFiniteError
+    assert solvers.SolverBreakdown is SolverBreakdown
