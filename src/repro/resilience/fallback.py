@@ -69,7 +69,10 @@ class CircuitBreaker:
     :class:`~repro.resilience.errors.CircuitOpen` without doing any
     work. After ``cooldown_seconds`` the circuit goes half-open: one
     probe solve is let through — success closes the circuit, failure
-    re-opens it (and restarts the cooldown).
+    re-opens it (and restarts the cooldown). While the probe is in
+    flight every other :meth:`allow` is rejected, so a burst cannot
+    pile onto a sick structure; a probe that never reports back
+    releases its slot after another cooldown.
 
     ``clock`` is injectable for deterministic tests.
     """
@@ -86,6 +89,7 @@ class CircuitBreaker:
         self._failures: dict[str, int] = {}
         self._state: dict[str, str] = {}
         self._opened_at: dict[str, float] = {}
+        self._probe_at: dict[str, float] = {}
         self.open_events = 0
         self.rejections = 0
 
@@ -97,11 +101,26 @@ class CircuitBreaker:
         """Raise :class:`CircuitOpen` unless a solve may proceed."""
         with self._lock:
             state = self._state.get(fingerprint, CLOSED)
-            if state != OPEN:
+            if state == CLOSED:
                 return
-            elapsed = self.clock() - self._opened_at[fingerprint]
+            now = self.clock()
+            if state == HALF_OPEN:
+                # Exactly one probe per half-open window: it stays
+                # claimed until record_success/record_failure resolves
+                # it, or — if the probe hangs — until another cooldown
+                # elapses and a new probe may re-claim the slot.
+                since = now - self._probe_at.get(fingerprint, now)
+                if since >= self.cooldown_seconds:
+                    self._probe_at[fingerprint] = now
+                    return
+                self.rejections += 1
+                raise CircuitOpen(
+                    fingerprint, self._failures.get(fingerprint, 0),
+                    retry_after=self.cooldown_seconds - since)
+            elapsed = now - self._opened_at[fingerprint]
             if elapsed >= self.cooldown_seconds:
                 self._state[fingerprint] = HALF_OPEN
+                self._probe_at[fingerprint] = now
                 return
             self.rejections += 1
             raise CircuitOpen(fingerprint,
@@ -112,6 +131,7 @@ class CircuitBreaker:
         with self._lock:
             self._failures[fingerprint] = 0
             self._state[fingerprint] = CLOSED
+            self._probe_at.pop(fingerprint, None)
 
     def record_failure(self, fingerprint: str) -> bool:
         """Count a failure; returns ``True`` if the circuit opened."""
@@ -122,6 +142,7 @@ class CircuitBreaker:
             if was == HALF_OPEN or n >= self.threshold:
                 self._state[fingerprint] = OPEN
                 self._opened_at[fingerprint] = self.clock()
+                self._probe_at.pop(fingerprint, None)
                 self.open_events += 1
                 return True
             return False
@@ -312,8 +333,13 @@ class FallbackChain:
     def _heal(self, plan):
         """Invalidate + recompile a poisoned plan; ``None`` on failure."""
         with self._lock:
+            # Check and reserve the budget slot in one critical section
+            # so concurrent solves over the same poisoned plan cannot
+            # both pass the check and exceed max_recompiles.
             if self.recompiles_used_for(plan) >= self.max_recompiles:
                 return None
+            plan._heal_attempts = self.recompiles_used_for(plan) + 1
+            self.recompiles += 1
         try:
             if self.cache is not None:
                 self.cache.invalidate(plan.fingerprint)
@@ -324,11 +350,8 @@ class FallbackChain:
 
                 fresh = compile_plan(plan.grid, plan.stencil, plan.config)
         except Exception:  # noqa: BLE001 - compile itself may be poisoned
-            self._count("recompiles")
-            self._note_recompile(plan)
             return None
-        self._count("recompiles")
-        self._note_recompile(plan, fresh)
+        fresh._heal_attempts = 0
         return fresh
 
     # Per-request recompile budget: tracked on the plan object itself so
@@ -336,13 +359,6 @@ class FallbackChain:
     @staticmethod
     def recompiles_used_for(plan) -> int:
         return getattr(plan, "_heal_attempts", 0)
-
-    @staticmethod
-    def _note_recompile(plan, fresh=None) -> None:
-        used = getattr(plan, "_heal_attempts", 0) + 1
-        plan._heal_attempts = used
-        if fresh is not None:
-            fresh._heal_attempts = 0
 
     # Rung validation -------------------------------------------------------
     def _validate_rung(self, plan, rung: str) -> None:
@@ -356,10 +372,13 @@ class FallbackChain:
                      "upper")
         elif rung == "sell":
             validate_csr(plan.matrix, "matrix")
+            scope = ("ordering.old_to_new", "diag", "matrix")
             if plan.sell_lower is not None:
+                # A sell-strategy plan executes through these sealed
+                # arrays, so the rung must verify their digests too.
                 validate_sell(plan.sell_lower, "sell_lower")
                 validate_sell(plan.sell_upper, "sell_upper")
-            scope = ("ordering.old_to_new", "diag", "matrix")
+                scope += ("sell_lower", "sell_upper")
         else:
             validate_csr(plan.matrix, "matrix")
             scope = ("ordering.old_to_new", "diag", "matrix")

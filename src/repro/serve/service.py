@@ -232,6 +232,11 @@ class SolveService:
             if deadline_at is not None \
                     and time.monotonic() > deadline_at:
                 # Out of budget before this group even compiled.
+                # Earlier groups are staged in `work` but not executed
+                # yet — they must be re-queued too, or their tickets
+                # would never complete.
+                leftover.extend(e for _, _, _, chunk in work
+                                for e in chunk)
                 leftover.extend(entries)
                 for _, rest in group_items[gi + 1:]:
                     leftover.extend(rest)

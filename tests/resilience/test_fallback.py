@@ -88,6 +88,31 @@ def test_breaker_half_open_failure_reopens():
     assert br.open_events == 2
 
 
+def test_breaker_half_open_admits_single_probe():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+    br.record_failure("fp")
+    clock.t = 6.0
+    br.allow("fp")  # claims the half-open probe slot
+    with pytest.raises(CircuitOpen):
+        br.allow("fp")  # concurrent solve rejected while probing
+    assert br.rejections == 1
+    br.record_success("fp")
+    br.allow("fp")
+    assert br.state("fp") == CLOSED
+
+
+def test_breaker_hung_probe_reclaims_after_cooldown():
+    clock = FakeClock()
+    br = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+    br.record_failure("fp")
+    clock.t = 6.0
+    br.allow("fp")  # probe claimed but never resolved (hung worker)
+    clock.t = 12.0
+    br.allow("fp")  # a fresh probe may re-claim the stale slot
+    assert br.state("fp") == HALF_OPEN
+
+
 def test_breaker_is_per_fingerprint():
     br = CircuitBreaker(threshold=1)
     br.record_failure("sick")
@@ -214,6 +239,48 @@ def test_sell_strategy_plan_starts_ladder_at_sell():
                                      strategies=("sell",)),))):
         res = chain.execute(plan, "lower", b)
     assert (res.depth, res.rung) == (1, "csr")
+
+
+def test_sell_rung_integrity_covers_sell_arrays():
+    # A one-ulp perturbation of a sealed SELL value passes every
+    # structural check and sits far below the residual guard's
+    # tolerance — only the sell_lower/sell_upper digests catch it.
+    cache = PlanCache(capacity=4)
+    plan, _ = cache.get_or_compile(GRID, "27pt",
+                                   PlanConfig(bsize=4, strategy="sell"))
+    b = np.random.default_rng(3).standard_normal(plan.n)
+    ref = plan.execute("lower", b)
+    vals = plan.sell_lower.vals
+    idx = np.unravel_index(np.flatnonzero(vals)[0], vals.shape)
+    vals[idx] = np.nextafter(vals[idx], np.inf)
+    chain = _chain(cache)
+    res = chain.execute(plan, "lower", b)
+    assert res.recompiled
+    assert chain.faults_detected >= 1
+    assert np.array_equal(res.solution, ref)
+
+
+def test_heal_budget_is_atomic_under_concurrency():
+    import threading
+
+    cache, plan, _ = _setup()
+    chain = _chain(cache, max_recompiles=1)
+    start = threading.Barrier(4)
+    results = []
+
+    def heal():
+        start.wait()
+        results.append(chain._heal(plan))
+
+    threads = [threading.Thread(target=heal) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Exactly one thread may win the single budget slot.
+    assert sum(r is not None for r in results) == 1
+    assert chain.recompiles == 1
+    assert FallbackChain.recompiles_used_for(plan) == 1
 
 
 @pytest.mark.parametrize("op", ["lower", "upper", "spmv", "symgs"])

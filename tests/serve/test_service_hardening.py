@@ -50,6 +50,34 @@ def test_drain_timeout_requeue_keeps_priority():
         assert svc.drain() == 2
 
 
+def test_drain_timeout_mid_compile_requeues_staged_groups():
+    # When the budget expires between groups, batches already staged
+    # from earlier groups have not executed either — their tickets
+    # must be named and re-queued, not silently dropped.
+    import time
+
+    with SolveService(config=CONFIG) as svc:
+        t_lower = svc.submit(GRID, "27pt", _rhs(0), op="lower")
+        t_upper = svc.submit(GRID, "27pt", _rhs(1), op="upper")
+        orig = svc._plan_for
+
+        def slow_plan_for(entry):
+            time.sleep(0.05)
+            return orig(entry)
+
+        svc._plan_for = slow_plan_for
+        with pytest.raises(DrainTimeout) as ei:
+            svc.drain(timeout=0.01)
+        assert sorted(ei.value.ticket_ids) == \
+            sorted([t_lower.request_id, t_upper.request_id])
+        assert svc.n_pending == 2
+        assert not t_lower.done and not t_upper.done
+        svc._plan_for = orig
+        assert svc.drain() == 2
+        for t in (t_lower, t_upper):
+            assert np.all(np.isfinite(t.result()))
+
+
 # Per-request deadlines ----------------------------------------------------
 
 def test_submit_rejects_nonpositive_deadline():
