@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
     python -m repro.cli chaos-bench --nx 8 --quick
+    python -m repro.cli trace --nx 8 --strategy dbsr
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
     python -m repro.cli spy path/to/matrix.mtx
     python -m repro.cli analyze --nx 8 --stencil 7pt
@@ -238,6 +239,34 @@ def _cmd_chaos_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.observe.report import (
+        collect_bench_trace,
+        format_trace_table,
+    )
+    from repro.observe.schema_check import structural_errors
+    from repro.runtime.metrics import write_bench_json
+
+    report = collect_bench_trace(
+        nx=args.nx, stencil=args.stencil, bsize=args.bsize,
+        strategy=args.strategy, ops=tuple(args.ops.split(",")),
+        k=args.k, n_workers=args.workers, dtype=args.dtype,
+        seed=args.seed)
+    path = write_bench_json(report, args.out)
+    print(format_trace_table(report["table"]))
+    print(f"spans: {report['n_spans']}, "
+          f"submitted {report['service']['submitted']}, "
+          f"completed {report['service']['completed']}, "
+          f"batches {report['service']['batches_executed']}")
+    if args.prometheus:
+        print(report["prometheus"], end="")
+    problems = structural_errors(report)
+    for p in problems:
+        print(f"trace report invalid: {p}", file=sys.stderr)
+    print(f"[written to {path}]")
+    return 1 if problems else 0
+
+
 def _cmd_spy(args) -> int:
     from repro.formats.csr import CSRMatrix
     from repro.formats.io import read_matrix_market
@@ -408,6 +437,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smaller scenario set (CI smoke)")
     p.add_argument("--out", default="BENCH_chaos.json")
     p.set_defaults(func=_cmd_chaos_bench)
+
+    p = sub.add_parser("trace",
+                       help="run a traced serving workload (structured "
+                            "spans + metrics) and emit "
+                            "BENCH_trace.json")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--bsize", type=int, default=4)
+    p.add_argument("--strategy", default="dbsr",
+                   choices=("dbsr", "sell"))
+    p.add_argument("--ops", default="lower,upper,spmv,symgs",
+                   help="comma-separated ops to trace")
+    p.add_argument("--k", type=int, default=4,
+                   help="requests per op (coalesced into one batch)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--prometheus", action="store_true",
+                   help="also print the Prometheus text exposition")
+    p.add_argument("--out", default="BENCH_trace.json")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("spy", help="render a .mtx pattern as ASCII")
     p.add_argument("matrix", help="path to a .mtx file")

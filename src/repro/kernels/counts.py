@@ -106,6 +106,37 @@ def sptrsv_dbsr_multi_counts(dbsr: DBSRMatrix, k: int,
     return c
 
 
+def spmv_dbsr_multi_counts(dbsr: DBSRMatrix, k: int) -> OpCounter:
+    """Multi-RHS DBSR SpMV over an ``(n, k)`` block.
+
+    One value load per tile serves all ``k`` columns (value-stream
+    bytes independent of ``k``); ``k = 1`` reduces exactly to
+    :func:`spmv_dbsr_counts`.
+    """
+    c = OpCounter(bsize=dbsr.bsize)
+    t, brow, bs = dbsr.n_tiles, dbsr.brow, dbsr.bsize
+    item = dbsr.values.itemsize
+    c.vload = t * (1 + k)
+    c.vfma = t * k
+    c.vstore = k * brow
+    c.sload = 2 * t + (brow + 1)
+    c.bytes_values = t * bs * item
+    c.bytes_index = (t * (dbsr.blk_ind.itemsize + dbsr.blk_offset.itemsize)
+                     + (brow + 1) * dbsr.blk_ptr.itemsize)
+    c.bytes_vector = k * (t + brow) * bs * item
+    return c
+
+
+def symgs_dbsr_multi_counts(dbsr: DBSRMatrix, k: int) -> OpCounter:
+    """Multi-RHS DBSR SYMGS: two batched sweeps + per-RHS corrections.
+
+    ``k = 1`` reduces exactly to :func:`symgs_dbsr_counts`.
+    """
+    two = sptrsv_dbsr_multi_counts(dbsr, k, divide=True).scaled(2.0)
+    two.vadd += 2 * k * dbsr.brow  # x += correction, per RHS column
+    return two
+
+
 def sptrsv_csr_counts(csr: CSRMatrix, divide: bool = True) -> OpCounter:
     """Algorithm 1: scalar row loop with indirect x accesses."""
     c = OpCounter(bsize=1)

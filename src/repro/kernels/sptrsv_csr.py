@@ -62,6 +62,52 @@ def sptrsv_csr_upper(upper: CSRMatrix, diag: np.ndarray, b: np.ndarray,
     return x
 
 
+def sptrsv_csr_ordered(lower: CSRMatrix, diag: np.ndarray,
+                       b: np.ndarray) -> np.ndarray:
+    """Forward solve with Algorithm 2's exact floating-point op order.
+
+    :func:`sptrsv_csr` accumulates each row with a dot product
+    (``b[i] - data @ x`` — pairwise/BLAS summation), while the DBSR and
+    SELL sweeps subtract term by term (``acc -= a_ij * x_j`` in column
+    order). The two round differently, so the fast formats cannot be
+    *bit*-compared against :func:`sptrsv_csr`. This twin subtracts
+    sequentially in CSR column order, making its result bit-identical
+    to the DBSR and SELL sweeps on the same permuted operator — it is
+    the CSR rung of the resilience fallback ladder and the reference of
+    the golden-trace differential suite.
+    """
+    n = lower.n_rows
+    b = np.asarray(b)
+    require(b.shape == (n,), "b has wrong length")
+    _check_strictly_lower(lower)
+    x = np.zeros(n, dtype=np.result_type(lower.data, b))
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for i in range(n):
+        temp = x.dtype.type(b[i])
+        for p in range(indptr[i], indptr[i + 1]):
+            temp = temp - data[p] * x[indices[p]]
+        x[i] = temp / diag[i]
+    return x
+
+
+def sptrsv_csr_upper_ordered(upper: CSRMatrix, diag: np.ndarray,
+                             b: np.ndarray) -> np.ndarray:
+    """Backward solve, sequential-subtraction twin of
+    :func:`sptrsv_csr_upper` (see :func:`sptrsv_csr_ordered`)."""
+    n = upper.n_rows
+    b = np.asarray(b)
+    require(b.shape == (n,), "b has wrong length")
+    _check_strictly_upper(upper)
+    x = np.zeros(n, dtype=np.result_type(upper.data, b))
+    indptr, indices, data = upper.indptr, upper.indices, upper.data
+    for i in range(n - 1, -1, -1):
+        temp = x.dtype.type(b[i])
+        for p in range(indptr[i], indptr[i + 1]):
+            temp = temp - data[p] * x[indices[p]]
+        x[i] = temp / diag[i]
+    return x
+
+
 def _check_strictly_lower(m: CSRMatrix) -> None:
     rows = np.repeat(np.arange(m.n_rows), np.diff(m.indptr))
     require(bool(np.all(m.indices < rows)),

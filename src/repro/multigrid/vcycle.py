@@ -12,23 +12,31 @@ import numpy as np
 
 from repro.multigrid.hierarchy import MGLevel
 from repro.multigrid.transfer import prolong_add, restrict_inject
+from repro.observe import trace
 
 
 def mg_vcycle(level: MGLevel, b: np.ndarray,
-              x: np.ndarray | None = None) -> np.ndarray:
-    """One V-cycle on ``level``; returns the (new) solution estimate."""
+              x: np.ndarray | None = None,
+              depth: int = 0) -> np.ndarray:
+    """One V-cycle on ``level``; returns the (new) solution estimate.
+
+    Under an installed tracer each level opens an ``mg.level`` span
+    (nested per recursion depth), so a trace shows the V shape.
+    """
     if x is None:
         x = np.zeros_like(b)
-    if level.coarse is None:
-        level.smoother(x, b)
+    with trace.span("mg.level", depth=depth, n=int(b.shape[0])):
+        if level.coarse is None:
+            level.smoother(x, b)
+            return x
+        level.smoother(x, b)                   # pre-smooth
+        r = b - level.matrix.matvec(x)         # residual
+        rc = restrict_inject(r, level.f2c)     # restrict
+        xc = mg_vcycle(level.coarse, rc,       # coarse solve
+                       depth=depth + 1)
+        prolong_add(x, xc, level.f2c)          # prolong + correct
+        level.smoother(x, b)                   # post-smooth
         return x
-    level.smoother(x, b)                       # pre-smooth
-    r = b - level.matrix.matvec(x)             # residual
-    rc = restrict_inject(r, level.f2c)         # restrict
-    xc = mg_vcycle(level.coarse, rc)           # coarse solve
-    prolong_add(x, xc, level.f2c)              # prolong + correct
-    level.smoother(x, b)                       # post-smooth
-    return x
 
 
 class MGPreconditioner:

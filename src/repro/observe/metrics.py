@@ -1,0 +1,302 @@
+"""Metrics registry — counters, gauges, histograms, two exporters.
+
+A :class:`MetricsRegistry` unifies the ad-hoc stats dicts the runtime,
+serving and resilience layers grew independently: named instruments
+with a fixed type, thread-safe updates, and one snapshot call that
+serializes everything. Two export formats:
+
+* :meth:`MetricsRegistry.to_json` — the machine-readable form embedded
+  in ``BENCH_*.json`` reports;
+* :meth:`MetricsRegistry.to_prometheus_text` — the Prometheus text
+  exposition format (``repro_`` prefix, dots mapped to underscores,
+  counters suffixed ``_total``, histograms as cumulative
+  ``_bucket``/``_sum``/``_count`` series).
+
+Naming scheme (see ``docs/observability.md``): dotted lowercase
+``<layer>.<noun>[.<verb>]`` — e.g. ``serve.submitted``,
+``cache.evictions``, ``fallback.recompiles``.
+
+Histograms use **fixed bucket edges** chosen at registration so that
+merging two histograms (e.g. per-shard registries) is exact: merges
+are associative and commutative, a property pinned by the Hypothesis
+suite in ``tests/observe/``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import threading
+
+
+class MetricError(ValueError):
+    """Invalid metric registration or update."""
+
+
+def _check_name(name: str) -> str:
+    if not name or any(c.isspace() for c in name):
+        raise MetricError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        """Add ``n`` (must be >= 0: counters never go down)."""
+        if n < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (inc({n}))")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Instantaneous value (may move in either direction)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: dict | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def set(self, v) -> None:
+        with self._lock:
+            self._value = v
+
+    def inc(self, n=1) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n=1) -> None:
+        with self._lock:
+            self._value -= n
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+#: Default bucket edges for second-scale latency histograms.
+LATENCY_EDGES = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+#: Default bucket edges for small-integer width histograms (batch k).
+WIDTH_EDGES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact, order-independent merges.
+
+    ``edges`` are the finite upper bounds of the first ``len(edges)``
+    buckets (strictly increasing); an implicit ``+Inf`` bucket catches
+    the rest. ``bucket_counts[i]`` is the number of observations with
+    ``v <= edges[i]`` that fell in bucket ``i`` (non-cumulative; the
+    Prometheus exporter cumulates).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, edges=LATENCY_EDGES, help: str = "",
+                 labels: dict | None = None):
+        self.name = _check_name(name)
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        edges = tuple(float(e) for e in edges)
+        if not edges:
+            raise MetricError("histogram needs at least one bucket edge")
+        if any(not math.isfinite(e) for e in edges):
+            raise MetricError("bucket edges must be finite")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise MetricError("bucket edges must be strictly increasing")
+        self.edges = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        v = float(v)
+        i = bisect.bisect_left(self.edges, v)
+        with self._lock:
+            self._counts[i] += 1
+            self._sum += v
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list:
+        with self._lock:
+            return list(self._counts)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Pure merge: a new histogram holding both observation sets.
+
+        Requires identical edges; exact (bucket counts and sums add),
+        hence associative and commutative.
+        """
+        if self.edges != other.edges:
+            raise MetricError(
+                f"cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}")
+        out = Histogram(self.name, self.edges, self.help, self.labels)
+        with self._lock:
+            mine = (list(self._counts), self._sum, self._count)
+        with other._lock:
+            theirs = (list(other._counts), other._sum, other._count)
+        out._counts = [a + b for a, b in zip(mine[0], theirs[0])]
+        out._sum = mine[1] + theirs[1]
+        out._count = mine[2] + theirs[2]
+        return out
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "type": self.kind,
+                "edges": list(self.edges),
+                "bucket_counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments with idempotent registration.
+
+    Registering a name twice returns the existing instrument when the
+    type matches (so independent call sites can share a counter) and
+    raises :class:`MetricError` when it does not.
+    """
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = prefix
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _register(self, cls, name: str, *args, **kwargs):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricError(
+                        f"{name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            inst = cls(name, *args, **kwargs)
+            self._instruments[name] = inst
+            return inst
+
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(self, name: str, edges=LATENCY_EDGES, help: str = "",
+                  labels: dict | None = None) -> Histogram:
+        return self._register(Histogram, name, edges, help, labels)
+
+    def get(self, name: str):
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    # Export -------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One consistent-enough dict of every instrument's state."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {name: inst.snapshot() for name, inst in items}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def _prom_name(self, name: str) -> str:
+        flat = name.replace(".", "_").replace("-", "_")
+        return f"{self.prefix}_{flat}" if self.prefix else flat
+
+    @staticmethod
+    def _labels_text(labels: dict, extra: dict | None = None) -> str:
+        merged = dict(labels)
+        if extra:
+            merged.update(extra)
+        if not merged:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+        return "{" + inner + "}"
+
+    def to_prometheus_text(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        lines = []
+        for name, inst in items:
+            pname = self._prom_name(name)
+            if isinstance(inst, Counter):
+                pname += "_total"
+            if inst.help:
+                lines.append(f"# HELP {pname} {inst.help}")
+            lines.append(f"# TYPE {pname} {inst.kind}")
+            if isinstance(inst, (Counter, Gauge)):
+                lines.append(
+                    f"{pname}{self._labels_text(inst.labels)} "
+                    f"{inst.value}")
+            else:
+                snap = inst.snapshot()
+                cum = 0
+                for edge, n in zip(snap["edges"],
+                                   snap["bucket_counts"]):
+                    cum += n
+                    le = self._labels_text(inst.labels, {"le": edge})
+                    lines.append(f"{pname}_bucket{le} {cum}")
+                cum += snap["bucket_counts"][-1]
+                le = self._labels_text(inst.labels, {"le": "+Inf"})
+                lines.append(f"{pname}_bucket{le} {cum}")
+                lt = self._labels_text(inst.labels)
+                lines.append(f"{pname}_sum{lt} {snap['sum']}")
+                lines.append(f"{pname}_count{lt} {snap['count']}")
+        return "\n".join(lines) + "\n"

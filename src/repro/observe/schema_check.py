@@ -1,0 +1,128 @@
+"""Validate ``BENCH_trace.json`` against the checked-in JSON schema.
+
+The authoritative schema lives at
+``tests/observe/bench_trace.schema.json``; CI's ``trace-smoke`` job and
+the tier-1 suite both validate through this module. When the
+``jsonschema`` package is importable the full schema runs; otherwise a
+built-in structural check covers the required shape, so validation
+never silently passes just because an optional dependency is missing.
+
+Runnable as a module::
+
+    python -m repro.observe.schema_check BENCH_trace.json \\
+        tests/observe/bench_trace.schema.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Top-level keys every bench-trace report must carry.
+REQUIRED_KEYS = ("schema", "config", "host", "trace", "table",
+                 "service", "metrics", "prometheus", "n_spans")
+
+SCHEMA_ID = "dbsr-repro/bench-trace/v1"
+
+
+class TraceSchemaError(ValueError):
+    """The report does not conform to the bench-trace schema."""
+
+
+def _check_span(sp: dict, path: str, errors: list) -> None:
+    if not isinstance(sp, dict):
+        errors.append(f"{path}: span must be an object")
+        return
+    if not isinstance(sp.get("name"), str) or not sp.get("name"):
+        errors.append(f"{path}: span needs a non-empty string name")
+    if not isinstance(sp.get("attrs"), dict):
+        errors.append(f"{path}: span needs an attrs object")
+    counts = sp.get("counts")
+    if counts is not None:
+        for key in ("ops", "bytes", "flops"):
+            if key not in counts:
+                errors.append(f"{path}: counts missing {key!r}")
+    for i, child in enumerate(sp.get("children", [])):
+        _check_span(child, f"{path}.children[{i}]", errors)
+
+
+def structural_errors(report: dict) -> list:
+    """Dependency-free structural validation; returns error strings."""
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        return ["report must be a JSON object"]
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            errors.append(f"missing top-level key {key!r}")
+    if report.get("schema") != SCHEMA_ID:
+        errors.append(
+            f"schema must be {SCHEMA_ID!r}, got {report.get('schema')!r}")
+    trace = report.get("trace")
+    if isinstance(trace, dict):
+        spans = trace.get("spans")
+        if not isinstance(spans, list) or not spans:
+            errors.append("trace.spans must be a non-empty array")
+        else:
+            for i, sp in enumerate(spans):
+                _check_span(sp, f"trace.spans[{i}]", errors)
+    elif "trace" in (report or {}):
+        errors.append("trace must be an object")
+    table = report.get("table")
+    if isinstance(table, list):
+        for i, row in enumerate(table):
+            for key in ("name", "calls", "total_seconds",
+                        "self_seconds"):
+                if not isinstance(row, dict) or key not in row:
+                    errors.append(f"table[{i}] missing {key!r}")
+                    break
+    elif "table" in (report or {}):
+        errors.append("table must be an array")
+    return errors
+
+
+def validate_bench_trace(report: dict,
+                         schema_path: str | None = None) -> None:
+    """Raise :class:`TraceSchemaError` unless the report conforms.
+
+    Runs the structural check always, and the full JSON-schema
+    validation additionally when ``schema_path`` is given and the
+    ``jsonschema`` package is available.
+    """
+    errors = structural_errors(report)
+    if errors:
+        raise TraceSchemaError("; ".join(errors))
+    if schema_path is None:
+        return
+    with open(schema_path) as fh:
+        schema = json.load(fh)
+    try:
+        import jsonschema
+    except ImportError:  # structural check already passed
+        return
+    try:
+        jsonschema.validate(report, schema)
+    except jsonschema.ValidationError as exc:
+        raise TraceSchemaError(str(exc)) from exc
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or len(argv) > 2:
+        print("usage: python -m repro.observe.schema_check "
+              "REPORT.json [SCHEMA.json]", file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        report = json.load(fh)
+    schema_path = argv[1] if len(argv) == 2 else None
+    try:
+        validate_bench_trace(report, schema_path)
+    except TraceSchemaError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"{argv[0]}: valid {SCHEMA_ID} report "
+          f"({report['n_spans']} spans)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

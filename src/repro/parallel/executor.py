@@ -19,6 +19,7 @@ from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 import numpy as np
 
+from repro.observe import trace
 from repro.resilience import hooks
 
 from repro.formats.dbsr import DBSRMatrix
@@ -97,6 +98,8 @@ class ColorParallelExecutor:
         for color in range(self.schedule.n_colors):
             groups = self.schedule.groups_of_color(color)
             self._run_color(task, groups)
+            trace.event("executor.barrier", color=color,
+                        n_groups=len(groups), direction="forward")
             if on_color is not None:
                 on_color(color, groups)
 
@@ -105,6 +108,8 @@ class ColorParallelExecutor:
         for color in range(self.schedule.n_colors - 1, -1, -1):
             groups = self.schedule.groups_of_color(color)
             self._run_color(task, groups)
+            trace.event("executor.barrier", color=color,
+                        n_groups=len(groups), direction="backward")
             if on_color is not None:
                 on_color(color, groups)
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.observe import trace
 from repro.resilience import hooks
 from repro.resilience.errors import (
     CircuitOpen,
@@ -121,6 +122,8 @@ class CircuitBreaker:
             if elapsed >= self.cooldown_seconds:
                 self._state[fingerprint] = HALF_OPEN
                 self._probe_at[fingerprint] = now
+                trace.event("breaker.half_open",
+                            fingerprint=fingerprint[:12])
                 return
             self.rejections += 1
             raise CircuitOpen(fingerprint,
@@ -129,9 +132,12 @@ class CircuitBreaker:
 
     def record_success(self, fingerprint: str) -> None:
         with self._lock:
+            was = self._state.get(fingerprint, CLOSED)
             self._failures[fingerprint] = 0
             self._state[fingerprint] = CLOSED
             self._probe_at.pop(fingerprint, None)
+        if was != CLOSED:
+            trace.event("breaker.close", fingerprint=fingerprint[:12])
 
     def record_failure(self, fingerprint: str) -> bool:
         """Count a failure; returns ``True`` if the circuit opened."""
@@ -139,13 +145,16 @@ class CircuitBreaker:
             was = self._state.get(fingerprint, CLOSED)
             n = self._failures.get(fingerprint, 0) + 1
             self._failures[fingerprint] = n
-            if was == HALF_OPEN or n >= self.threshold:
+            opened = was == HALF_OPEN or n >= self.threshold
+            if opened:
                 self._state[fingerprint] = OPEN
                 self._opened_at[fingerprint] = self.clock()
                 self._probe_at.pop(fingerprint, None)
                 self.open_events += 1
-                return True
-            return False
+        if opened:
+            trace.event("breaker.open", fingerprint=fingerprint[:12],
+                        failures=n)
+        return opened
 
     def stats(self) -> dict:
         with self._lock:
@@ -248,47 +257,87 @@ class FallbackChain:
         current = plan
         recompiled = False
         failures = 0
-        for depth, rung in enumerate(ladder):
-            if failures:
-                self._backoff(failures)
-            try:
-                self._validate_rung(current, rung)
-            except PlanValidationError as exc:
-                self._count("faults_detected")
-                attempts.append((rung, repr(exc)))
-                healed = self._heal(current)
-                if healed is None:
-                    self._count_rung_failure(rung)
-                    failures += 1
-                    continue
-                current, recompiled = healed, True
-                try:
-                    self._validate_rung(current, rung)
-                except PlanValidationError as exc2:
-                    attempts.append((rung, repr(exc2)))
-                    self._count_rung_failure(rung)
-                    failures += 1
-                    continue
-            try:
-                X = self._run_rung(current, rung, op, B)
-                self._check_solution(current, rung, op, B, X)
-            except Exception as exc:  # noqa: BLE001 - ladder boundary
-                self._count("faults_detected")
+        with trace.span("fallback.solve", op=op,
+                        fingerprint=fp[:12]) as sp:
+            for depth, rung in enumerate(ladder):
+                if failures:
+                    self._backoff(failures)
+                with trace.span("fallback.rung", rung=rung,
+                                depth=depth) as rsp:
+                    ok, X = self._attempt_rung(
+                        current, rung, depth, op, B, attempts, rsp)
+                    if ok is None:  # poisoned plan healed in place
+                        current, recompiled = X, True
+                        ok, X = self._attempt_rung(
+                            current, rung, depth, op, B, attempts, rsp,
+                            healed_already=True)
+                    if not ok:
+                        failures += 1
+                        continue
+                    if rsp is not None:
+                        rsp.attrs["outcome"] = "ok"
+                seconds = time.perf_counter() - t0
+                self._record_success(fp, depth, attempts, recompiled,
+                                     seconds)
+                if sp is not None:
+                    sp.attrs["rung"] = rung
+                    sp.attrs["depth"] = depth
+                    sp.attrs["recompiled"] = recompiled
+                return FallbackResult(solution=X, rung=rung, depth=depth,
+                                      recompiled=recompiled,
+                                      attempts=list(attempts),
+                                      seconds=seconds)
+            with self._lock:
+                self.solves += 1
+                self.exhausted += 1
+            if sp is not None:
+                sp.attrs["outcome"] = "exhausted"
+            self.breaker.record_failure(fp)
+            raise FallbackExhausted(fp, op, attempts)
+
+    def _attempt_rung(self, current, rung: str, depth: int, op: str,
+                      B: np.ndarray, attempts: list, rsp,
+                      healed_already: bool = False):
+        """One validate+execute attempt of one rung.
+
+        Returns ``(True, X)`` on success, ``(False, None)`` on a failed
+        attempt, and ``(None, fresh_plan)`` when validation failed but
+        healing produced a fresh plan the caller should retry with
+        (``healed_already`` marks that retry — a healed plan that still
+        fails validation is a failed attempt, not another heal).
+        """
+        try:
+            self._validate_rung(current, rung)
+        except PlanValidationError as exc:
+            attempts.append((rung, repr(exc)))
+            trace.event("fallback.validation_failed", rung=rung,
+                        depth=depth)
+            if rsp is not None:
+                rsp.attrs["outcome"] = "validation_failed"
+            if healed_already:
                 self._count_rung_failure(rung)
-                attempts.append((rung, repr(exc)))
-                failures += 1
-                continue
-            seconds = time.perf_counter() - t0
-            self._record_success(fp, depth, attempts, recompiled, seconds)
-            return FallbackResult(solution=X, rung=rung, depth=depth,
-                                  recompiled=recompiled,
-                                  attempts=list(attempts),
-                                  seconds=seconds)
-        with self._lock:
-            self.solves += 1
-            self.exhausted += 1
-        self.breaker.record_failure(fp)
-        raise FallbackExhausted(fp, op, attempts)
+                return False, None
+            self._count("faults_detected")
+            healed = self._heal(current)
+            if healed is None:
+                self._count_rung_failure(rung)
+                return False, None
+            trace.event("fallback.heal", rung=rung,
+                        fingerprint=current.fingerprint[:12])
+            return None, healed
+        try:
+            X = self._run_rung(current, rung, op, B)
+            self._check_solution(current, rung, op, B, X)
+        except Exception as exc:  # noqa: BLE001 - ladder boundary
+            self._count("faults_detected")
+            self._count_rung_failure(rung)
+            attempts.append((rung, repr(exc)))
+            trace.event("fallback.execution_failed", rung=rung,
+                        depth=depth)
+            if rsp is not None:
+                rsp.attrs["outcome"] = "execution_failed"
+            return False, None
+        return True, X
 
     # Reference path --------------------------------------------------------
     def execute_reference(self, plan, op: str, B: np.ndarray) -> np.ndarray:
@@ -401,48 +450,97 @@ class FallbackChain:
         )
         from repro.kernels.symgs_sell import symgs_sell
 
-        hooks.fire("plan.execute", strategy="sell", op=op,
-                   fingerprint=plan.fingerprint)
-        arts = self._sell_artifacts(plan)
-        single, Bp = self._extend(plan, B)
-        out = np.empty_like(Bp)
-        for j in range(Bp.shape[1]):
-            if op == "lower":
-                out[:, j] = sptrsv_sell_lower(arts["lower"], Bp[:, j],
-                                              diag=plan.diag)
-            elif op == "upper":
-                out[:, j] = sptrsv_sell_upper(arts["upper"], Bp[:, j],
-                                              diag=plan.diag)
-            elif op == "spmv":
-                out[:, j] = arts["full"].matvec(Bp[:, j])
-            else:  # symgs from a zero initial guess
-                x = np.zeros_like(Bp[:, j])
-                out[:, j] = symgs_sell(arts["full"], plan.diag, x,
-                                       Bp[:, j])
-        return self._restrict(plan, out, single)
+        with trace.span("plan.execute", op=op, strategy="sell",
+                        fingerprint=plan.fingerprint[:12]) as sp:
+            hooks.fire("plan.execute", strategy="sell", op=op,
+                       fingerprint=plan.fingerprint)
+            arts = self._sell_artifacts(plan)
+            single, Bp = self._extend(plan, B)
+            if sp is not None:
+                k = int(Bp.shape[1])
+                sp.attrs["k"] = k
+                sp.set_counts(self._sell_counts(arts, op, k))
+            out = np.empty_like(Bp)
+            for j in range(Bp.shape[1]):
+                if op == "lower":
+                    out[:, j] = sptrsv_sell_lower(arts["lower"],
+                                                  Bp[:, j],
+                                                  diag=plan.diag)
+                elif op == "upper":
+                    out[:, j] = sptrsv_sell_upper(arts["upper"],
+                                                  Bp[:, j],
+                                                  diag=plan.diag)
+                elif op == "spmv":
+                    out[:, j] = arts["full"].matvec(Bp[:, j])
+                else:  # symgs from a zero initial guess
+                    x = np.zeros_like(Bp[:, j])
+                    out[:, j] = symgs_sell(arts["full"], plan.diag, x,
+                                           Bp[:, j])
+            return self._restrict(plan, out, single)
+
+    @staticmethod
+    def _sell_counts(arts: dict, op: str, k: int):
+        from repro.kernels.counts import (
+            spmv_sell_counts,
+            sptrsv_sell_counts,
+            symgs_sell_counts,
+        )
+
+        if op in ("lower", "upper"):
+            return sptrsv_sell_counts(arts[op], divide=True).scaled(k)
+        if op == "spmv":
+            return spmv_sell_counts(arts["full"]).scaled(k)
+        return symgs_sell_counts(arts["full"]).scaled(k)
 
     def _run_csr(self, plan, op: str, B: np.ndarray,
                  fire: bool = True) -> np.ndarray:
-        from repro.kernels.sptrsv_csr import sptrsv_csr, sptrsv_csr_upper
+        from repro.kernels.sptrsv_csr import (
+            sptrsv_csr_ordered,
+            sptrsv_csr_upper_ordered,
+        )
         from repro.kernels.symgs import symgs_csr
 
-        if fire:
-            hooks.fire("plan.execute", strategy="csr", op=op,
-                       fingerprint=plan.fingerprint)
-        L, D, U = self._csr_artifacts(plan)
-        single, Bp = self._extend(plan, B)
-        out = np.empty_like(Bp)
-        for j in range(Bp.shape[1]):
-            if op == "lower":
-                out[:, j] = sptrsv_csr(L, D, Bp[:, j])
-            elif op == "upper":
-                out[:, j] = sptrsv_csr_upper(U, D, Bp[:, j])
-            elif op == "spmv":
-                out[:, j] = plan.matrix.matvec(Bp[:, j])
-            else:
-                x = np.zeros_like(Bp[:, j])
-                out[:, j] = symgs_csr(plan.matrix, D, x, Bp[:, j])
-        return self._restrict(plan, out, single)
+        # ``fire=False`` is the untraced clean reference path
+        # (execute_reference): no hooks, no spans.
+        with (trace.span("plan.execute", op=op, strategy="csr",
+                         fingerprint=plan.fingerprint[:12])
+              if fire else trace.null_span()) as sp:
+            if fire:
+                hooks.fire("plan.execute", strategy="csr", op=op,
+                           fingerprint=plan.fingerprint)
+            L, D, U = self._csr_artifacts(plan)
+            single, Bp = self._extend(plan, B)
+            if sp is not None:
+                k = int(Bp.shape[1])
+                sp.attrs["k"] = k
+                sp.set_counts(self._csr_counts(plan, L, U, op, k))
+            out = np.empty_like(Bp)
+            for j in range(Bp.shape[1]):
+                if op == "lower":
+                    out[:, j] = sptrsv_csr_ordered(L, D, Bp[:, j])
+                elif op == "upper":
+                    out[:, j] = sptrsv_csr_upper_ordered(U, D, Bp[:, j])
+                elif op == "spmv":
+                    out[:, j] = plan.matrix.matvec(Bp[:, j])
+                else:
+                    x = np.zeros_like(Bp[:, j])
+                    out[:, j] = symgs_csr(plan.matrix, D, x, Bp[:, j])
+            return self._restrict(plan, out, single)
+
+    @staticmethod
+    def _csr_counts(plan, L, U, op: str, k: int):
+        from repro.kernels.counts import (
+            spmv_csr_counts,
+            sptrsv_csr_counts,
+            symgs_csr_counts,
+        )
+
+        if op in ("lower", "upper"):
+            tri = L if op == "lower" else U
+            return sptrsv_csr_counts(tri, divide=True).scaled(k)
+        if op == "spmv":
+            return spmv_csr_counts(plan.matrix).scaled(k)
+        return symgs_csr_counts(plan.matrix).scaled(k)
 
     # Derived artifacts, built once per plan object and cached on it.
     @staticmethod

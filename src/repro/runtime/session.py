@@ -27,6 +27,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, replace
 
+from repro.observe import trace
 from repro.simd.counters import OpCounter
 from repro.utils.validation import check_positive
 
@@ -149,18 +150,27 @@ class SolverSession:
     # Phase timers ---------------------------------------------------------
     @contextmanager
     def phase(self, name: str):
-        """Time a named phase and record its counter delta."""
+        """Time a named phase and record its counter delta.
+
+        Under an installed tracer each phase also opens a
+        ``session.<name>`` span carrying the *measured* delta — the
+        instrumented-twin tally, which the golden suite cross-checks
+        against the closed forms.
+        """
         before = replace(self.counter)
         t0 = time.perf_counter()
-        try:
-            yield self
-        finally:
-            seconds = time.perf_counter() - t0
-            delta = _counter_delta(self.counter, before)
-            rec = self.phases.get(name)
-            if rec is None:
-                rec = self.phases[name] = PhaseRecord(name=name)
-            rec.add(seconds, delta)
+        with trace.span(f"session.{name}") as sp:
+            try:
+                yield self
+            finally:
+                seconds = time.perf_counter() - t0
+                delta = _counter_delta(self.counter, before)
+                rec = self.phases.get(name)
+                if rec is None:
+                    rec = self.phases[name] = PhaseRecord(name=name)
+                rec.add(seconds, delta)
+                if sp is not None:
+                    sp.set_counts(delta)
 
     def timed(self, name: str, fn):
         """Wrap ``fn`` so every call runs inside ``phase(name)``."""

@@ -29,6 +29,7 @@ import time
 from collections import OrderedDict
 
 from repro.grids.grid import StructuredGrid
+from repro.observe import trace
 from repro.serve.plan import (
     PlanConfig,
     SolvePlan,
@@ -112,19 +113,25 @@ class PlanCache:
             plan = self._plans.get(fingerprint)
             if plan is None:
                 self.misses += 1
-                return None
-            self._plans.move_to_end(fingerprint)
-            self.hits += 1
-            return plan
+            else:
+                self._plans.move_to_end(fingerprint)
+                self.hits += 1
+        trace.event("cache.hit" if plan is not None else "cache.miss",
+                    fingerprint=fingerprint[:12])
+        return plan
 
     def put(self, plan: SolvePlan) -> None:
         """Insert a plan, evicting LRU entries beyond capacity."""
+        evicted = []
         with self._lock:
             self._plans[plan.fingerprint] = plan
             self._plans.move_to_end(plan.fingerprint)
             while len(self._plans) > self.capacity:
-                self._plans.popitem(last=False)
+                fp, _ = self._plans.popitem(last=False)
                 self.evictions += 1
+                evicted.append(fp)
+        for fp in evicted:
+            trace.event("cache.evict", fingerprint=fp[:12])
 
     def invalidate(self, fingerprint: str) -> bool:
         """Drop a (poisoned) plan; the next request recompiles it.
@@ -138,7 +145,9 @@ class PlanCache:
             removed = self._plans.pop(fingerprint, None) is not None
             if removed:
                 self.invalidations += 1
-            return removed
+        if removed:
+            trace.event("cache.invalidate", fingerprint=fingerprint[:12])
+        return removed
 
     def verify(self, fingerprint: str | None = None,
                evict_bad: bool = True) -> list:
@@ -205,7 +214,9 @@ class PlanCache:
                     self._plans.move_to_end(fp)
                     self.misses -= 1
                     self.hits += 1
-                    return plan, True
+            if plan is not None:
+                trace.event("cache.coalesced_hit", fingerprint=fp[:12])
+                return plan, True
             hint = self.persisted_bsize(fp) if config.bsize is None \
                 else None
             t0 = time.perf_counter()

@@ -31,6 +31,7 @@ from repro.formats.csr import CSRMatrix
 from repro.formats.dbsr import DBSRMatrix
 from repro.grids.grid import StructuredGrid
 from repro.grids.stencils import Stencil, stencil_by_name
+from repro.observe import trace
 from repro.resilience import hooks
 from repro.resilience.guardrails import seal_plan, validate_plan
 from repro.utils.validation import check_positive, require
@@ -223,19 +224,26 @@ class SolvePlan:
         column (verified by the serve test suite).
         """
         require(op in PLAN_OPS, f"unknown op {op!r}; known: {PLAN_OPS}")
-        hooks.fire("plan.execute", strategy=self.config.strategy, op=op,
-                   fingerprint=self.fingerprint)
-        B = np.asarray(B, dtype=self.config.np_dtype)
-        single = B.ndim == 1
-        require(B.shape[0] == self.n,
-                f"rhs length {B.shape[0]} != problem size {self.n}")
-        Bp = self.extend(B.reshape(self.n, -1))
-        if self.config.strategy == "sell" and op in ("lower", "upper"):
-            Xp = self._execute_sell(op, Bp)
-        else:
-            Xp = self._execute_dbsr(op, Bp)
-        out = self.restrict(Xp)
-        return out[:, 0] if single else out
+        with trace.span("plan.execute", op=op,
+                        strategy=self.config.strategy,
+                        fingerprint=self.fingerprint[:12]) as sp:
+            hooks.fire("plan.execute", strategy=self.config.strategy,
+                       op=op, fingerprint=self.fingerprint)
+            B = np.asarray(B, dtype=self.config.np_dtype)
+            single = B.ndim == 1
+            require(B.shape[0] == self.n,
+                    f"rhs length {B.shape[0]} != problem size {self.n}")
+            Bp = self.extend(B.reshape(self.n, -1))
+            if sp is not None:
+                sp.attrs["k"] = int(Bp.shape[1])
+                sp.set_counts(self.op_counts(op, int(Bp.shape[1])))
+            if self.config.strategy == "sell" and op in ("lower",
+                                                         "upper"):
+                Xp = self._execute_sell(op, Bp)
+            else:
+                Xp = self._execute_dbsr(op, Bp)
+            out = self.restrict(Xp)
+            return out[:, 0] if single else out
 
     def _execute_dbsr(self, op: str, Bp: np.ndarray) -> np.ndarray:
         from repro.serve.batch import (
@@ -266,6 +274,33 @@ class SolvePlan:
         for j in range(Bp.shape[1]):
             out[:, j] = kern(sell, Bp[:, j], diag=self.diag)
         return out
+
+    def op_counts(self, op: str, k: int = 1):
+        """Closed-form op counts of one ``execute(op)`` over ``k`` RHS.
+
+        These are the counts the tracer attributes to ``plan.execute``
+        spans; the golden-trace suite asserts they equal the closed
+        forms in :mod:`repro.kernels.counts` exactly (they *are* those
+        closed forms, routed by the same strategy/op dispatch as
+        :meth:`execute`).
+        """
+        from repro.kernels.counts import (
+            spmv_dbsr_multi_counts,
+            sptrsv_dbsr_multi_counts,
+            sptrsv_sell_counts,
+            symgs_dbsr_multi_counts,
+        )
+
+        if self.config.strategy == "sell" and op in ("lower", "upper"):
+            sell = self.sell_lower if op == "lower" else self.sell_upper
+            return sptrsv_sell_counts(sell, divide=True).scaled(k)
+        if op == "lower":
+            return sptrsv_dbsr_multi_counts(self.lower, k, divide=True)
+        if op == "upper":
+            return sptrsv_dbsr_multi_counts(self.upper, k, divide=True)
+        if op == "spmv":
+            return spmv_dbsr_multi_counts(self.dbsr, k)
+        return symgs_dbsr_multi_counts(self.dbsr, k)
 
     def describe(self) -> dict:
         """JSON-friendly summary (for metrics and persistence)."""
@@ -315,61 +350,68 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
     fingerprint = structural_fingerprint(grid, stencil, config)
     np_dtype = config.np_dtype
 
-    t0 = time.perf_counter()
-    autotuned = False
-    if config.bsize is not None:
-        bsize = config.bsize
-    elif bsize_hint is not None:
-        bsize = check_positive(bsize_hint, "bsize_hint")
-    else:
-        from repro.experiments.base import machine_by_name
+    with trace.span("serve.compile", strategy=config.strategy,
+                    fingerprint=fingerprint[:12]) as sp:
+        t0 = time.perf_counter()
+        autotuned = False
+        if config.bsize is not None:
+            bsize = config.bsize
+        elif bsize_hint is not None:
+            bsize = check_positive(bsize_hint, "bsize_hint")
+        else:
+            from repro.experiments.base import machine_by_name
 
-        machine = machine_by_name(config.machine)
-        bsize = autotune_bsize(
-            grid, stencil, machine, n_workers=config.n_workers,
-            dtype_bytes=int(np.dtype(np_dtype).itemsize),
-            groups_per_worker=config.groups_per_worker)
-        autotuned = True
+            machine = machine_by_name(config.machine)
+            with trace.span("serve.autotune", machine=config.machine):
+                bsize = autotune_bsize(
+                    grid, stencil, machine, n_workers=config.n_workers,
+                    dtype_bytes=int(np.dtype(np_dtype).itemsize),
+                    groups_per_worker=config.groups_per_worker)
+            autotuned = True
 
-    n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim
-    block_dims = auto_block_dims(grid, config.n_workers, bsize=bsize,
-                                 n_colors=n_colors)
-    ordering = build_vbmc(grid, stencil, block_dims, bsize)
-    A = assemble_csr(grid, stencil, dtype=np_dtype)
-    Ap = ordering.apply_matrix(A)
-    dbsr = DBSRMatrix.from_csr(Ap, bsize)
-    L, D, U = split_triangular(Ap)
-    Ld = DBSRMatrix.from_csr(L, bsize)
-    Ud = DBSRMatrix.from_csr(U, bsize)
+        n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim
+        block_dims = auto_block_dims(grid, config.n_workers, bsize=bsize,
+                                     n_colors=n_colors)
+        ordering = build_vbmc(grid, stencil, block_dims, bsize)
+        A = assemble_csr(grid, stencil, dtype=np_dtype)
+        Ap = ordering.apply_matrix(A)
+        dbsr = DBSRMatrix.from_csr(Ap, bsize)
+        L, D, U = split_triangular(Ap)
+        Ld = DBSRMatrix.from_csr(L, bsize)
+        Ud = DBSRMatrix.from_csr(U, bsize)
 
-    sell_lower = sell_upper = None
-    if config.strategy == "sell":
-        from repro.formats.sell import SELLMatrix
+        sell_lower = sell_upper = None
+        if config.strategy == "sell":
+            from repro.formats.sell import SELLMatrix
 
-        sell_lower = SELLMatrix(L, chunk=bsize)
-        sell_upper = SELLMatrix(U, chunk=bsize)
+            sell_lower = SELLMatrix(L, chunk=bsize)
+            sell_upper = SELLMatrix(U, chunk=bsize)
 
-    plan = SolvePlan(
-        fingerprint=fingerprint,
-        config=config,
-        grid=grid,
-        stencil=stencil,
-        bsize=bsize,
-        block_dims=tuple(block_dims),
-        ordering=ordering,
-        matrix=Ap,
-        dbsr=dbsr,
-        lower=Ld,
-        upper=Ud,
-        diag=D,
-        sell_lower=sell_lower,
-        sell_upper=sell_upper,
-        compile_seconds=time.perf_counter() - t0,
-        autotuned=autotuned,
-    )
-    # Chaos may corrupt the freshly compiled plan here; compile-time
-    # validation then rejects it before it can reach a cache or kernel.
-    hooks.fire("serve.compile", plan=plan, fingerprint=fingerprint)
-    validate_plan(plan)
-    seal_plan(plan)
-    return plan
+        plan = SolvePlan(
+            fingerprint=fingerprint,
+            config=config,
+            grid=grid,
+            stencil=stencil,
+            bsize=bsize,
+            block_dims=tuple(block_dims),
+            ordering=ordering,
+            matrix=Ap,
+            dbsr=dbsr,
+            lower=Ld,
+            upper=Ud,
+            diag=D,
+            sell_lower=sell_lower,
+            sell_upper=sell_upper,
+            compile_seconds=time.perf_counter() - t0,
+            autotuned=autotuned,
+        )
+        if sp is not None:
+            sp.attrs["bsize"] = int(bsize)
+            sp.attrs["autotuned"] = autotuned
+        # Chaos may corrupt the freshly compiled plan here; compile-time
+        # validation then rejects it before it can reach a cache or
+        # kernel.
+        hooks.fire("serve.compile", plan=plan, fingerprint=fingerprint)
+        validate_plan(plan)
+        seal_plan(plan)
+        return plan

@@ -36,6 +36,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.grids.grid import StructuredGrid
+from repro.observe import trace
+from repro.observe.metrics import (
+    LATENCY_EDGES,
+    WIDTH_EDGES,
+    MetricsRegistry,
+)
 from repro.resilience.errors import DeadlineExceeded, DrainTimeout
 from repro.runtime.session import SolverSession
 from repro.serve.cache import PlanCache
@@ -145,10 +151,47 @@ class SolveService:
         self._lock = threading.Lock()
         self._pending: list[_Pending] = []
         self._ids = itertools.count()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.batches_executed = 0
+        #: Unified instrument registry (naming scheme in
+        #: ``docs/observability.md``); the legacy ``submitted``/
+        #: ``completed``/``failed``/``batches_executed`` attributes are
+        #: properties reading straight from it, so the counters survive
+        #: any number of :meth:`stats` calls and drain/requeue cycles.
+        self.metrics = MetricsRegistry()
+        self._submitted = self.metrics.counter(
+            "serve.submitted", "requests accepted by submit()")
+        self._completed = self.metrics.counter(
+            "serve.completed", "requests finished with a solution")
+        self._failed = self.metrics.counter(
+            "serve.failed", "requests finished with an error")
+        self._batches = self.metrics.counter(
+            "serve.batches", "coalesced kernel batches executed")
+        self._requeued = self.metrics.counter(
+            "serve.requeued", "requests re-queued by a drain timeout")
+        self._pending_gauge = self.metrics.gauge(
+            "serve.pending", "requests submitted but not yet drained")
+        self._batch_width = self.metrics.histogram(
+            "serve.batch_width", WIDTH_EDGES,
+            "RHS columns per executed batch")
+        self._drain_seconds = self.metrics.histogram(
+            "serve.drain_seconds", LATENCY_EDGES,
+            "wall seconds per drain() call")
+
+    # Legacy counter attributes (kept readable for existing callers) -----
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def completed(self) -> int:
+        return self._completed.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
+
+    @property
+    def batches_executed(self) -> int:
+        return self._batches.value
 
     # Submission ---------------------------------------------------------
     def submit(self, grid: StructuredGrid, stencil, rhs: np.ndarray,
@@ -191,7 +234,11 @@ class SolveService:
                 raise Backpressure(
                     f"{self.max_pending} requests pending; drain first")
             self._pending.append(entry)
-            self.submitted += 1
+            n_pending = len(self._pending)
+        self._submitted.inc()
+        self._pending_gauge.set(n_pending)
+        trace.event("serve.submit", request_id=ticket.request_id,
+                    op=op, fingerprint=fp[:12])
         return ticket
 
     @property
@@ -218,8 +265,21 @@ class SolveService:
                        if timeout is not None else None)
         with self._lock:
             pending, self._pending = self._pending, []
+            self._pending_gauge.set(len(self._pending))
         if not pending:
             return 0
+        t_drain = time.perf_counter()
+        try:
+            with trace.span("serve.drain",
+                            n_requests=len(pending)) as sp:
+                n_done = self._drain_groups(pending, deadline_at,
+                                            timeout, sp)
+        finally:
+            self._drain_seconds.observe(time.perf_counter() - t_drain)
+        return n_done
+
+    def _drain_groups(self, pending: list, deadline_at: float | None,
+                      timeout: float | None, sp) -> int:
         groups: dict[tuple, list[_Pending]] = {}
         for entry in pending:
             key = (entry.ticket.fingerprint, entry.ticket.op)
@@ -241,6 +301,8 @@ class SolveService:
                 for _, rest in group_items[gi + 1:]:
                     leftover.extend(rest)
                 self._requeue_and_raise(timeout, leftover)
+            trace.event("serve.coalesce", fingerprint=fp[:12], op=op,
+                        n_requests=len(entries))
             # One cache transaction per request: the first may compile,
             # coalesced followers count (and are served) as hits — the
             # per-request hit rate is what serve-bench reports.
@@ -257,6 +319,10 @@ class SolveService:
                     leftover.extend(rest)
                 self._requeue_and_raise(timeout, leftover)
             n_done += self._run_batch(plan, hits, op, chunk)
+        if sp is not None:
+            sp.attrs["n_groups"] = len(group_items)
+            sp.attrs["n_batches"] = len(work)
+            sp.attrs["n_done"] = n_done
         return n_done
 
     def _requeue_and_raise(self, timeout: float,
@@ -264,6 +330,9 @@ class SolveService:
         """Put unexecuted requests back (ahead of newer submissions)."""
         with self._lock:
             self._pending = leftover + self._pending
+            self._pending_gauge.set(len(self._pending))
+        self._requeued.inc(len(leftover))
+        trace.event("serve.requeue", n_requests=len(leftover))
         raise DrainTimeout(timeout,
                            [e.ticket.request_id for e in leftover])
 
@@ -291,7 +360,7 @@ class SolveService:
                 self._validate(plan, entry)
             except BaseException as exc:  # noqa: BLE001 - per-request
                 entry.ticket._finish(None, exc)
-                self.failed += 1
+                self._failed.inc()
             else:
                 good.append((entry, hit))
         if not good:
@@ -306,13 +375,14 @@ class SolveService:
             # each request alone so only the offender fails.
             return self._run_individually(plan, op, good)
         seconds = time.perf_counter() - t0
-        self.batches_executed += 1
+        self._batches.inc()
         k = len(good)
+        self._batch_width.observe(k)
         for j, (entry, hit) in enumerate(good):
             entry.ticket.metrics = self._request_metrics(
                 plan, hit, op, k, seconds)
             entry.ticket._finish(np.ascontiguousarray(X[:, j]))
-            self.completed += 1
+            self._completed.inc()
         return k
 
     def _execute(self, plan: SolvePlan, op: str,
@@ -332,12 +402,12 @@ class SolveService:
                     x = self._execute(plan, op, entry.rhs)
             except BaseException as exc:  # noqa: BLE001 - per-request
                 entry.ticket._finish(None, exc)
-                self.failed += 1
+                self._failed.inc()
                 continue
             entry.ticket.metrics = self._request_metrics(
                 plan, hit, op, 1, time.perf_counter() - t0)
             entry.ticket._finish(x)
-            self.completed += 1
+            self._completed.inc()
             n_done += 1
         return n_done
 
@@ -376,17 +446,24 @@ class SolveService:
 
     # Reporting ----------------------------------------------------------
     def stats(self) -> dict:
-        """Service + cache counter snapshot."""
+        """Service + cache counter snapshot.
+
+        Every count is read from :attr:`metrics` — the dict is a view,
+        not the store, so building it repeatedly (or across a
+        ``drain(timeout=)`` requeue cycle) never resets anything.
+        """
         return {
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "requeued": self._requeued.value,
             "pending": self.n_pending,
             "batches_executed": self.batches_executed,
             "max_batch": self.max_batch,
             "max_pending": self.max_pending,
             "cache": self.cache.stats(),
             "phases": self.session.phase_report(),
+            "metrics": self.metrics.snapshot(),
             "resilience": (self.resilience.stats()
                            if self.resilience is not None else None),
         }

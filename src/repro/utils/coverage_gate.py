@@ -1,0 +1,90 @@
+"""Coverage-gate check for CI (like :mod:`repro.utils.kernel_lint`).
+
+Reads a ``coverage json`` report and a recorded baseline file, then
+fails (exit 1) when either
+
+* the aggregate coverage of ``src/repro/observe/`` falls below the
+  baseline's ``observe_min`` (the observability subsystem ships with a
+  90% floor), or
+* total coverage falls below the recorded ``total_min``.
+
+Usage (CI)::
+
+    coverage run --source=src/repro -m pytest -q -m "not bench"
+    coverage json -o coverage.json
+    python -m repro.utils.coverage_gate coverage.json \\
+        tests/observe/coverage_baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+OBSERVE_PREFIXES = ("src/repro/observe/", "repro/observe/")
+
+
+def _observe_percent(files: dict) -> float | None:
+    """Aggregate line coverage over the observe package, or ``None``."""
+    covered = statements = 0
+    for path, entry in files.items():
+        norm = path.replace("\\", "/")
+        if not any(p in norm for p in OBSERVE_PREFIXES):
+            continue
+        summary = entry.get("summary", {})
+        covered += summary.get("covered_lines", 0)
+        statements += summary.get("num_statements", 0)
+    if statements == 0:
+        return None
+    return 100.0 * covered / statements
+
+
+def check_coverage(report: dict, baseline: dict) -> list:
+    """Return violation messages (empty list = gate passes)."""
+    problems = []
+    total = report.get("totals", {}).get("percent_covered")
+    if total is None:
+        return ["coverage report has no totals.percent_covered"]
+    total_min = float(baseline["total_min"])
+    if total < total_min:
+        problems.append(
+            f"total coverage {total:.2f}% is below the recorded "
+            f"baseline {total_min:.2f}%")
+    observe_min = float(baseline["observe_min"])
+    observe = _observe_percent(report.get("files", {}))
+    if observe is None:
+        problems.append(
+            "no src/repro/observe/ files in the coverage report "
+            "(was the suite run with --source=src/repro?)")
+    elif observe < observe_min:
+        problems.append(
+            f"src/repro/observe/ coverage {observe:.2f}% is below "
+            f"the {observe_min:.2f}% floor")
+    return problems
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print("usage: python -m repro.utils.coverage_gate "
+              "coverage.json baseline.json", file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        report = json.load(fh)
+    with open(argv[1]) as fh:
+        baseline = json.load(fh)
+    problems = check_coverage(report, baseline)
+    if problems:
+        for p in problems:
+            print(f"COVERAGE GATE: {p}", file=sys.stderr)
+        return 1
+    total = report["totals"]["percent_covered"]
+    observe = _observe_percent(report.get("files", {}))
+    print(f"coverage gate ok: total {total:.2f}% "
+          f"(floor {baseline['total_min']}%), observe {observe:.2f}% "
+          f"(floor {baseline['observe_min']}%)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

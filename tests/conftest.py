@@ -15,6 +15,16 @@ from repro.ordering.vbmc import build_vbmc
 from repro.utils.rng import make_rng
 
 
+def pytest_addoption(parser):
+    # Must live in this (initial) conftest: pytest only honors
+    # addoption hooks from rootdir/testpaths conftests, not from
+    # subdirectory ones like tests/observe/.
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate the golden traces under "
+             "tests/observe/goldens/ instead of asserting against them")
+
+
 @pytest.fixture(scope="session")
 def rng():
     return make_rng(42)

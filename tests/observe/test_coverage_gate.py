@@ -1,0 +1,105 @@
+"""Unit tests for the CI coverage gate (repro.utils.coverage_gate).
+
+The gate itself runs in CI where the ``coverage`` package is
+installed; here we drive it with synthetic ``coverage json`` payloads
+so the policy logic is pinned without that dependency.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.utils.coverage_gate import (
+    _observe_percent,
+    check_coverage,
+    main,
+)
+
+BASELINE_PATH = Path(__file__).parent / "coverage_baseline.json"
+
+
+def _report(total=92.0, observe_covered=95, observe_statements=100):
+    return {
+        "totals": {"percent_covered": total},
+        "files": {
+            "src/repro/observe/trace.py": {
+                "summary": {"covered_lines": observe_covered,
+                            "num_statements": observe_statements}},
+            "src/repro/serve/plan.py": {
+                "summary": {"covered_lines": 50,
+                            "num_statements": 60}},
+        },
+    }
+
+
+BASELINE = {"total_min": 85.0, "observe_min": 90.0}
+
+
+def test_gate_passes_above_both_floors():
+    assert check_coverage(_report(), BASELINE) == []
+
+
+def test_gate_fails_below_total_floor():
+    problems = check_coverage(_report(total=80.0), BASELINE)
+    assert len(problems) == 1
+    assert "total coverage" in problems[0]
+
+
+def test_gate_fails_below_observe_floor():
+    problems = check_coverage(
+        _report(observe_covered=80), BASELINE)
+    assert len(problems) == 1
+    assert "src/repro/observe/" in problems[0]
+
+
+def test_gate_reports_both_violations():
+    problems = check_coverage(
+        _report(total=10.0, observe_covered=10), BASELINE)
+    assert len(problems) == 2
+
+
+def test_gate_requires_observe_files_present():
+    report = {"totals": {"percent_covered": 99.0},
+              "files": {"src/repro/serve/plan.py": {
+                  "summary": {"covered_lines": 1,
+                              "num_statements": 1}}}}
+    problems = check_coverage(report, BASELINE)
+    assert any("no src/repro/observe/" in p for p in problems)
+
+
+def test_gate_rejects_report_without_totals():
+    assert check_coverage({}, BASELINE) == [
+        "coverage report has no totals.percent_covered"]
+
+
+def test_observe_percent_aggregates_across_files():
+    files = {
+        "src/repro/observe/trace.py": {
+            "summary": {"covered_lines": 90, "num_statements": 100}},
+        "src\\repro\\observe\\metrics.py": {  # windows separators
+            "summary": {"covered_lines": 50, "num_statements": 100}},
+        "src/repro/serve/plan.py": {
+            "summary": {"covered_lines": 0, "num_statements": 100}},
+    }
+    assert _observe_percent(files) == 70.0
+    assert _observe_percent({}) is None
+
+
+def test_checked_in_baseline_is_valid():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["observe_min"] == 90.0
+    assert 0.0 < baseline["total_min"] <= 100.0
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    rep = tmp_path / "coverage.json"
+    rep.write_text(json.dumps(_report()))
+    assert main([str(rep), str(BASELINE_PATH)]) == 0
+    assert "coverage gate ok" in capsys.readouterr().out
+
+    rep.write_text(json.dumps(_report(total=10.0)))
+    assert main([str(rep), str(BASELINE_PATH)]) == 1
+    assert "COVERAGE GATE" in capsys.readouterr().err
+
+    assert main(["only-one-arg"]) == 2

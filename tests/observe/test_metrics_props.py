@@ -1,0 +1,84 @@
+"""Property tests: histogram merge algebra, counter monotonicity."""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observe.metrics import Counter, Histogram
+
+EDGES = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=30)
+
+
+def _hist(values):
+    h = Histogram("h", edges=EDGES)
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _key(h: Histogram):
+    snap = h.snapshot()
+    return (snap["bucket_counts"], snap["count"],
+            round(snap["sum"], 9))
+
+
+@given(observations, observations)
+def test_histogram_merge_commutative(xs, ys):
+    a, b = _hist(xs), _hist(ys)
+    assert _key(a.merge(b)) == _key(b.merge(a))
+
+
+@given(observations, observations, observations)
+def test_histogram_merge_associative(xs, ys, zs):
+    a, b, c = _hist(xs), _hist(ys), _hist(zs)
+    assert _key(a.merge(b).merge(c)) == _key(a.merge(b.merge(c)))
+
+
+@given(observations)
+def test_histogram_merge_identity(xs):
+    a = _hist(xs)
+    empty = _hist([])
+    assert _key(a.merge(empty)) == _key(a)
+
+
+@given(observations, observations)
+def test_merge_equals_merged_observation_stream(xs, ys):
+    # Merging two histograms must equal observing the concatenation.
+    assert _key(_hist(xs).merge(_hist(ys))) == _key(_hist(xs + ys))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.lists(st.integers(min_value=0, max_value=20),
+                         max_size=25),
+                min_size=2, max_size=4))
+def test_counter_snapshots_monotone_under_concurrent_increments(incs):
+    """Snapshots taken while N threads increment never go backwards,
+    and the final value is the exact total."""
+    c = Counter("c")
+    start = threading.Barrier(len(incs) + 1)
+
+    def worker(values):
+        start.wait(timeout=5)
+        for v in values:
+            c.inc(v)
+
+    threads = [threading.Thread(target=worker, args=(v,)) for v in incs]
+    for t in threads:
+        t.start()
+    start.wait(timeout=5)
+    seen = []
+    while any(t.is_alive() for t in threads):
+        seen.append(c.value)
+    for t in threads:
+        t.join()
+    seen.append(c.value)
+    assert all(a <= b for a, b in zip(seen, seen[1:]))
+    assert c.value == sum(sum(v) for v in incs)

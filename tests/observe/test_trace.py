@@ -1,0 +1,174 @@
+"""Unit tests for the structured tracing core (repro.observe.trace)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observe import trace
+from repro.observe.trace import Span, Tracer
+from repro.simd.counters import OpCounter
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    """Every test starts and ends with the module slot disarmed."""
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+def _fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+def test_span_nesting_and_ids():
+    tr = Tracer()
+    with tr.span("outer") as outer:
+        with tr.span("inner") as inner:
+            assert tr.current() is inner
+        assert tr.current() is outer
+    assert tr.current() is None
+    assert [sp.name for sp in tr.walk()] == ["outer", "inner"]
+    assert outer.parent_id is None
+    assert inner.parent_id == outer.span_id
+    assert outer.children == [inner]
+
+
+def test_span_timing_uses_injected_clock():
+    tr = Tracer(clock=_fake_clock([10.0, 12.5]))
+    with tr.span("timed") as sp:
+        pass
+    assert sp.seconds == pytest.approx(2.5)
+
+
+def test_span_closed_even_when_body_raises():
+    tr = Tracer(clock=_fake_clock([0.0, 1.0]))
+    with pytest.raises(RuntimeError):
+        with tr.span("boom"):
+            raise RuntimeError("x")
+    assert tr.current() is None
+    assert tr.roots[0].seconds == pytest.approx(1.0)
+
+
+def test_sibling_spans_share_parent():
+    tr = Tracer()
+    with tr.span("parent"):
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+    parent = tr.roots[0]
+    assert [c.name for c in parent.children] == ["a", "b"]
+    assert tr.n_spans == 3
+
+
+def test_events_attach_to_current_span_or_root():
+    tr = Tracer()
+    tr.event("orphan", k=1)
+    with tr.span("s"):
+        tr.event("inside", k=2)
+    assert tr.events == [{"name": "orphan", "attrs": {"k": 1}}]
+    assert tr.roots[0].events == [{"name": "inside", "attrs": {"k": 2}}]
+
+
+def test_set_counts_serializes_opcounter():
+    tr = Tracer()
+    c = OpCounter(bsize=4)
+    c.vload = 7
+    c.bytes_values = 224
+    with tr.span("k") as sp:
+        sp.set_counts(c)
+    assert sp.counts["ops"]["vload"] == 7
+    assert sp.counts["bytes"]["values"] == 224
+    assert sp.counts["bsize"] == 4
+
+
+def test_add_counts_targets_current_span():
+    tr = Tracer()
+    trace.install(tr)
+    c = OpCounter(bsize=1)
+    c.sflop = 3
+    with tr.span("k"):
+        trace.add_counts(c)
+    assert tr.roots[0].counts["ops"]["sflop"] == 3
+
+
+def test_threads_build_separate_subtrees():
+    tr = Tracer()
+    barrier = threading.Barrier(2)
+
+    def work(name):
+        with tr.span(name):
+            barrier.wait(timeout=5)
+
+    threads = [threading.Thread(target=work, args=(f"t{i}",))
+               for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Both spans are roots (thread-local stacks), not nested.
+    assert sorted(sp.name for sp in tr.roots) == ["t0", "t1"]
+    assert all(not sp.children for sp in tr.roots)
+
+
+def test_to_dict_roundtrips_through_json():
+    import json
+
+    tr = Tracer()
+    with tr.span("a", op="lower"):
+        tr.event("e", n=1)
+    d = tr.to_dict()
+    assert d["schema"] == "dbsr-repro/trace/v1"
+    assert json.loads(json.dumps(d)) == d
+
+
+# Module-level slot ------------------------------------------------------
+
+
+def test_module_span_disarmed_is_shared_null():
+    a = trace.span("x")
+    b = trace.span("y", attr=1)
+    assert a is b is trace.null_span()
+    with a as sp:
+        assert sp is None
+
+
+def test_module_span_armed_records():
+    tr = Tracer()
+    trace.install(tr)
+    with trace.span("site", k=2) as sp:
+        assert isinstance(sp, Span)
+    assert tr.roots[0].attrs == {"k": 2}
+    trace.uninstall(tr)
+    assert trace.active() is None
+
+
+def test_uninstall_other_tracer_is_noop():
+    a, b = Tracer(), Tracer()
+    trace.install(a)
+    trace.uninstall(b)  # b was never active: a must survive
+    assert trace.active() is a
+
+
+def test_event_disarmed_is_noop():
+    trace.event("nothing", x=1)  # must not raise
+
+
+def test_tracing_contextmanager_installs_and_uninstalls():
+    with trace.tracing() as tr:
+        assert trace.active() is tr
+        with trace.span("in"):
+            pass
+    assert trace.active() is None
+    assert tr.roots[0].name == "in"
+
+
+def test_tracing_uninstalls_on_error():
+    with pytest.raises(ValueError):
+        with trace.tracing():
+            raise ValueError("boom")
+    assert trace.active() is None

@@ -1,0 +1,79 @@
+"""Direct unit tests for ordering/schedule_stats.py.
+
+Built on synthetic :class:`ColorSchedule` pointers so each statistic
+is pinned against hand-computed values (the property suite covers the
+real VBMC schedules).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ordering.schedule_stats import ScheduleStats, schedule_stats
+from repro.ordering.vbmc import ColorSchedule
+
+
+def _sched(*groups_per_color):
+    ptr = np.concatenate(([0], np.cumsum(groups_per_color)))
+    return ColorSchedule(bsize=4, points_per_block=8,
+                         color_group_ptr=ptr.astype(np.int64))
+
+
+def test_stats_from_synthetic_schedule():
+    st = schedule_stats(_sched(4, 2, 6))
+    assert st.n_colors == 3
+    assert st.n_groups == 12
+    assert list(st.groups_per_color) == [4, 2, 6]
+    assert st.min_parallelism == 2
+    assert st.balance == pytest.approx(2 / 6)
+    assert st.barriers_per_sweep == 3
+
+
+def test_balanced_schedule_has_balance_one():
+    st = schedule_stats(_sched(5, 5, 5))
+    assert st.balance == 1.0
+    assert st.min_parallelism == 5
+
+
+def test_empty_schedule_edge_case():
+    st = schedule_stats(_sched())
+    assert st.n_colors == 0
+    assert st.n_groups == 0
+    assert st.min_parallelism == 0
+    assert st.balance == 1.0
+    assert st.barriers_per_sweep == 0
+
+
+def test_speedup_bound_exact_for_unit_cost_groups():
+    st = schedule_stats(_sched(4, 2, 6))
+    # 2 workers: ceil(4/2)+ceil(2/2)+ceil(6/2) = 2+1+3 = 6 rounds.
+    assert st.speedup_bound(2) == pytest.approx(12 / 6)
+    # 4 workers: 1+1+2 = 4 rounds.
+    assert st.speedup_bound(4) == pytest.approx(12 / 4)
+    # One worker can never beat sequential.
+    assert st.speedup_bound(1) == pytest.approx(1.0)
+
+
+def test_speedup_bound_saturates_at_min_color_width():
+    st = schedule_stats(_sched(8, 8))
+    # Beyond 8 workers every color is one round: bound stops growing.
+    assert st.speedup_bound(8) == st.speedup_bound(64) == 8.0
+
+
+def test_speedup_bound_empty_schedule_is_one():
+    assert schedule_stats(_sched()).speedup_bound(4) == 1.0
+
+
+def test_rows_tabular_form():
+    st = schedule_stats(_sched(3, 1))
+    assert st.rows() == [(0, 3), (1, 1)]
+    assert all(isinstance(g, int) for _, g in st.rows())
+
+
+def test_stats_dataclass_is_plain_data():
+    st = ScheduleStats(n_colors=1, n_groups=2,
+                       groups_per_color=np.array([2]),
+                       min_parallelism=2, balance=1.0,
+                       barriers_per_sweep=1)
+    assert st.speedup_bound(2) == 2.0
