@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli figures fig9
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
+    python -m repro.cli shard-bench --nx 9 --ranks 27
     python -m repro.cli chaos-bench --nx 8 --quick
     python -m repro.cli trace --nx 8 --strategy dbsr
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
@@ -206,6 +207,45 @@ def _cmd_serve_bench(args) -> int:
           f"{'yes' if scaling['value_bytes_per_solve_decreasing'] else 'NO'}")
     print(f"[written to {path}]")
     return 0 if ok else 1
+
+
+def _cmd_shard_bench(args) -> int:
+    from repro.runtime.metrics import write_bench_json
+    from repro.shard.bench import collect_bench_shard
+
+    report = collect_bench_shard(
+        nx=args.nx, stencil=args.stencil, n_ranks=args.ranks,
+        n_requests=args.requests, max_batch=args.max_batch,
+        n_workers=args.workers, dtype=args.dtype,
+        machine=args.machine)
+    path = write_bench_json(report, args.out)
+    cfg = report["config"]
+    print(f"sharded {cfg['nx']}^3 {cfg['stencil']} over "
+          f"{cfg['n_ranks']} ranks {tuple(cfg['proc_grid'])}: "
+          f"{cfg['n_requests']} requests")
+    print(f"per-shard cache hit rate >= "
+          f"{report['per_shard_hit_rate_min'] * 100:.1f}%")
+    halo = report["halo"]
+    print(f"halo: {halo['measured']['bytes']} B over "
+          f"{halo['measured']['exchanges']} exchanges "
+          f"({halo['measured']['messages']} messages), "
+          f"matches per-request closed form: "
+          f"{'yes' if halo['bytes_match_requests'] else 'NO'}")
+    closed = halo["closed_form"]
+    if closed is not None:
+        print(f"interior rank {closed['interior_rank']}: "
+              f"{closed['measured_ghost_bytes']} ghost B vs "
+              f"{closed['expected_bytes']} analytic "
+              f"({'match' if closed['bytes_match'] else 'MISMATCH'}), "
+              f"{closed['neighbors']}/{closed['expected_neighbors']} "
+              f"neighbors")
+    for name, val in report["identity"].items():
+        print(f"identity {name}: {'yes' if val else 'NO'}")
+    print(f"aggregate speedup bound: "
+          f"{report['schedule']['aggregate_speedup_bound']:.1f}x "
+          f"across {cfg['n_ranks']} shards")
+    print(f"[written to {path}]")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_chaos_bench(args) -> int:
@@ -425,6 +465,23 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("intel", "kp920", "thunderx2", "phytium"))
     p.add_argument("--out", default="BENCH_serve.json")
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser("shard-bench",
+                       help="run the sharded-serving benchmark "
+                            "(per-shard plan caches + halo exchange "
+                            "accounting + bit-identity gates) and "
+                            "emit BENCH_shard.json")
+    p.add_argument("--nx", type=int, default=9)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--ranks", type=int, default=27)
+    p.add_argument("--requests", type=int, default=24)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
+    p.add_argument("--machine", default="kp920",
+                   choices=("intel", "kp920", "thunderx2", "phytium"))
+    p.add_argument("--out", default="BENCH_shard.json")
+    p.set_defaults(func=_cmd_shard_bench)
 
     p = sub.add_parser("chaos-bench",
                        help="run the fault-injection benchmark "

@@ -28,6 +28,29 @@ def decompose_ranks(n_ranks: int) -> tuple:
     return best[1]
 
 
+def decompose_ranks_nd(n_ranks: int, ndim: int) -> tuple:
+    """Most-cubic factorization of ``n_ranks`` into ``ndim`` factors.
+
+    Generalizes :func:`decompose_ranks` to 2-D (or any arity) process
+    grids: among all ordered factorizations ``p_0 * ... * p_{ndim-1}``
+    minimize the surface proxy ``sum(p)`` then the largest factor.
+    """
+    check_positive(n_ranks, "n_ranks")
+    check_positive(ndim, "ndim")
+    if ndim == 1:
+        return (n_ranks,)
+    best = None
+    for p0 in range(1, n_ranks + 1):
+        if n_ranks % p0:
+            continue
+        rest = decompose_ranks_nd(n_ranks // p0, ndim - 1)
+        cand = (p0,) + rest
+        key = (sum(cand), max(cand))
+        if best is None or key < best[0]:
+            best = (key, cand)
+    return best[1]
+
+
 def halo_neighbor_count(proc_grid: tuple, interior: bool = True) -> int:
     """Number of 27-stencil neighbors of a rank (26 for an interior
     rank of a >=3^3 grid; fewer on small/flat grids)."""

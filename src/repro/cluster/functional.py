@@ -2,26 +2,56 @@
 
 The weak-scaling model in :mod:`repro.cluster.weakscaling` prices halo
 exchanges analytically; this module *executes* them: the global grid
-is decomposed into per-rank bricks, each rank holds a local matrix
-whose columns reference owned + ghost unknowns, and
+is decomposed into per-rank bricks (HPCG-style, with uneven tails when
+a grid dimension does not divide evenly), each rank holds a local
+matrix whose columns reference owned + ghost unknowns, and
 :func:`halo_exchange` moves real data between ranks (sequentially — a
-simulated communicator). Distributed SpMV/dot/residual are verified
-bit-for-bit against the global operator, validating both the
-decomposition logic and the halo-volume formulas the model uses.
+simulated communicator).
+
+Two local column layouts coexist, because they serve different
+consumers:
+
+* ``matrix`` — **owned-first**: columns ``< n_owned`` are owned
+  unknowns, columns ``>= n_owned`` index the ghost region. The
+  distributed ILU/PCG solver keys off this split.
+* ``interleaved`` — columns merged in **global-id order**
+  (``col_global``). Per-row summation order then matches the global
+  CSR operator exactly, so :func:`distributed_spmv` is bit-identical
+  to ``A @ x`` — not merely close — which is what the sharded serving
+  layer's differential tests assert.
+
+Halo exchanges run off precomputed receive plans (one index-gather per
+neighbor rank), so each exchange also reports its message count and
+byte volume for the observability layer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
-from repro.cluster.decomp import decompose_ranks
+from repro.cluster.decomp import decompose_ranks_nd
 from repro.formats.coo import COOMatrix
 from repro.formats.csr import CSRMatrix
-from repro.grids.grid import StructuredGrid
 from repro.grids.problems import Problem
 from repro.utils.validation import require
+
+
+def brick_splits(extent: int, parts: int) -> tuple[list, list]:
+    """Split ``extent`` grid points into ``parts`` near-equal bricks.
+
+    Returns ``(sizes, starts)``; the first ``extent % parts`` bricks
+    get one extra point, so every brick is non-empty as long as
+    ``parts <= extent``.
+    """
+    require(1 <= parts <= extent,
+            f"cannot split {extent} points into {parts} bricks")
+    base, rem = divmod(extent, parts)
+    sizes = [base + 1] * rem + [base] * (parts - rem)
+    starts = list(np.cumsum([0] + sizes[:-1]))
+    return sizes, starts
 
 
 @dataclass
@@ -31,7 +61,7 @@ class RankDomain:
     Attributes
     ----------
     rank:
-        Rank id (lexicographic in the process grid).
+        Rank id (lexicographic in the process grid, x fastest).
     owned_global:
         Global ids of owned points, ascending (local id = position).
     ghost_global:
@@ -39,8 +69,22 @@ class RankDomain:
     ghost_owner:
         Owning rank of each ghost point.
     matrix:
-        Local CSR of shape ``(n_owned, n_owned + n_ghost)``; columns
-        ``>= n_owned`` index into the ghost region.
+        Local CSR of shape ``(n_owned, n_owned + n_ghost)`` in the
+        owned-first layout; columns ``>= n_owned`` index the ghost
+        region.
+    brick_dims / brick_origin:
+        This rank's brick extents and lower corner in the global grid.
+    interleaved:
+        Same rows as ``matrix`` but with columns in global-id order
+        (``col_global``); matvecs through it reproduce the global
+        operator bit-for-bit.
+    col_global:
+        Merged ascending global ids of the interleaved columns.
+    own_pos / ghost_pos:
+        Positions of the owned / ghost unknowns inside ``col_global``.
+    recv_plan:
+        Per-neighbor receive plan: ``(owner_rank, src_idx, dst_idx)``
+        triples such that ``ghost[dst_idx] = x_owner[src_idx]``.
     """
 
     rank: int
@@ -48,6 +92,13 @@ class RankDomain:
     ghost_global: np.ndarray
     ghost_owner: np.ndarray
     matrix: CSRMatrix
+    brick_dims: tuple = ()
+    brick_origin: tuple = ()
+    interleaved: CSRMatrix | None = field(default=None, repr=False)
+    col_global: np.ndarray | None = field(default=None, repr=False)
+    own_pos: np.ndarray | None = field(default=None, repr=False)
+    ghost_pos: np.ndarray | None = field(default=None, repr=False)
+    recv_plan: list = field(default_factory=list, repr=False)
     ghost_values: np.ndarray = field(default=None, repr=False)
 
     @property
@@ -58,9 +109,46 @@ class RankDomain:
     def n_ghost(self) -> int:
         return len(self.ghost_global)
 
+    @property
+    def neighbor_ranks(self) -> list:
+        """Distinct ranks this rank receives ghost data from."""
+        return sorted(int(o) for o in np.unique(self.ghost_owner))
+
     def halo_bytes(self, dtype_bytes: int = 8) -> int:
         """Bytes received per exchange (one value per ghost)."""
         return self.n_ghost * dtype_bytes
+
+    @cached_property
+    def owned_block(self) -> CSRMatrix:
+        """The ``(n_owned, n_owned)`` diagonal block of the operator.
+
+        Equals the standalone brick operator
+        ``assemble_csr(StructuredGrid(brick_dims), stencil)`` exactly —
+        stencil weights depend only on the offset and boundary rows are
+        pure truncations, so the sharded block-Jacobi plans act on the
+        global matrix's own diagonal blocks.
+        """
+        m = self.matrix
+        rows = np.repeat(np.arange(self.n_owned), np.diff(m.indptr))
+        mask = m.indices < self.n_owned
+        return CSRMatrix.from_coo(COOMatrix(
+            rows[mask], m.indices[mask], m.data[mask].copy(),
+            (self.n_owned, self.n_owned)))
+
+    @cached_property
+    def coupling(self) -> CSRMatrix:
+        """The ``(n_owned, n_ghost)`` off-brick coupling block ``G``.
+
+        ``G @ ghost_values`` is the contribution of neighbor bricks to
+        this rank's rows — the term block-Jacobi SYMGS feeds back as a
+        right-hand-side correction between sweeps.
+        """
+        m = self.matrix
+        rows = np.repeat(np.arange(self.n_owned), np.diff(m.indptr))
+        mask = m.indices >= self.n_owned
+        return CSRMatrix.from_coo(COOMatrix(
+            rows[mask], m.indices[mask] - self.n_owned,
+            m.data[mask].copy(), (self.n_owned, self.n_ghost)))
 
 
 @dataclass
@@ -89,31 +177,35 @@ class DistributedProblem:
         return out
 
 
+def default_proc_grid(n_ranks: int, ndim: int) -> tuple:
+    """Most-cubic ``ndim``-ary process grid for ``n_ranks``."""
+    return tuple(sorted(decompose_ranks_nd(n_ranks, ndim),
+                        reverse=True))
+
+
 def build_distributed(problem: Problem, n_ranks: int,
                       proc_grid: tuple | None = None
                       ) -> DistributedProblem:
     """Decompose ``problem`` over ``n_ranks`` simulated ranks.
 
-    The global grid must be divisible by the process grid in every
-    dimension (HPCG's constraint).
+    Grid dimensions need not divide evenly: uneven remainders go to
+    the leading bricks of each dimension (every brick stays non-empty,
+    so the only rejection is a process grid with more ranks than
+    points along some dimension).
     """
     grid = problem.grid
     if proc_grid is None:
-        pg = decompose_ranks(n_ranks)
-        # decompose_ranks is 3-D; trim to the grid's arity.
-        pg = tuple(sorted(pg, reverse=True))[:grid.ndim]
-        while int(np.prod(pg)) < n_ranks:
-            pg = pg + (n_ranks // int(np.prod(pg)),)
-        proc_grid = pg
+        proc_grid = default_proc_grid(n_ranks, grid.ndim)
     require(len(proc_grid) == grid.ndim, "process grid arity mismatch")
     require(int(np.prod(proc_grid)) == n_ranks,
             "process grid does not match rank count")
-    for g, p in zip(grid.dims, proc_grid):
-        require(g % p == 0, f"grid dim {g} not divisible by {p} ranks")
 
-    brick = tuple(g // p for g, p in zip(grid.dims, proc_grid))
+    splits = [brick_splits(g, p) for g, p in zip(grid.dims, proc_grid)]
+    starts = [np.asarray(st) for _, st in splits]
     coords = grid.coords_array()
-    rank_coord = coords // np.asarray(brick)
+    rank_coord = np.stack(
+        [np.searchsorted(starts[d], coords[:, d], side="right") - 1
+         for d in range(grid.ndim)], axis=1)
     proc_strides = [1]
     for p in proc_grid[:-1]:
         proc_strides.append(proc_strides[-1] * p)
@@ -123,54 +215,137 @@ def build_distributed(problem: Problem, n_ranks: int,
     rows_global = np.repeat(np.arange(problem.n), np.diff(A.indptr))
     ranks = []
     for r in range(n_ranks):
+        pc = []
+        rr = r
+        for p in proc_grid:
+            pc.append(rr % p)
+            rr //= p
+        brick_dims = tuple(splits[d][0][pc[d]]
+                           for d in range(grid.ndim))
+        brick_origin = tuple(int(starts[d][pc[d]])
+                             for d in range(grid.ndim))
         owned = np.flatnonzero(owner_of == r)
-        local_of = {int(g): i for i, g in enumerate(owned)}
         mask = owner_of[rows_global] == r
         sub_rows = rows_global[mask]
         sub_cols = A.indices[mask]
         sub_vals = A.data[mask]
         ghost = np.unique(
             sub_cols[owner_of[sub_cols] != r]).astype(np.int64)
-        ghost_of = {int(g): len(owned) + i for i, g in enumerate(ghost)}
-        new_rows = np.fromiter(
-            (local_of[int(g)] for g in sub_rows), dtype=np.int64,
-            count=len(sub_rows))
-        new_cols = np.fromiter(
-            (local_of.get(int(c), ghost_of.get(int(c), -1))
-             for c in sub_cols), dtype=np.int64, count=len(sub_cols))
+        new_rows = np.searchsorted(owned, sub_rows)
+        is_owned_col = owner_of[sub_cols] == r
+        new_cols = np.where(
+            is_owned_col,
+            np.searchsorted(owned, sub_cols),
+            len(owned) + np.searchsorted(ghost, sub_cols))
         local = CSRMatrix.from_coo(COOMatrix(
             new_rows, new_cols, sub_vals,
             (len(owned), len(owned) + len(ghost))))
+        # Interleaved layout: columns merged in global-id order, so
+        # CSR row sums run in exactly the global operator's order.
+        col_global = np.sort(np.concatenate([owned, ghost]))
+        inter = CSRMatrix.from_coo(COOMatrix(
+            new_rows, np.searchsorted(col_global, sub_cols),
+            sub_vals.copy(), (len(owned), len(col_global))))
         ranks.append(RankDomain(
             rank=r, owned_global=owned, ghost_global=ghost,
             ghost_owner=owner_of[ghost], matrix=local,
+            brick_dims=brick_dims, brick_origin=brick_origin,
+            interleaved=inter, col_global=col_global,
+            own_pos=np.searchsorted(col_global, owned),
+            ghost_pos=np.searchsorted(col_global, ghost),
         ))
+    for r in ranks:
+        r.recv_plan = _build_recv_plan(r, ranks)
     return DistributedProblem(problem=problem, proc_grid=proc_grid,
                               owner_of=owner_of, ranks=ranks)
 
 
-def halo_exchange(dist: DistributedProblem, x_locals: list) -> None:
-    """Fill every rank's ghost buffer from the owners' local data."""
-    # Global position lookup per rank for O(1) ghost resolution.
+def _build_recv_plan(r: RankDomain, ranks: list) -> list:
+    """Group a rank's ghosts by owner into gather triples."""
+    if r.n_ghost == 0:
+        return []
+    order = np.argsort(r.ghost_owner, kind="stable")
+    owners = r.ghost_owner[order]
+    bounds = np.flatnonzero(np.diff(owners)) + 1
+    plan = []
+    for seg in np.split(order, bounds):
+        owner = int(r.ghost_owner[seg[0]])
+        src = np.searchsorted(ranks[owner].owned_global,
+                              r.ghost_global[seg])
+        plan.append((owner, src, seg))
+    return plan
+
+
+def halo_exchange(dist: DistributedProblem, x_locals: list) -> dict:
+    """Fill every rank's ghost buffer from the owners' local data.
+
+    Returns exchange statistics: total ``values`` moved, point-to-point
+    ``messages`` (one per (receiver, owner) pair), and ``bytes``.
+    """
+    dtype = np.asarray(x_locals[0]).dtype
+    values = messages = 0
     for r in dist.ranks:
         if r.ghost_values is None or \
-                len(r.ghost_values) != r.n_ghost:
-            r.ghost_values = np.zeros(r.n_ghost,
-                                      dtype=x_locals[0].dtype)
-        for k, (g, owner) in enumerate(zip(r.ghost_global,
-                                           r.ghost_owner)):
-            owner_rank = dist.ranks[int(owner)]
-            pos = np.searchsorted(owner_rank.owned_global, g)
-            r.ghost_values[k] = x_locals[int(owner)][pos]
+                r.ghost_values.shape != (r.n_ghost,) or \
+                r.ghost_values.dtype != dtype:
+            r.ghost_values = np.zeros(r.n_ghost, dtype=dtype)
+        for owner, src, dst in r.recv_plan:
+            r.ghost_values[dst] = x_locals[owner][src]
+            messages += 1
+        values += r.n_ghost
+    return {"values": values, "messages": messages,
+            "bytes": values * dtype.itemsize}
+
+
+def halo_exchange_block(dist: DistributedProblem,
+                        X_locals: list) -> tuple[list, dict]:
+    """Block (multi-RHS) halo exchange: ``(n_owned, k)`` per rank in,
+    ``(n_ghost, k)`` ghost blocks out, plus per-rank volume stats.
+
+    Unlike :func:`halo_exchange` this does not touch the ranks'
+    ``ghost_values`` buffers, so concurrent sharded solves over the
+    same decomposition cannot interfere.
+    """
+    k = int(X_locals[0].shape[1])
+    dtype = X_locals[0].dtype
+    ghosts, per_rank_bytes = [], []
+    messages = 0
+    for r in dist.ranks:
+        g = np.zeros((r.n_ghost, k), dtype=dtype)
+        for owner, src, dst in r.recv_plan:
+            g[dst] = X_locals[owner][src]
+            messages += 1
+        ghosts.append(g)
+        per_rank_bytes.append(r.n_ghost * k * dtype.itemsize)
+    return ghosts, {"bytes": int(sum(per_rank_bytes)),
+                    "messages": messages, "k": k,
+                    "per_rank_bytes": per_rank_bytes}
+
+
+def interleave_full(r: RankDomain, x_owned: np.ndarray,
+                    x_ghost: np.ndarray) -> np.ndarray:
+    """Merge owned + ghost data into the interleaved column order."""
+    shape = (len(r.col_global),) + x_owned.shape[1:]
+    xfull = np.empty(shape, dtype=x_owned.dtype)
+    xfull[r.own_pos] = x_owned
+    if r.n_ghost:
+        xfull[r.ghost_pos] = x_ghost
+    return xfull
 
 
 def distributed_spmv(dist: DistributedProblem, x_locals: list) -> list:
-    """``A @ x`` executed rank by rank with a preceding halo exchange."""
+    """``A @ x`` executed rank by rank with a preceding halo exchange.
+
+    Bit-identical to the global matvec: each local row's nonzeros sit
+    in global column order in the ``interleaved`` matrix, so
+    ``np.add.reduceat`` accumulates in the same order as the global
+    CSR row.
+    """
     halo_exchange(dist, x_locals)
     out = []
     for r, xl in zip(dist.ranks, x_locals):
-        xfull = np.concatenate([xl, r.ghost_values])
-        out.append(r.matrix.matvec(xfull))
+        xfull = interleave_full(r, xl, r.ghost_values)
+        out.append(r.interleaved.matvec(xfull))
     return out
 
 

@@ -1,16 +1,24 @@
-"""Validate ``BENCH_trace.json`` against the checked-in JSON schema.
+"""Validate bench reports against their checked-in JSON schemas.
 
-The authoritative schema lives at
-``tests/observe/bench_trace.schema.json``; CI's ``trace-smoke`` job and
-the tier-1 suite both validate through this module. When the
-``jsonschema`` package is importable the full schema runs; otherwise a
-built-in structural check covers the required shape, so validation
-never silently passes just because an optional dependency is missing.
+Two entry points:
 
-Runnable as a module::
+* :func:`validate_bench_trace` — the bench-trace report, with a
+  hand-written structural check mirroring its span tree (schema at
+  ``tests/observe/bench_trace.schema.json``).
+* :func:`validate_report` — **generic** validation for any other
+  bench report (e.g. ``BENCH_shard.json`` against
+  ``tests/shard/bench_shard.schema.json``): the schema file's
+  ``required`` keys and the ``schema`` id ``const`` are checked
+  dependency-free, and the full ``jsonschema`` validation runs
+  additionally when that package is importable — so validation never
+  silently passes just because an optional dependency is missing.
+
+Runnable as a module (dispatches on the report's ``schema`` id)::
 
     python -m repro.observe.schema_check BENCH_trace.json \\
         tests/observe/bench_trace.schema.json
+    python -m repro.observe.schema_check BENCH_shard.json \\
+        tests/shard/bench_shard.schema.json
 """
 
 from __future__ import annotations
@@ -105,6 +113,48 @@ def validate_bench_trace(report: dict,
         raise TraceSchemaError(str(exc)) from exc
 
 
+def validate_report(report: dict,
+                    schema_path: str | None = None,
+                    schema_id: str | None = None) -> None:
+    """Generic report validation; raises :class:`TraceSchemaError`.
+
+    Dependency-free checks first: the report is an object, it carries
+    every key the schema file's top-level ``required`` lists, and its
+    ``schema`` id equals the schema's ``const`` (or ``schema_id``).
+    Then the full ``jsonschema`` validation, when importable.
+    """
+    errors: list[str] = []
+    if not isinstance(report, dict):
+        raise TraceSchemaError("report must be a JSON object")
+    schema = None
+    expected_id = schema_id
+    if schema_path is not None:
+        with open(schema_path) as fh:
+            schema = json.load(fh)
+        for key in schema.get("required", []):
+            if key not in report:
+                errors.append(f"missing top-level key {key!r}")
+        const = schema.get("properties", {}).get(
+            "schema", {}).get("const")
+        if const is not None:
+            expected_id = const
+    if expected_id is not None and report.get("schema") != expected_id:
+        errors.append(f"schema must be {expected_id!r}, "
+                      f"got {report.get('schema')!r}")
+    if errors:
+        raise TraceSchemaError("; ".join(errors))
+    if schema is None:
+        return
+    try:
+        import jsonschema
+    except ImportError:  # structural check already passed
+        return
+    try:
+        jsonschema.validate(report, schema)
+    except jsonschema.ValidationError as exc:
+        raise TraceSchemaError(str(exc)) from exc
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or len(argv) > 2:
@@ -114,13 +164,25 @@ def main(argv=None) -> int:
     with open(argv[0]) as fh:
         report = json.load(fh)
     schema_path = argv[1] if len(argv) == 2 else None
+    # Dispatch: with an explicit schema the report validates against
+    # it generically (trace reports keep their structural check too);
+    # without one, the historical bench-trace validation applies.
+    is_trace = schema_path is None or (
+        isinstance(report, dict)
+        and report.get("schema") == SCHEMA_ID)
     try:
-        validate_bench_trace(report, schema_path)
+        if is_trace:
+            validate_bench_trace(report, schema_path)
+        else:
+            validate_report(report, schema_path)
     except TraceSchemaError as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 1
-    print(f"{argv[0]}: valid {SCHEMA_ID} report "
-          f"({report['n_spans']} spans)")
+    if is_trace:
+        print(f"{argv[0]}: valid {SCHEMA_ID} report "
+              f"({report['n_spans']} spans)")
+    else:
+        print(f"{argv[0]}: valid {report.get('schema')} report")
     return 0
 
 

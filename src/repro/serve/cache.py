@@ -65,7 +65,13 @@ class PlanCache:
         self.persist_path = persist_path
         self._plans: OrderedDict[str, SolvePlan] = OrderedDict()
         self._lock = threading.Lock()
-        self._compile_locks: dict[str, threading.Lock] = {}
+        #: fp -> [lock, refcount]; entries exist only while compiles
+        #: for that fingerprint are in flight (see get_or_compile), so
+        #: the map is bounded by concurrency, not by distinct
+        #: structures ever seen.
+        self._compile_locks: dict[str, list] = {}
+        #: Serializes pick-file writes without blocking ``_lock``.
+        self._persist_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -87,18 +93,25 @@ class PlanCache:
         except (OSError, ValueError):
             return {}
 
-    def _save_picks(self) -> None:
+    def _save_picks(self, picks: dict) -> None:
+        """Atomically persist a picks *snapshot*.
+
+        Runs under ``_persist_lock`` only — never ``_lock`` — so slow
+        file I/O cannot stall concurrent lookups. Callers snapshot
+        ``self._picks`` under ``_lock`` and pass the copy here.
+        """
         if not self.persist_path:
             return
         blob = {
             "schema": "dbsr-repro/autotune-picks/v1",
-            "autotune_picks": self._picks,
+            "autotune_picks": picks,
         }
         tmp = f"{self.persist_path}.tmp"
-        with open(tmp, "w") as fh:
-            json.dump(blob, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        os.replace(tmp, self.persist_path)
+        with self._persist_lock:
+            with open(tmp, "w") as fh:
+                json.dump(blob, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.persist_path)
 
     def persisted_bsize(self, fingerprint: str) -> int | None:
         """The persisted autotune pick for a fingerprint, if any."""
@@ -119,6 +132,15 @@ class PlanCache:
         trace.event("cache.hit" if plan is not None else "cache.miss",
                     fingerprint=fingerprint[:12])
         return plan
+
+    def peek(self, fingerprint: str) -> SolvePlan | None:
+        """Counter-free lookup: no hit/miss accounting, no LRU touch.
+
+        For observers (the sharded service refreshing a healed plan,
+        tests) that must not perturb the hit-rate statistics.
+        """
+        with self._lock:
+            return self._plans.get(fingerprint)
 
     def put(self, plan: SolvePlan) -> None:
         """Insert a plan, evicting LRU entries beyond capacity."""
@@ -201,62 +223,98 @@ class PlanCache:
         plan = self.get(fp)
         if plan is not None:
             return plan, True
+        # Refcounted per-fingerprint lock: the entry lives exactly as
+        # long as compiles for this fingerprint are in flight, so
+        # ``_compile_locks`` stays bounded by live compiles instead of
+        # growing with every structure ever requested.
         with self._lock:
-            flock = self._compile_locks.setdefault(fp, threading.Lock())
-        with flock:
-            # Double-check: another thread may have compiled meanwhile.
-            # Reclassify this request's miss as a hit — it is served
-            # from cache, so each get_or_compile contributes exactly
-            # one hit-or-miss event.
+            entry = self._compile_locks.get(fp)
+            if entry is None:
+                entry = self._compile_locks[fp] = [threading.Lock(), 0]
+            entry[1] += 1
+            flock = entry[0]
+        try:
+            with flock:
+                return self._compile_locked(grid, stencil, config, fp)
+        finally:
             with self._lock:
-                plan = self._plans.get(fp)
-                if plan is not None:
-                    self._plans.move_to_end(fp)
-                    self.misses -= 1
-                    self.hits += 1
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._compile_locks.pop(fp, None)
+
+    def _compile_locked(self, grid, stencil, config,
+                        fp: str) -> tuple[SolvePlan, bool]:
+        """Compile-or-coalesce under the per-fingerprint lock."""
+        # Double-check: another thread may have compiled meanwhile.
+        # Reclassify this request's miss as a hit — it is served
+        # from cache, so each get_or_compile contributes exactly
+        # one hit-or-miss event.
+        with self._lock:
+            plan = self._plans.get(fp)
             if plan is not None:
-                trace.event("cache.coalesced_hit", fingerprint=fp[:12])
-                return plan, True
-            hint = self.persisted_bsize(fp) if config.bsize is None \
-                else None
-            t0 = time.perf_counter()
-            plan = compile_plan(grid, stencil, config, bsize_hint=hint)
-            seconds = time.perf_counter() - t0
-            with self._lock:
-                self.compiles += 1
-                self.compile_seconds += seconds
-                if plan.autotuned:
-                    self._picks[fp] = {
-                        "bsize": int(plan.bsize),
-                        "block_dims": list(plan.block_dims),
-                        "grid": list(plan.grid.dims),
-                        "stencil": plan.stencil.name,
-                    }
-                    self._save_picks()
-            self.put(plan)
-            return plan, False
+                self._plans.move_to_end(fp)
+                self.misses -= 1
+                self.hits += 1
+        if plan is not None:
+            trace.event("cache.coalesced_hit", fingerprint=fp[:12])
+            return plan, True
+        hint = self.persisted_bsize(fp) if config.bsize is None \
+            else None
+        t0 = time.perf_counter()
+        plan = compile_plan(grid, stencil, config, bsize_hint=hint)
+        seconds = time.perf_counter() - t0
+        snapshot = None
+        with self._lock:
+            self.compiles += 1
+            self.compile_seconds += seconds
+            if plan.autotuned:
+                self._picks[fp] = {
+                    "bsize": int(plan.bsize),
+                    "block_dims": list(plan.block_dims),
+                    "grid": list(plan.grid.dims),
+                    "stencil": plan.stencil.name,
+                }
+                # Snapshot under the lock, write outside it: file
+                # I/O must never block concurrent lookups.
+                snapshot = dict(self._picks)
+        if snapshot is not None:
+            self._save_picks(snapshot)
+        self.put(plan)
+        return plan, False
 
     # Reporting ----------------------------------------------------------
     @property
     def hit_rate(self) -> float:
-        """Hits over lookups (0.0 when nothing was looked up yet)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Hits over lookups (0.0 when nothing was looked up yet).
+
+        Reads both counters under ``_lock`` so a concurrent
+        miss→hit reclassification cannot be observed half-applied.
+        """
+        with self._lock:
+            hits, total = self.hits, self.hits + self.misses
+        return hits / total if total else 0.0
 
     def stats(self) -> dict:
-        """Machine-readable counter snapshot."""
+        """Machine-readable counter snapshot.
+
+        The whole snapshot is taken under one ``_lock`` acquisition —
+        every counter pair is mutually consistent (no torn reads), and
+        ``hit_rate`` is derived from the snapshot itself rather than
+        re-read.
+        """
         with self._lock:
-            size = len(self._plans)
-            picks = len(self._picks)
-        return {
-            "capacity": self.capacity,
-            "size": size,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-            "compiles": self.compiles,
-            "compile_seconds": self.compile_seconds,
-            "persisted_picks": picks,
-        }
+            hits, misses = self.hits, self.misses
+            snap = {
+                "capacity": self.capacity,
+                "size": len(self._plans),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses)
+                if hits + misses else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "compiles": self.compiles,
+                "compile_seconds": self.compile_seconds,
+                "persisted_picks": len(self._picks),
+            }
+        return snap

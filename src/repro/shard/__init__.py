@@ -1,0 +1,32 @@
+"""Sharded serving on the simulated-MPI substrate.
+
+Turns the single-node serving stack (plan compiler + cache + service,
+PRs 2–4) and the verified cluster substrate (:mod:`repro.cluster`)
+into one scale-out system: every incoming structured-grid solve is
+decomposed into per-rank bricks, each shard compiles and autotunes its
+own brick plan through a private plan cache, and the distributed ops
+move real halo traffic between color sweeps. See ``docs/sharding.md``.
+"""
+
+from repro.shard.bench import collect_bench_shard
+from repro.shard.context import (
+    ShardContext,
+    ShardExecutor,
+    sharded_execute,
+)
+from repro.shard.reference import (
+    ReferenceExecutor,
+    reference_sharded_solve,
+)
+from repro.shard.service import Shard, ShardedSolveService
+
+__all__ = [
+    "ShardContext",
+    "ShardExecutor",
+    "sharded_execute",
+    "ReferenceExecutor",
+    "reference_sharded_solve",
+    "Shard",
+    "ShardedSolveService",
+    "collect_bench_shard",
+]

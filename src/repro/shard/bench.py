@@ -1,0 +1,206 @@
+"""Sharded-serving benchmark: ``repro shard-bench`` → BENCH_shard.json.
+
+Runs a repeated-structure workload (all four ops, cycling) through a
+:class:`~repro.shard.service.ShardedSolveService` and reports the
+four claims the sharding layer makes:
+
+1. **Per-shard amortization** — every shard's private
+   :class:`~repro.serve.cache.PlanCache` compiles its brick once and
+   serves every later request from cache (per-shard hit rate ≥ 90%).
+2. **Halo accounting** — measured exchange bytes equal the per-request
+   closed form (one exchange per spmv/symgs, zero for the triangular
+   block-Jacobi ops), and an interior rank's materialized ghost volume
+   equals :func:`repro.cluster.halo.halo_bytes_per_rank` with its
+   neighbor set matching
+   :func:`repro.cluster.decomp.halo_neighbor_count`.
+3. **Bit-identity** — every sharded result equals the reference twin
+   (fresh compiles + ordered-CSR kernels) bit-for-bit, and sharded
+   SpMV additionally equals the **true global** ``A @ x``.
+4. **Parallel headroom** — per-shard
+   :func:`~repro.ordering.schedule_stats.schedule_stats` speedup
+   bounds, plus their sum as the independent-shard aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.decomp import halo_neighbor_count
+from repro.cluster.halo import halo_bytes_per_rank
+from repro.ordering.schedule_stats import schedule_stats
+from repro.serve.plan import PlanConfig, structural_fingerprint
+from repro.shard.context import ShardContext
+from repro.shard.reference import (
+    ReferenceExecutor,
+    reference_sharded_solve,
+)
+from repro.shard.service import ShardedSolveService
+
+OPS = ("lower", "upper", "symgs", "spmv")
+
+
+def _interior_rank(proc_grid: tuple) -> int | None:
+    """First rank with interior process coordinates, if any."""
+    if any(p < 3 for p in proc_grid):
+        return None
+    rank = 0
+    stride = 1
+    for p in proc_grid:
+        rank += stride  # coordinate 1 along this axis
+        stride *= p
+    return rank
+
+
+def _closed_form_halo(ctx: ShardContext) -> dict | None:
+    """Interior-rank ghost volume vs the analytic halo formula."""
+    idx = _interior_rank(ctx.proc_grid)
+    if idx is None or ctx.grid.ndim != 3 \
+            or len(ctx.stencil.offsets) != 27:
+        return None
+    r = ctx.dist.ranks[idx]
+    expected = halo_bytes_per_rank(*r.brick_dims, dtype_bytes=8)
+    neighbors = len(r.neighbor_ranks)
+    expected_neighbors = halo_neighbor_count(ctx.proc_grid,
+                                             interior=True)
+    return {
+        "interior_rank": idx,
+        "brick_dims": list(r.brick_dims),
+        "expected_bytes": int(expected),
+        "measured_ghost_bytes": int(r.halo_bytes()),
+        "bytes_match": bool(r.halo_bytes() == expected),
+        "neighbors": neighbors,
+        "expected_neighbors": int(expected_neighbors),
+        "neighbors_match": bool(neighbors == expected_neighbors),
+    }
+
+
+def collect_bench_shard(nx: int = 9, stencil: str = "27pt",
+                        n_ranks: int = 27,
+                        proc_grid: tuple | None = None,
+                        n_requests: int = 24, max_batch: int = 8,
+                        n_workers: int = 2, dtype: str = "f64",
+                        machine: str = "kp920",
+                        seed: int = 2024) -> dict:
+    """Run the sharded workload; return the BENCH_shard report dict.
+
+    The default shape — 9³ grid over a 3×3×3 process grid — keeps an
+    interior rank whose 3³ brick makes the analytic halo formula an
+    exact equality, not just a bound.
+    """
+    from repro.grids.grid import StructuredGrid
+
+    config = PlanConfig(bsize=None, n_workers=n_workers, dtype=dtype,
+                        machine=machine)
+    rng = np.random.default_rng(seed)
+    grid = StructuredGrid((nx,) * 3)
+
+    with ShardedSolveService(
+            n_ranks=n_ranks, proc_grid=proc_grid, config=config,
+            max_batch=max_batch,
+            max_pending=max(n_requests + 4, 16)) as service:
+        tickets = []
+        for i in range(n_requests):
+            rhs = rng.standard_normal(grid.n_points)
+            op = OPS[i % len(OPS)]
+            tickets.append(
+                (service.submit(grid, stencil, rhs, op=op), op, rhs))
+            if (i + 1) % max_batch == 0:
+                service.drain()
+        service.drain()
+        for t, _, _ in tickets:
+            t.result(timeout=0)
+        stats = service.stats()
+        ctx = service._contexts[tickets[0][0].fingerprint]
+
+        # Bit-identity: serving path vs the reference twin, once per
+        # op, plus sharded SpMV vs the true global matvec.
+        ref = ReferenceExecutor(ctx)
+        identity = {}
+        for op in OPS:
+            ticket, _, rhs = next(entry for entry in tickets
+                                  if entry[1] == op)
+            got = ticket.result(timeout=0)
+            want = reference_sharded_solve(ctx, op, rhs, executor=ref)
+            identity[f"{op}_bitwise_reference"] = bool(
+                np.array_equal(got, want))
+        ticket, _, rhs = next(e for e in tickets if e[1] == "spmv")
+        global_y = ctx.dist.problem.matrix.matvec(
+            rhs.astype(config.np_dtype))
+        identity["spmv_bitwise_global"] = bool(
+            np.array_equal(ticket.result(timeout=0), global_y))
+
+        # Per-shard cache + schedule reporting.
+        shard_rows = []
+        bounds = []
+        for shard, bg, rank in zip(service.shards, ctx.brick_grids,
+                                   ctx.dist.ranks):
+            plan = shard.cache.peek(
+                structural_fingerprint(bg, ctx.stencil, config))
+            bound = schedule_stats(
+                plan.ordering.schedule).speedup_bound(n_workers)
+            bounds.append(bound)
+            cstats = shard.cache.stats()
+            shard_rows.append({
+                "rank": shard.rank,
+                "brick_dims": list(rank.brick_dims),
+                "n_owned": rank.n_owned,
+                "n_ghost": rank.n_ghost,
+                "n_neighbors": len(rank.neighbor_ranks),
+                "bsize": int(plan.bsize),
+                "hit_rate": cstats["hit_rate"],
+                "cache": cstats,
+                "speedup_bound": bound,
+            })
+
+        expected_request_bytes = sum(
+            t.metrics["halo_bytes_per_solve"] for t, op, _ in tickets
+            if op in ("spmv", "symgs"))
+        halo = {
+            "measured": stats["halo"],
+            "expected_bytes_from_requests": int(expected_request_bytes),
+            "bytes_match_requests": bool(
+                stats["halo"]["bytes"] == expected_request_bytes),
+            "bytes_per_iteration": {
+                op: ctx.halo_bytes_per_solve(op, 1) for op in OPS},
+            "closed_form": _closed_form_halo(ctx),
+        }
+
+    hit_rate_min = min(row["hit_rate"] for row in shard_rows)
+    closed = halo["closed_form"]
+    gates = {
+        "per_shard_hit_rate_ge_90": bool(hit_rate_min >= 0.90),
+        "all_bitwise_identical": all(identity.values()),
+        "halo_bytes_match_requests": halo["bytes_match_requests"],
+        "halo_closed_form_match": bool(
+            closed is None
+            or (closed["bytes_match"] and closed["neighbors_match"])),
+        "no_failed_requests": stats["failed"] == 0,
+    }
+    return {
+        "schema": "dbsr-repro/bench-shard/v1",
+        "config": {
+            "nx": nx,
+            "stencil": stencil,
+            "n_ranks": n_ranks,
+            "proc_grid": list(ctx.proc_grid),
+            "n_requests": n_requests,
+            "max_batch": max_batch,
+            "n_workers": n_workers,
+            "dtype": dtype,
+            "machine": machine,
+        },
+        "shards": shard_rows,
+        "per_shard_hit_rate_min": hit_rate_min,
+        "halo": halo,
+        "identity": identity,
+        "schedule": {
+            "per_shard_speedup_bound": bounds,
+            "aggregate_speedup_bound": float(sum(bounds)),
+        },
+        "service": {
+            k: stats[k] for k in ("submitted", "completed", "failed",
+                                  "batches_executed")
+        },
+        "gates": gates,
+        "ok": all(gates.values()),
+    }

@@ -1,0 +1,220 @@
+"""Shard context: one structure's decomposition + distributed ops.
+
+A :class:`ShardContext` binds a global structure ``(grid, stencil,
+config)`` to a simulated rank decomposition
+(:func:`repro.cluster.functional.build_distributed`) and exposes the
+distributed execution of the four plan ops. The *per-shard kernels*
+are injected through a :class:`ShardExecutor`, so the serving path
+(cached plans + self-healing fallback chains, traced) and the
+reference path (fresh compiles + ordered-CSR rungs, untraced) run the
+exact same decomposition arithmetic and can be compared bit-for-bit.
+
+Op semantics over the decomposition:
+
+* ``"spmv"`` — halo exchange, then each rank's interleaved-layout
+  matvec. Bit-identical to the **true global** ``A @ x`` (per-row
+  summation order matches the global CSR).
+* ``"lower"`` / ``"upper"`` — block-Jacobi triangular solves: each
+  shard solves its own diagonal block (which equals the global
+  matrix's diagonal block exactly — see
+  :attr:`repro.cluster.functional.RankDomain.owned_block`).
+  No halo traffic.
+* ``"symgs"`` — block-Jacobi SYMGS with the HPCG-style mid-sweep
+  exchange: forward sweep from a zero guess (``x1 = (L+D)^-1 b``; the
+  leading exchange of the zero guess moves only zeros and is elided),
+  then **one real halo exchange** of ``x1``, then the backward sweep
+  on the corrected right-hand side
+  ``b - G @ ghost(x1) - L_local @ x1``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.cluster.functional import (
+    DistributedProblem,
+    RankDomain,
+    build_distributed,
+    default_proc_grid,
+    halo_exchange_block,
+    interleave_full,
+)
+from repro.grids.assembly import assemble_csr
+from repro.grids.grid import StructuredGrid
+from repro.grids.problems import Problem
+from repro.serve.plan import (
+    PLAN_OPS,
+    PlanConfig,
+    _resolve_stencil,
+    structural_fingerprint,
+)
+from repro.utils.validation import require
+
+
+class ShardExecutor:
+    """Per-shard kernel provider consumed by :func:`sharded_execute`.
+
+    ``solve`` runs one triangular op (``"lower"``/``"upper"``) on shard
+    ``i``'s ``(n_owned, k)`` block; ``lower_product`` applies the
+    shard's strictly-lower factor (``L_local @ X``) for the SYMGS
+    backward-sweep correction. Implementations: the sharded service
+    (cached plans, fallback chains, tracing) and the reference path
+    (fresh plans, clean ordered-CSR kernels).
+    """
+
+    def solve(self, i: int, op: str, B: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def lower_product(self, i: int, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ShardContext:
+    """One structure's decomposition over the simulated rank grid.
+
+    Built once per structural fingerprint and reused by every request
+    of that structure (the sharded service keeps a small LRU of these,
+    mirroring the plan cache's amortization argument).
+    """
+
+    def __init__(self, grid: StructuredGrid, stencil,
+                 config: PlanConfig | None = None,
+                 n_ranks: int = 8, proc_grid: tuple | None = None):
+        self.grid = grid
+        self.stencil = _resolve_stencil(stencil)
+        self.config = config if config is not None else PlanConfig()
+        if proc_grid is None:
+            proc_grid = default_proc_grid(n_ranks, grid.ndim)
+        self.fingerprint = structural_fingerprint(
+            grid, self.stencil, self.config)
+        matrix = assemble_csr(grid, self.stencil,
+                              dtype=self.config.np_dtype)
+        problem = Problem(grid=grid, stencil=self.stencil,
+                          matrix=matrix,
+                          rhs=np.zeros(grid.n_points,
+                                       dtype=self.config.np_dtype))
+        self.dist: DistributedProblem = build_distributed(
+            problem, int(np.prod(proc_grid)), proc_grid=proc_grid)
+        #: One brick grid per rank — the structure each shard's
+        #: :class:`~repro.serve.plan.SolvePlan` compiles for.
+        self.brick_grids = [StructuredGrid(r.brick_dims)
+                            for r in self.dist.ranks]
+
+    @property
+    def n_ranks(self) -> int:
+        return self.dist.n_ranks
+
+    @property
+    def proc_grid(self) -> tuple:
+        return self.dist.proc_grid
+
+    # Block plumbing -----------------------------------------------------
+    def scatter_block(self, B: np.ndarray) -> list:
+        """Split a global ``(n, k)`` block into per-rank owned rows."""
+        return [B[r.owned_global] for r in self.dist.ranks]
+
+    def gather_block(self, X_locals: list) -> np.ndarray:
+        """Reassemble per-rank ``(n_owned, k)`` blocks globally."""
+        k = X_locals[0].shape[1]
+        out = np.empty((self.grid.n_points, k),
+                       dtype=X_locals[0].dtype)
+        for r, x in zip(self.dist.ranks, X_locals):
+            out[r.owned_global] = x
+        return out
+
+    def exchange(self, X_locals: list, on_exchange=None) -> list:
+        """Block halo exchange; reports volumes to ``on_exchange``."""
+        ghosts, stats = halo_exchange_block(self.dist, X_locals)
+        if on_exchange is not None:
+            on_exchange(stats)
+        return ghosts
+
+    def halo_bytes_per_solve(self, op: str, k: int = 1,
+                             itemsize: int | None = None) -> int:
+        """Closed-form halo traffic of one sharded ``op`` over ``k``
+        right-hand sides: ``exchanges * sum_r(n_ghost_r) * k * bytes``
+        (spmv and symgs each perform exactly one exchange; the
+        block-Jacobi triangular ops none)."""
+        if itemsize is None:
+            itemsize = np.dtype(self.config.np_dtype).itemsize
+        exchanges = 1 if op in ("spmv", "symgs") else 0
+        ghosts = sum(r.n_ghost for r in self.dist.ranks)
+        return exchanges * ghosts * k * itemsize
+
+
+def ghost_correction(rank: RankDomain,
+                     ghosts: np.ndarray) -> np.ndarray:
+    """``G @ ghosts`` — neighbor bricks' contribution to owned rows."""
+    out = np.zeros((rank.n_owned,) + ghosts.shape[1:],
+                   dtype=ghosts.dtype)
+    if rank.n_ghost == 0:
+        return out
+    G = rank.coupling
+    for j in range(ghosts.shape[1]):
+        out[:, j] = G.matvec(ghosts[:, j])
+    return out
+
+
+def permuted_lower_product(plan, X: np.ndarray) -> np.ndarray:
+    """``L_local @ X`` through a plan's permuted strictly-lower CSR.
+
+    Uses the same ``split_triangular(plan.matrix)`` artifacts as the
+    fallback chain's CSR rung (cached on the plan), so the serving and
+    reference executors compute the identical product bit-for-bit.
+    """
+    from repro.resilience.fallback import FallbackChain
+
+    L, _, _ = FallbackChain._csr_artifacts(plan)
+    Xp = plan.extend(X)
+    Yp = np.empty_like(Xp)
+    for j in range(Xp.shape[1]):
+        Yp[:, j] = L.matvec(Xp[:, j])
+    return plan.restrict(Yp)
+
+
+def sharded_execute(ctx: ShardContext, op: str, B: np.ndarray,
+                    executor: ShardExecutor,
+                    on_exchange=None) -> np.ndarray:
+    """Run one op over the decomposition; returns the global solution.
+
+    ``B`` is a global ``(n,)`` vector or ``(n, k)`` block in the
+    original lexicographic ordering, like
+    :meth:`repro.serve.plan.SolvePlan.execute`.
+    """
+    require(op in PLAN_OPS, f"unknown op {op!r}; known: {PLAN_OPS}")
+    B = np.asarray(B, dtype=ctx.config.np_dtype)
+    single = B.ndim == 1
+    require(B.shape[0] == ctx.grid.n_points,
+            f"rhs length {B.shape[0]} != problem size "
+            f"{ctx.grid.n_points}")
+    Bk = B.reshape(ctx.grid.n_points, -1)
+    B_locals = ctx.scatter_block(Bk)
+    ranks = ctx.dist.ranks
+
+    if op == "spmv":
+        ghosts = ctx.exchange(B_locals, on_exchange)
+        X_locals = []
+        for r, xl, g in zip(ranks, B_locals, ghosts):
+            xfull = interleave_full(r, xl, g)
+            y = np.empty_like(xl)
+            for j in range(xl.shape[1]):
+                y[:, j] = r.interleaved.matvec(xfull[:, j])
+            X_locals.append(y)
+    elif op in ("lower", "upper"):
+        X_locals = [executor.solve(i, op, b)
+                    for i, b in enumerate(B_locals)]
+    else:  # symgs
+        x1 = [executor.solve(i, "lower", b)
+              for i, b in enumerate(B_locals)]
+        ghosts = ctx.exchange(x1, on_exchange)
+        X_locals = []
+        for i, (r, b, x, g) in enumerate(zip(ranks, B_locals, x1,
+                                             ghosts)):
+            rhs2 = b - ghost_correction(r, g) \
+                - executor.lower_product(i, x)
+            X_locals.append(executor.solve(i, "upper", rhs2))
+
+    out = ctx.gather_block(X_locals)
+    return out[:, 0] if single else out

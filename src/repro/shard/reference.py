@@ -1,0 +1,55 @@
+"""Reference executor: the sharded differential-testing twin.
+
+Runs the same decomposition arithmetic as the serving path
+(:func:`repro.shard.context.sharded_execute`) but with everything
+swapped out underneath: plans are compiled **fresh** (no cache, so a
+poisoned cache cannot leak into the reference) and the triangular
+kernels are the fallback chain's clean ordered-CSR rungs
+(``execute_reference`` — sequential subtraction, no DBSR/SELL, no
+tracing, no hooks). Because plan compilation is deterministic and the
+DBSR triangular solves are bit-identical to the ordered-CSR reference
+(the observe suite's golden guarantee), the serving path must match
+this twin bit-for-bit — any divergence is a real defect, not noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.resilience.fallback import FallbackChain
+from repro.serve.plan import compile_plan
+from repro.shard.context import (
+    ShardContext,
+    ShardExecutor,
+    permuted_lower_product,
+    sharded_execute,
+)
+
+
+class ReferenceExecutor(ShardExecutor):
+    """Fresh per-brick plans + clean scalar CSR triangular solves."""
+
+    def __init__(self, ctx: ShardContext):
+        self.plans = [compile_plan(bg, ctx.stencil, ctx.config)
+                      for bg in ctx.brick_grids]
+        self._chain = FallbackChain(cache=None, residual_check=False,
+                                    integrity=False)
+
+    def solve(self, i: int, op: str, B: np.ndarray) -> np.ndarray:
+        return self._chain.execute_reference(self.plans[i], op, B)
+
+    def lower_product(self, i: int, X: np.ndarray) -> np.ndarray:
+        return permuted_lower_product(self.plans[i], X)
+
+
+def reference_sharded_solve(ctx: ShardContext, op: str, B: np.ndarray,
+                            executor: ReferenceExecutor | None = None
+                            ) -> np.ndarray:
+    """One sharded solve through the reference twin.
+
+    Pass a prebuilt ``executor`` to amortize the fresh compiles across
+    several ops/right-hand sides of the same structure.
+    """
+    if executor is None:
+        executor = ReferenceExecutor(ctx)
+    return sharded_execute(ctx, op, B, executor)

@@ -1,0 +1,302 @@
+"""Sharded solve frontend over the simulated-MPI substrate.
+
+:class:`ShardedSolveService` accepts the exact submit/drain API of
+:class:`repro.serve.service.SolveService` (same validation, tickets,
+backpressure, deadlines, drain timeouts, coalescing and per-request
+error isolation — it *is* a ``SolveService`` subclass) but executes
+every request across simulated ranks: the global structure is
+decomposed into bricks (:class:`repro.shard.context.ShardContext`),
+each :class:`Shard` compiles the brick plan through its **own**
+:class:`~repro.serve.cache.PlanCache` (so every shard autotunes its
+own ``bsize`` for its brick shape), and the distributed ops run real
+:func:`~repro.cluster.functional.halo_exchange` traffic between color
+sweeps.
+
+Wiring into the sibling subsystems:
+
+* **observe** — per-rank ``shard.rank`` spans under a ``shard.solve``
+  batch span; every halo exchange emits a ``halo.exchange`` event
+  carrying ``halo_bytes_per_rank``; the service registry grows
+  ``shard.halo_bytes`` / ``shard.halo_messages`` /
+  ``shard.exchanges`` counters.
+* **resilience** — each shard owns a scoped
+  :class:`~repro.resilience.fallback.FallbackChain` over its own
+  cache: a poisoned shard heals (invalidate + recompile) or descends
+  DBSR→SELL→CSR *locally*, without failing sibling shards or the
+  request.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.observe import trace
+from repro.resilience.fallback import FallbackChain
+from repro.serve.cache import PlanCache
+from repro.serve.plan import PlanConfig
+from repro.serve.service import RequestError, SolveService
+from repro.utils.validation import check_positive
+from repro.shard.context import (
+    ShardContext,
+    ShardExecutor,
+    permuted_lower_product,
+    sharded_execute,
+)
+
+
+@dataclass
+class Shard:
+    """One simulated rank's serving state: its cache and its chain."""
+
+    rank: int
+    cache: PlanCache
+    chain: FallbackChain | None = None
+
+    def stats(self) -> dict:
+        return {
+            "rank": self.rank,
+            "cache": self.cache.stats(),
+            "resilience": (self.chain.stats()
+                           if self.chain is not None else None),
+        }
+
+
+@dataclass
+class _ShardHandle:
+    """What ``_plan_for`` resolves per request: the structure's
+    decomposition plus this drain's per-shard plans."""
+
+    context: ShardContext
+    plans: list
+
+    @property
+    def fingerprint(self) -> str:
+        return self.context.fingerprint
+
+
+class _ServiceExecutor(ShardExecutor):
+    """Cached plans + per-shard fallback chains, traced per rank."""
+
+    def __init__(self, service: "ShardedSolveService",
+                 handle: _ShardHandle):
+        self.service = service
+        self.handle = handle
+
+    def solve(self, i: int, op: str, B: np.ndarray) -> np.ndarray:
+        shard = self.service.shards[i]
+        plan = self.handle.plans[i]
+        with trace.span("shard.rank", rank=i, op=op,
+                        n_owned=int(B.shape[0])):
+            if shard.chain is None:
+                return plan.execute(op, B)
+            result = shard.chain.execute(plan, op, B)
+        if result.recompiled:
+            # The chain healed the shard by recompiling into its
+            # cache; later ops of this very request should use the
+            # fresh plan too (peek: no hit/miss accounting).
+            fresh = shard.cache.peek(plan.fingerprint)
+            if fresh is not None:
+                self.handle.plans[i] = fresh
+        return result.solution
+
+    def lower_product(self, i: int, X: np.ndarray) -> np.ndarray:
+        return permuted_lower_product(self.handle.plans[i], X)
+
+
+class ShardedSolveService(SolveService):
+    """Submit/drain frontend that decomposes every solve over shards.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated ranks (= shards).
+    proc_grid:
+        Explicit process grid (its product must equal ``n_ranks``);
+        by default the most-cubic grid of the request's arity.
+    cache_capacity:
+        Per-shard plan-cache capacity.
+    resilience:
+        ``True`` (default) gives every shard a scoped
+        :class:`FallbackChain` over its own cache; ``False`` runs the
+        clean path; a callable ``f(cache) -> FallbackChain`` injects a
+        custom chain per shard.
+    max_contexts:
+        LRU bound on cached :class:`ShardContext` decompositions.
+    persist_dir:
+        Optional directory for per-shard autotune-pick persistence
+        (``shard<i>.json`` files).
+    """
+
+    def __init__(self, n_ranks: int = 8,
+                 proc_grid: tuple | None = None,
+                 cache_capacity: int = 8,
+                 config: PlanConfig | None = None,
+                 max_batch: int = 8, max_pending: int = 64,
+                 resilience=True, max_contexts: int = 8,
+                 persist_dir: str | None = None):
+        super().__init__(config=config, max_batch=max_batch,
+                         max_pending=max_pending, resilience=None)
+        # The single global plan cache is meaningless here — every
+        # shard owns its own. Drop it so nothing compiles through it
+        # by accident (stats() and _plan_for are overridden).
+        self.cache = None
+        self.n_ranks = check_positive(n_ranks, "n_ranks")
+        self.proc_grid = tuple(proc_grid) if proc_grid is not None \
+            else None
+        if self.proc_grid is not None and \
+                int(np.prod(self.proc_grid)) != self.n_ranks:
+            raise ValueError(
+                f"proc_grid {self.proc_grid} does not match "
+                f"n_ranks={self.n_ranks}")
+        self.shards = []
+        for i in range(self.n_ranks):
+            cache = PlanCache(
+                capacity=check_positive(cache_capacity,
+                                        "cache_capacity"),
+                persist_path=(os.path.join(persist_dir,
+                                           f"shard{i}.json")
+                              if persist_dir else None))
+            if callable(resilience):
+                chain = resilience(cache)
+            elif resilience:
+                chain = FallbackChain(cache=cache)
+            else:
+                chain = None
+            self.shards.append(Shard(rank=i, cache=cache, chain=chain))
+        self.max_contexts = check_positive(max_contexts,
+                                           "max_contexts")
+        self._contexts: OrderedDict[str, ShardContext] = OrderedDict()
+        self._ctx_lock = threading.Lock()
+        self._halo_bytes = self.metrics.counter(
+            "shard.halo_bytes", "halo bytes moved between shards")
+        self._halo_messages = self.metrics.counter(
+            "shard.halo_messages",
+            "point-to-point halo messages between shards")
+        self._exchanges = self.metrics.counter(
+            "shard.exchanges", "halo exchange rounds executed")
+
+    # Submission ---------------------------------------------------------
+    def submit(self, grid, stencil, rhs, op="lower", config=None,
+               deadline=None):
+        # Fail undecomposable structures at the submission site, like
+        # every other request-shape error.
+        self._proc_grid_for(grid)
+        return super().submit(grid, stencil, rhs, op=op, config=config,
+                              deadline=deadline)
+
+    def _proc_grid_for(self, grid) -> tuple:
+        from repro.cluster.functional import default_proc_grid
+
+        pg = self.proc_grid
+        if pg is None:
+            pg = default_proc_grid(self.n_ranks, grid.ndim)
+        if len(pg) != grid.ndim:
+            raise RequestError(
+                f"process grid {pg} has arity {len(pg)}, request grid "
+                f"{grid.dims} has {grid.ndim}")
+        for g, p in zip(grid.dims, pg):
+            if p > g:
+                raise RequestError(
+                    f"cannot shard grid {grid.dims} over process grid "
+                    f"{pg}: {p} ranks along a {g}-point dimension")
+        return pg
+
+    # Plan resolution ----------------------------------------------------
+    def _context_for(self, entry) -> ShardContext:
+        fp = entry.ticket.fingerprint
+        with self._ctx_lock:
+            ctx = self._contexts.get(fp)
+            if ctx is not None:
+                self._contexts.move_to_end(fp)
+                return ctx
+        ctx = ShardContext(entry.grid, entry.stencil, entry.config,
+                           n_ranks=self.n_ranks,
+                           proc_grid=self._proc_grid_for(entry.grid))
+        with self._ctx_lock:
+            self._contexts[fp] = ctx
+            self._contexts.move_to_end(fp)
+            while len(self._contexts) > self.max_contexts:
+                self._contexts.popitem(last=False)
+        return ctx
+
+    def _plan_for(self, entry):
+        """One cache transaction per request **per shard**; the
+        request counts as a cache hit only when every shard hit."""
+        with self.session.phase("compile"):
+            ctx = self._context_for(entry)
+            plans, hits = [], []
+            for shard, bg in zip(self.shards, ctx.brick_grids):
+                plan, hit = shard.cache.get_or_compile(
+                    bg, entry.stencil, entry.config)
+                plans.append(plan)
+                hits.append(hit)
+        return _ShardHandle(context=ctx, plans=plans), all(hits)
+
+    # Execution ----------------------------------------------------------
+    def _execute(self, handle: _ShardHandle, op: str,
+                 B: np.ndarray) -> np.ndarray:
+        ctx = handle.context
+        with trace.span("shard.solve", op=op, n_ranks=ctx.n_ranks,
+                        proc_grid=str(ctx.proc_grid),
+                        fingerprint=ctx.fingerprint[:12]):
+            executor = _ServiceExecutor(self, handle)
+            return sharded_execute(ctx, op, B, executor,
+                                   on_exchange=self._on_exchange)
+
+    def _on_exchange(self, stats: dict) -> None:
+        self._exchanges.inc()
+        self._halo_bytes.inc(stats["bytes"])
+        self._halo_messages.inc(stats["messages"])
+        trace.event("halo.exchange", bytes=stats["bytes"],
+                    messages=stats["messages"], k=stats["k"],
+                    halo_bytes_per_rank=list(stats["per_rank_bytes"]))
+
+    def _request_metrics(self, handle: _ShardHandle, cache_hit: bool,
+                         op: str, k: int,
+                         batch_seconds: float) -> dict:
+        ctx = handle.context
+        return {
+            "op": op,
+            "fingerprint": ctx.fingerprint,
+            "batch_k": k,
+            "cache_hit": cache_hit,
+            "n_ranks": ctx.n_ranks,
+            "proc_grid": list(ctx.proc_grid),
+            "strategy": self.config.strategy,
+            "bsize_per_shard": [int(p.bsize) for p in handle.plans],
+            "halo_bytes_per_solve":
+                ctx.halo_bytes_per_solve(op, k) // k,
+            "seconds": batch_seconds / k,
+        }
+
+    # Reporting ----------------------------------------------------------
+    def halo_stats(self) -> dict:
+        return {
+            "exchanges": self._exchanges.value,
+            "bytes": self._halo_bytes.value,
+            "messages": self._halo_messages.value,
+        }
+
+    def stats(self) -> dict:
+        """Service + per-shard counter snapshot (a pure view)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "requeued": self._requeued.value,
+            "pending": self.n_pending,
+            "batches_executed": self.batches_executed,
+            "max_batch": self.max_batch,
+            "max_pending": self.max_pending,
+            "n_ranks": self.n_ranks,
+            "contexts": len(self._contexts),
+            "halo": self.halo_stats(),
+            "shards": [s.stats() for s in self.shards],
+            "phases": self.session.phase_report(),
+            "metrics": self.metrics.snapshot(),
+        }

@@ -90,10 +90,23 @@ def test_2d_decomposition(rng):
     assert np.allclose(dist.gather(y), p.matrix.matvec(x))
 
 
-def test_indivisible_grid_rejected():
+def test_indivisible_grid_supported(rng):
+    """Uneven bricks: 6 points over 4 ranks gives sizes (2, 2, 1, 1),
+    and the distributed SpMV stays bit-identical to the global one."""
+    p = poisson_problem((6, 6), "5pt")
+    dist = build_distributed(p, 4, proc_grid=(4, 1))
+    assert [r.brick_dims for r in dist.ranks] == \
+        [(2, 6), (2, 6), (1, 6), (1, 6)]
+    assert sum(r.n_owned for r in dist.ranks) == p.n
+    x = rng.standard_normal(p.n)
+    y = dist.gather(distributed_spmv(dist, dist.scatter(x)))
+    assert np.array_equal(y, p.matrix.matvec(x))
+
+
+def test_oversubscribed_dimension_rejected():
     p = poisson_problem((6, 6), "5pt")
     with pytest.raises(ValueError):
-        build_distributed(p, 4, proc_grid=(4, 1))
+        build_distributed(p, 8, proc_grid=(8, 1))
 
 
 def test_distributed_cg_solves(dist8):

@@ -1,0 +1,182 @@
+"""Regression tests for the PlanCache concurrency fixes.
+
+Three historical bugs, each with a dedicated regression here:
+
+* ``_compile_locks`` grew one entry per distinct fingerprint forever;
+  it is now refcounted and bounded by *live* compiles.
+* ``_save_picks`` wrote the picks JSON while holding the global
+  ``_lock``, stalling every concurrent lookup during file I/O; writes
+  now happen outside it (snapshot under the lock, ``os.replace``
+  atomicity kept under a dedicated ``_persist_lock``).
+* ``hit_rate``/``stats()`` read counters without the lock, so a reader
+  racing the miss→hit reclassification could observe torn values;
+  snapshots are now taken under one lock acquisition.
+"""
+
+import os
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.grids.grid import StructuredGrid
+from repro.serve.cache import PlanCache
+from repro.serve.plan import PlanConfig, structural_fingerprint
+
+pytestmark = pytest.mark.fast
+
+
+def _stub_compile(monkeypatch, barrier=None):
+    """Replace compile_plan with a cheap fingerprint-faithful stub."""
+    def fake_compile(grid, stencil, config, bsize_hint=None):
+        if barrier is not None:
+            barrier.wait()
+        return SimpleNamespace(
+            autotuned=False, bsize=1,
+            fingerprint=structural_fingerprint(grid, stencil, config))
+
+    monkeypatch.setattr("repro.serve.cache.compile_plan", fake_compile)
+
+
+GRIDS = [StructuredGrid((n, 4)) for n in (2, 3, 4, 5, 6)]
+
+
+class TestCompileLockPruning:
+    def test_map_empty_after_sequential_compiles(self, monkeypatch):
+        _stub_compile(monkeypatch)
+        cache = PlanCache(capacity=2)
+        for g in GRIDS:
+            cache.get_or_compile(g, "5pt", PlanConfig(bsize=2))
+        # 5 distinct structures (3 already evicted) — no lock leak.
+        assert cache._compile_locks == {}
+        assert cache.compiles == len(GRIDS)
+
+    def test_map_bounded_by_live_compiles(self, monkeypatch):
+        release = threading.Event()
+
+        def slow_compile(grid, stencil, config, bsize_hint=None):
+            started.set()
+            assert release.wait(10)
+            return SimpleNamespace(
+                autotuned=False, bsize=1,
+                fingerprint=structural_fingerprint(
+                    grid, stencil, config))
+
+        monkeypatch.setattr("repro.serve.cache.compile_plan",
+                            slow_compile)
+        cache = PlanCache()
+        started = threading.Event()
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.get_or_compile(
+                    GRIDS[0], "5pt", PlanConfig(bsize=2))))
+            for _ in range(4)]
+        threads[0].start()
+        assert started.wait(10)
+        for t in threads[1:]:
+            t.start()
+        # One structure in flight -> exactly one lock entry, however
+        # many requests coalesce on it.
+        deadline = 50
+        while cache._compile_locks.get(
+                next(iter(cache._compile_locks), None),
+                [None, 0])[1] < 4 and deadline:
+            deadline -= 1
+            threading.Event().wait(0.02)
+        assert len(cache._compile_locks) == 1
+        release.set()
+        for t in threads:
+            t.join(10)
+        assert cache._compile_locks == {}
+        assert cache.compiles == 1
+        assert len(results) == 4
+        # Exactly one miss; coalesced followers reclassified as hits.
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hits"] == 3
+
+
+class TestPicksWriteOutsideLock:
+    def test_global_lock_free_during_write(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "picks.json")
+        cache = PlanCache(capacity=4, persist_path=path)
+        observed = []
+        real_replace = os.replace
+
+        def spy_replace(src, dst):
+            # The fix's contract: file I/O holds only _persist_lock,
+            # never the global counter lock.
+            free = cache._lock.acquire(blocking=False)
+            if free:
+                cache._lock.release()
+            observed.append((free, cache._persist_lock.locked()))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.serve.cache.os.replace", spy_replace)
+        plan, hit = cache.get_or_compile(
+            StructuredGrid((4, 4)), "5pt", PlanConfig())
+        assert not hit and plan.autotuned
+        assert observed == [(True, True)]
+
+    def test_atomic_persistence_survives(self, tmp_path):
+        path = str(tmp_path / "picks.json")
+        cache = PlanCache(persist_path=path)
+        plan, _ = cache.get_or_compile(
+            StructuredGrid((4, 4)), "5pt", PlanConfig())
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        fresh = PlanCache(persist_path=path)
+        assert fresh.persisted_bsize(plan.fingerprint) == plan.bsize
+
+
+class TestSnapshotConsistency:
+    def test_threaded_stats_never_torn(self, monkeypatch):
+        _stub_compile(monkeypatch)
+        cache = PlanCache(capacity=len(GRIDS))
+        stop = threading.Event()
+        bad: list = []
+
+        def reader():
+            last_total = 0
+            while not stop.is_set():
+                snap = cache.stats()
+                total = snap["hits"] + snap["misses"]
+                expect = (snap["hits"] / total) if total else 0.0
+                if snap["hit_rate"] != expect or total < last_total \
+                        or snap["hits"] < 0 or snap["misses"] < 0:
+                    bad.append(snap)
+                    return
+                last_total = total
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(300):
+                g = GRIDS[int(rng.integers(len(GRIDS)))]
+                cache.get_or_compile(g, "5pt", PlanConfig(bsize=2))
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        workers = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in readers + workers:
+            t.start()
+        for t in workers:
+            t.join(30)
+        stop.set()
+        for t in readers:
+            t.join(30)
+        assert not bad, f"torn snapshot observed: {bad[0]}"
+        snap = cache.stats()
+        assert snap["hits"] + snap["misses"] == 8 * 300
+        assert snap["compiles"] == len(GRIDS)
+        assert cache.hit_rate == snap["hits"] / (8 * 300)
+
+    def test_peek_does_not_touch_counters(self, monkeypatch):
+        _stub_compile(monkeypatch)
+        cache = PlanCache()
+        plan, _ = cache.get_or_compile(GRIDS[0], "5pt",
+                                       PlanConfig(bsize=2))
+        before = cache.stats()
+        assert cache.peek(plan.fingerprint) is plan
+        assert cache.peek("no-such-fingerprint") is None
+        assert cache.stats() == before

@@ -1,0 +1,82 @@
+"""shard-bench report: gates, schema conformance, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.observe.schema_check import TraceSchemaError, validate_report
+from repro.shard.bench import collect_bench_shard
+
+pytestmark = pytest.mark.fast
+
+SCHEMA = "tests/shard/bench_shard.schema.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Small but structurally complete: 3-D 27pt with a (3,3,3) process
+    # grid keeps an interior rank, so the closed-form halo check runs.
+    return collect_bench_shard(nx=6, n_ranks=8, proc_grid=(2, 2, 2),
+                               n_requests=12, max_batch=4)
+
+
+def test_report_passes_all_gates(report):
+    assert report["ok"] is True
+    assert all(report["gates"].values()), report["gates"]
+    assert report["per_shard_hit_rate_min"] >= 0.90
+    assert all(report["identity"].values())
+    assert report["service"]["failed"] == 0
+
+
+def test_report_matches_checked_in_schema(report):
+    validate_report(report, schema_path=SCHEMA)
+
+
+def test_schema_check_rejects_mutants(report):
+    bad = json.loads(json.dumps(report))
+    bad["schema"] = "dbsr-repro/bench-shard/v0"
+    with pytest.raises(TraceSchemaError):
+        validate_report(bad, schema_path=SCHEMA)
+    bad = json.loads(json.dumps(report))
+    del bad["halo"]
+    with pytest.raises(TraceSchemaError):
+        validate_report(bad, schema_path=SCHEMA)
+
+
+def test_closed_form_halo_present_for_interior_rank():
+    rep = collect_bench_shard(nx=9, n_ranks=27, proc_grid=(3, 3, 3),
+                              n_requests=8, max_batch=4)
+    cf = rep["halo"]["closed_form"]
+    assert cf is not None
+    assert cf["bytes_match"] and cf["neighbors_match"]
+    # 9^3 over (3,3,3): the interior rank owns a 3x3x3 brick whose
+    # 27pt halo is 5^3 - 3^3 = 98 ghosts = 784 bytes at f64.
+    assert cf["expected_bytes"] == 98 * 8
+    assert cf["expected_neighbors"] == 26
+
+
+def test_closed_form_skipped_without_interior_rank():
+    rep = collect_bench_shard(nx=6, n_ranks=4, proc_grid=(2, 2, 1),
+                              n_requests=4, max_batch=4)
+    assert rep["halo"]["closed_form"] is None
+    assert rep["gates"]["halo_closed_form_match"] is True  # vacuous
+
+
+def test_halo_bytes_match_request_metrics(report):
+    halo = report["halo"]
+    assert halo["bytes_match_requests"]
+    assert halo["measured"]["bytes"] == \
+        halo["expected_bytes_from_requests"]
+
+
+def test_cli_shard_bench_writes_valid_report(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "BENCH_shard.json"
+    rc = main(["shard-bench", "--nx", "6", "--ranks", "8",
+               "--requests", "12", "--max-batch", "4",
+               "--out", str(out)])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "per-shard cache hit rate" in text
+    validate_report(json.loads(out.read_text()), schema_path=SCHEMA)

@@ -1,0 +1,212 @@
+"""ShardedSolveService: submit/drain, fault isolation, halo counters."""
+
+import numpy as np
+import pytest
+
+from repro.grids.grid import StructuredGrid
+from repro.serve.plan import PlanConfig, structural_fingerprint
+from repro.serve.service import Backpressure, RequestError
+from repro.shard.context import ShardContext, sharded_execute
+from repro.shard.reference import ReferenceExecutor
+from repro.shard.service import ShardedSolveService
+
+CFG = PlanConfig(bsize=2, n_workers=2, machine="kp920")
+GRID = StructuredGrid((7, 6, 5))
+N = GRID.n_points
+PG = (2, 2, 1)
+NRANKS = 4
+
+
+@pytest.fixture()
+def service():
+    with ShardedSolveService(n_ranks=NRANKS, proc_grid=PG, config=CFG,
+                             max_batch=4, max_pending=16) as svc:
+        yield svc
+
+
+def _reference(op, B):
+    ctx = ShardContext(GRID, "27pt", CFG, n_ranks=NRANKS, proc_grid=PG)
+    return sharded_execute(ctx, op, B, ReferenceExecutor(ctx))
+
+
+def test_submit_drain_bitwise_reference(service, rng):
+    """Every op served through the sharded frontend equals the
+    reference twin bit-for-bit."""
+    rhss = {op: rng.standard_normal(N)
+            for op in ("lower", "upper", "symgs", "spmv")}
+    tickets = {op: service.submit(GRID, "27pt", b, op=op)
+               for op, b in rhss.items()}
+    assert service.drain() == 4
+    for op, t in tickets.items():
+        assert np.array_equal(t.result(), _reference(op, rhss[op])), op
+
+
+def test_coalesced_batch_bitwise_solo(service, rng):
+    rhss = [rng.standard_normal(N) for _ in range(4)]
+    tickets = [service.submit(GRID, "27pt", b, op="symgs")
+               for b in rhss]
+    service.drain()
+    assert all(t.metrics["batch_k"] == 4 for t in tickets)
+    assert service.batches_executed == 1
+    for t, b in zip(tickets, rhss):
+        assert np.array_equal(t.result(), _reference("symgs", b))
+
+
+def test_per_shard_caches_do_the_compiling(service, rng):
+    tickets = [service.submit(GRID, "27pt", rng.standard_normal(N))
+               for _ in range(3)]
+    service.drain()
+    assert service.cache is None  # no global cache in the sharded path
+    for shard in service.shards:
+        st = shard.cache.stats()
+        assert st["compiles"] == 1
+        assert st["misses"] == 1 and st["hits"] == 2
+    hits = [t.metrics["cache_hit"] for t in tickets]
+    assert hits == [False, True, True]
+
+
+def test_per_shard_bsize_autotuned_for_brick(rng):
+    """With bsize unset, each shard autotunes its own brick; uneven
+    bricks are allowed to pick different bsizes, and the request
+    metrics report the whole vector."""
+    cfg = PlanConfig(bsize=None, n_workers=2, machine="kp920")
+    with ShardedSolveService(n_ranks=NRANKS, proc_grid=PG, config=cfg,
+                             max_batch=4) as svc:
+        t = svc.submit(GRID, "27pt", rng.standard_normal(N))
+        svc.drain()
+        bsizes = t.metrics["bsize_per_shard"]
+        assert len(bsizes) == NRANKS
+        assert bsizes == [
+            svc.shards[i].cache.peek(
+                structural_fingerprint(bg, "27pt", cfg)).bsize
+            for i, bg in enumerate(
+                svc._contexts[t.fingerprint].brick_grids)]
+
+
+def test_halo_counters_and_metrics(service, rng):
+    b = rng.standard_normal(N)
+    t_spmv = service.submit(GRID, "27pt", b, op="spmv")
+    t_low = service.submit(GRID, "27pt", b, op="lower")
+    service.drain()
+    ctx = service._contexts[t_spmv.fingerprint]
+    per_solve = sum(r.n_ghost for r in ctx.dist.ranks) * 8
+    assert t_spmv.metrics["halo_bytes_per_solve"] == per_solve
+    assert t_low.metrics["halo_bytes_per_solve"] == 0
+    halo = service.halo_stats()
+    assert halo["exchanges"] == 1  # spmv only; lower exchanges nothing
+    assert halo["bytes"] == per_solve
+    assert halo["messages"] == sum(
+        len(r.neighbor_ranks) for r in ctx.dist.ranks)
+    # The registry counters mirror halo_stats.
+    snap = service.metrics.snapshot()
+    assert snap["shard.halo_bytes"]["value"] == halo["bytes"]
+    assert snap["shard.exchanges"]["value"] == 1
+
+
+def test_fault_on_one_shard_heals_without_failing_siblings(service,
+                                                           rng):
+    """Acceptance: a forced fault on a single shard recovers in place
+    (invalidate + recompile through that shard's chain) and neither
+    the request nor any sibling shard fails."""
+    b = rng.standard_normal(N)
+    warm = service.submit(GRID, "27pt", b)
+    service.drain()
+    assert warm.done and warm._error is None
+
+    victim = 1
+    fp = structural_fingerprint(
+        service._contexts[warm.fingerprint].brick_grids[victim],
+        "27pt", CFG)
+    plan = service.shards[victim].cache.peek(fp)
+    plan.lower.values[0] = np.nan  # sealed digest now mismatches
+
+    t = service.submit(GRID, "27pt", b)
+    assert service.drain() == 1
+    assert t._error is None
+    assert np.array_equal(t.result(), _reference("lower", b))
+
+    hurt = service.shards[victim].chain
+    assert hurt.faults_detected >= 1
+    assert hurt.recovered >= 1
+    assert service.shards[victim].cache.stats()["invalidations"] == 1
+    for i, shard in enumerate(service.shards):
+        if i == victim:
+            continue
+        assert shard.chain.faults_detected == 0
+        assert shard.cache.stats()["invalidations"] == 0
+    assert service.failed == 0
+
+
+def test_undecomposable_grid_rejected_at_submit(service, rng):
+    # 2-D request against a 3-D process grid: arity mismatch.
+    with pytest.raises(RequestError):
+        service.submit(StructuredGrid((6, 6)), "5pt",
+                       rng.standard_normal(36))
+    # More ranks along a dimension than points.
+    tiny = StructuredGrid((1, 6, 5))
+    with pytest.raises(RequestError):
+        service.submit(tiny, "27pt", rng.standard_normal(30))
+    assert service.submitted == 0
+
+
+def test_proc_grid_must_match_n_ranks():
+    with pytest.raises(ValueError):
+        ShardedSolveService(n_ranks=4, proc_grid=(3, 1, 1))
+
+
+def test_backpressure_inherited(service, rng):
+    for _ in range(16):
+        service.submit(GRID, "27pt", rng.standard_normal(N))
+    with pytest.raises(Backpressure):
+        service.submit(GRID, "27pt", rng.standard_normal(N))
+    assert service.drain() == 16
+
+
+def test_context_lru_bounded(rng):
+    with ShardedSolveService(n_ranks=2, proc_grid=(2, 1, 1),
+                             config=CFG, max_contexts=2) as svc:
+        for nx in (4, 5, 6):
+            g = StructuredGrid((nx, 3, 3))
+            svc.submit(g, "27pt", rng.standard_normal(g.n_points))
+            svc.drain()
+        assert len(svc._contexts) == 2
+        assert svc.stats()["contexts"] == 2
+
+
+def test_stats_shape(service, rng):
+    service.submit(GRID, "27pt", rng.standard_normal(N))
+    service.drain()
+    st = service.stats()
+    assert st["n_ranks"] == NRANKS
+    assert len(st["shards"]) == NRANKS
+    assert {"exchanges", "bytes", "messages"} <= st["halo"].keys()
+    assert "cache" not in st  # the global-cache key is gone
+    for shard_st in st["shards"]:
+        assert shard_st["cache"]["compiles"] == 1
+        assert shard_st["resilience"] is not None
+
+
+def test_resilience_false_runs_clean_path(rng):
+    b = rng.standard_normal(N)
+    with ShardedSolveService(n_ranks=2, proc_grid=(2, 1, 1),
+                             config=CFG, resilience=False) as svc:
+        t = svc.submit(GRID, "27pt", b, op="symgs")
+        svc.drain()
+        assert t._error is None
+        assert all(s.chain is None for s in svc.shards)
+        ctx = ShardContext(GRID, "27pt", CFG, n_ranks=2,
+                           proc_grid=(2, 1, 1))
+        want = sharded_execute(ctx, "symgs", b,
+                               ReferenceExecutor(ctx))
+        assert np.array_equal(t.result(), want)
+
+
+def test_persist_dir_per_shard(tmp_path, rng):
+    cfg = PlanConfig(bsize=None, n_workers=2, machine="kp920")
+    with ShardedSolveService(n_ranks=2, proc_grid=(2, 1, 1),
+                             config=cfg,
+                             persist_dir=str(tmp_path)) as svc:
+        svc.submit(GRID, "27pt", rng.standard_normal(N))
+        svc.drain()
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == ["shard0.json", "shard1.json"]
