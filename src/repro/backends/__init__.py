@@ -1,0 +1,110 @@
+"""Kernel backend registry — compiled execution tiers behind the plans.
+
+Three tiers implement the ``PLAN_OPS`` surface (see
+:class:`repro.backends.base.KernelBackend`):
+
+* ``numpy-counted`` — the instrumented :class:`VectorEngine` kernels,
+  kept as the bitwise-differential twin (tallies == closed forms).
+* ``numpy-fast`` — allocation-hoisted, branch-free numpy paths (the
+  default serving tier).
+* ``numba`` — JIT-compiled lane loops; an *optional* tier that resolves
+  to ``numpy-fast`` with a warning when numba is not installed.
+
+:func:`repro.serve.plan.compile_plan` resolves the tier named by
+``PlanConfig.backend`` at plan-compile time; the requested name is part
+of the structural fingerprint (and the autotune-pick persistence
+schema), while execution spans carry the *resolved* tier so traces show
+what actually ran. Selection rules, the twin-testing contract, and
+install notes live in ``docs/backends.md``.
+
+Tier modules import lazily (inside the functions below) so that
+``repro.backends`` ↔ ``repro.serve`` imports cannot cycle at module
+load.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+from repro.backends.base import KernelBackend
+
+#: Registry keys, fastest-available-last; ``PlanConfig.backend`` must
+#: be one of these.
+BACKEND_NAMES = ("numpy-counted", "numpy-fast", "numba")
+
+#: The tier plans compile to when none is requested.
+DEFAULT_BACKEND = "numpy-fast"
+
+_lock = threading.Lock()
+_instances: dict[str, KernelBackend] = {}
+_missing_warned: set[str] = set()
+
+
+def _backend_class(name: str):
+    if name == "numpy-counted":
+        from repro.backends.numpy_counted import NumpyCountedBackend
+
+        return NumpyCountedBackend
+    if name == "numpy-fast":
+        from repro.backends.numpy_fast import NumpyFastBackend
+
+        return NumpyFastBackend
+    if name == "numba":
+        from repro.backends.numba_backend import NumbaBackend
+
+        return NumbaBackend
+    raise KeyError(
+        f"unknown backend {name!r}; known: {BACKEND_NAMES}")
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The (singleton) backend registered under ``name``.
+
+    Raises ``KeyError`` for unknown names. Does **not** check
+    availability — use :func:`resolve_backend` for the serving path.
+    """
+    with _lock:
+        inst = _instances.get(name)
+        if inst is None:
+            inst = _instances[name] = _backend_class(name)()
+    return inst
+
+
+def available_backends() -> tuple:
+    """Names of the tiers that can execute in this environment."""
+    return tuple(n for n in BACKEND_NAMES
+                 if _backend_class(n).is_available())
+
+
+def resolve_backend(name: str | None = None) -> KernelBackend:
+    """Resolve a requested tier to an executable backend instance.
+
+    An unavailable optional tier (``numba`` without numba installed)
+    resolves to the ``numpy-fast`` tier with a one-time warning — a
+    request for a compiled plan must never fail just because the
+    accelerator is missing. Unknown names raise ``KeyError``.
+    """
+    name = DEFAULT_BACKEND if name is None else name
+    cls = _backend_class(name)
+    if not cls.is_available():
+        with _lock:
+            if name not in _missing_warned:
+                _missing_warned.add(name)
+                warnings.warn(
+                    f"backend {name!r} is not available in this "
+                    f"environment; falling back to "
+                    f"{DEFAULT_BACKEND!r}", RuntimeWarning,
+                    stacklevel=2)
+        return get_backend(DEFAULT_BACKEND)
+    return get_backend(name)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+]

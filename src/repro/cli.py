@@ -160,7 +160,7 @@ def _cmd_bench_runtime(args) -> int:
     report = collect_bench_runtime(
         nx=args.nx, stencil=args.stencil, bsize=args.bsize,
         n_workers=args.workers, dtype=args.dtype,
-        repeats=args.repeats)
+        repeats=args.repeats, backend=args.backend)
     path = write_bench_json(report, args.out)
     ker = report["kernels"]
     for name in sorted(ker):
@@ -172,6 +172,13 @@ def _cmd_bench_runtime(args) -> int:
         if "speedup_vs_sequential" in entry:
             line += f"  x{entry['speedup_vs_sequential']:.2f} parallel"
         print(line)
+    tiers = report["backends"]
+    print(f"backend: {tiers['requested']} "
+          f"(resolved {tiers['resolved']}; "
+          f"available: {', '.join(tiers['available'])})")
+    for tier_name, secs in tiers["seconds"].items():
+        print(f"  {tier_name:14s} " + "  ".join(
+            f"{op} {secs[op] * 1e3:8.3f} ms" for op in sorted(secs)))
     print(f"pools created: {report['session']['pools_created']}")
     print(f"[written to {path}]")
     return 0
@@ -184,7 +191,8 @@ def _cmd_serve_bench(args) -> int:
     report = collect_bench_serve(
         nx=args.nx, stencil=args.stencil, n_requests=args.requests,
         max_batch=args.max_batch, n_workers=args.workers,
-        dtype=args.dtype, machine=args.machine)
+        dtype=args.dtype, machine=args.machine,
+        backend=args.backend)
     path = write_bench_json(report, args.out)
     cache = report["cache"]
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
@@ -448,6 +456,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--backend", default="numpy-fast",
+                   choices=("numpy-counted", "numpy-fast", "numba"),
+                   help="kernel execution tier (numba falls back to "
+                        "numpy-fast when not installed)")
     p.add_argument("--out", default="BENCH_runtime.json")
     p.set_defaults(func=_cmd_bench_runtime)
 
@@ -463,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
     p.add_argument("--machine", default="kp920",
                    choices=("intel", "kp920", "thunderx2", "phytium"))
+    p.add_argument("--backend", default="numpy-fast",
+                   choices=("numpy-counted", "numpy-fast", "numba"),
+                   help="kernel execution tier compiled into the "
+                        "served plans")
     p.add_argument("--out", default="BENCH_serve.json")
     p.set_defaults(func=_cmd_serve_bench)
 

@@ -19,6 +19,8 @@ semantics instead of parsing messages:
   :class:`~repro.resilience.faults.FaultInjector`; intentionally *not*
   a :class:`ResilienceError` so the chain must treat it like any other
   unexpected worker/kernel error.
+* :data:`NON_RECOVERABLE_ERRORS` — the complementary set: failures the
+  ladder must *re-raise* instead of degrading around.
 
 This module is a dependency leaf (stdlib only) so every layer — simd,
 parallel, solvers, serve — can import it without cycles.
@@ -160,3 +162,12 @@ class FaultInjected(RuntimeError):
             + (f": {detail}" if detail else ""))
         self.site = site
         self.kind = kind
+
+
+#: Failures no ladder boundary may swallow. Resource exhaustion and
+#: violated internal invariants (the ``assert``-guarded cache/plan
+#: bookkeeping) are not kernel faults: descending a rung cannot fix
+#: them, and retrying only hides the bug while the process degrades.
+#: Both broad ``except Exception`` handlers in
+#: :mod:`repro.resilience.fallback` re-raise these immediately.
+NON_RECOVERABLE_ERRORS = (MemoryError, AssertionError)

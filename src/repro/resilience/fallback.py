@@ -40,6 +40,7 @@ import numpy as np
 from repro.observe import trace
 from repro.resilience import hooks
 from repro.resilience.errors import (
+    NON_RECOVERABLE_ERRORS,
     CircuitOpen,
     FallbackExhausted,
     NonFiniteError,
@@ -328,6 +329,10 @@ class FallbackChain:
         try:
             X = self._run_rung(current, rung, op, B)
             self._check_solution(current, rung, op, B, X)
+        except NON_RECOVERABLE_ERRORS:
+            # Resource exhaustion / violated invariants: descending a
+            # rung cannot fix these — surface them to the caller.
+            raise
         except Exception as exc:  # noqa: BLE001 - ladder boundary
             self._count("faults_detected")
             self._count_rung_failure(rung)
@@ -398,6 +403,8 @@ class FallbackChain:
                 from repro.serve.plan import compile_plan
 
                 fresh = compile_plan(plan.grid, plan.stencil, plan.config)
+        except NON_RECOVERABLE_ERRORS:
+            raise
         except Exception:  # noqa: BLE001 - compile itself may be poisoned
             return None
         fresh._heal_attempts = 0
@@ -444,13 +451,18 @@ class FallbackChain:
         return self._run_csr(plan, op, B)
 
     def _run_sell(self, plan, op: str, B: np.ndarray) -> np.ndarray:
-        from repro.kernels.sptrsv_sell import (
-            sptrsv_sell_lower,
-            sptrsv_sell_upper,
-        )
         from repro.kernels.symgs_sell import symgs_sell
 
+        # The rung's triangular sweeps execute through the *plan's*
+        # resolved backend tier, exactly like the native path — a plan
+        # compiled for the counted (or jit) tier keeps that tier while
+        # descending the ladder. SpMV/SYMGS on this rung stay on the
+        # trusted SELL reference kernels.
+        backend = plan._backend()
+        rung_backend = backend.name if op in ("lower", "upper") \
+            else "reference"
         with trace.span("plan.execute", op=op, strategy="sell",
+                        backend=rung_backend,
                         fingerprint=plan.fingerprint[:12]) as sp:
             hooks.fire("plan.execute", strategy="sell", op=op,
                        fingerprint=plan.fingerprint)
@@ -460,22 +472,18 @@ class FallbackChain:
                 k = int(Bp.shape[1])
                 sp.attrs["k"] = k
                 sp.set_counts(self._sell_counts(arts, op, k))
-            out = np.empty_like(Bp)
-            for j in range(Bp.shape[1]):
-                if op == "lower":
-                    out[:, j] = sptrsv_sell_lower(arts["lower"],
-                                                  Bp[:, j],
-                                                  diag=plan.diag)
-                elif op == "upper":
-                    out[:, j] = sptrsv_sell_upper(arts["upper"],
-                                                  Bp[:, j],
-                                                  diag=plan.diag)
-                elif op == "spmv":
-                    out[:, j] = arts["full"].matvec(Bp[:, j])
-                else:  # symgs from a zero initial guess
-                    x = np.zeros_like(Bp[:, j])
-                    out[:, j] = symgs_sell(arts["full"], plan.diag, x,
-                                           Bp[:, j])
+            if op in ("lower", "upper"):
+                out = backend.sptrsv_sell_multi(
+                    arts[op], Bp, plan.diag, forward=(op == "lower"))
+            else:
+                out = np.empty_like(Bp)
+                for j in range(Bp.shape[1]):
+                    if op == "spmv":
+                        out[:, j] = arts["full"].matvec(Bp[:, j])
+                    else:  # symgs from a zero initial guess
+                        x = np.zeros_like(Bp[:, j])
+                        out[:, j] = symgs_sell(arts["full"], plan.diag,
+                                               x, Bp[:, j])
             return self._restrict(plan, out, single)
 
     @staticmethod
@@ -503,6 +511,7 @@ class FallbackChain:
         # ``fire=False`` is the untraced clean reference path
         # (execute_reference): no hooks, no spans.
         with (trace.span("plan.execute", op=op, strategy="csr",
+                         backend="reference",
                          fingerprint=plan.fingerprint[:12])
               if fire else trace.null_span()) as sp:
             if fire:

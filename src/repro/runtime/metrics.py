@@ -74,13 +74,21 @@ def _kernel_entry(counts: OpCounter, seconds: float,
 def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
                           bsize: int = 4, n_workers: int = 4,
                           dtype: str = "f64", repeats: int = 3,
-                          pcg_iters: int = 5) -> dict:
+                          pcg_iters: int = 5,
+                          backend: str = "numpy-fast") -> dict:
     """Run the benchmark suite through one session; return the report.
 
     The report covers SpTRSV (lower + upper, sequential and
     pool-parallel), SpMV (CSR and DBSR) and SYMGS (DBSR), plus a short
     MG-preconditioned PCG solve that exercises the ``vcycle`` /
     ``spmv`` phase timers — all on a single shared thread pool.
+
+    ``backend`` names the kernel tier recorded in the config (and
+    resolved like :func:`repro.serve.plan.compile_plan` does); the
+    report additionally carries a ``backends`` section timing the
+    SpTRSV/SpMV/SYMGS plan-op surface through **every** available tier
+    on the same artifacts, so the numpy-fast-vs-counted (and, when
+    installed, numba) wall-clock ordering is measurable from one run.
     """
     from repro.formats.dbsr import DBSRMatrix
     from repro.grids.problems import poisson_problem
@@ -173,6 +181,30 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
         kernels["symgs_dbsr"] = _kernel_entry(
             symgs_dbsr_counts(dbsr), t_symgs)
 
+        # Backend tier comparison: the same SpTRSV/SpMV/SYMGS surface
+        # through every tier available here, on the same artifacts.
+        from repro.backends import (
+            available_backends,
+            get_backend,
+            resolve_backend,
+        )
+
+        resolved = resolve_backend(backend)
+        Bk = b.reshape(-1, 1)
+        tier_seconds = {}
+        for tier_name in available_backends():
+            be = get_backend(tier_name)
+            tier_seconds[tier_name] = {
+                "sptrsv_lower": _best_of(
+                    lambda: be.sptrsv_dbsr_multi(Ld, Bk, D, True),
+                    repeats),
+                "spmv": _best_of(
+                    lambda: be.spmv_dbsr_multi(dbsr, Bk), repeats),
+                "symgs": _best_of(
+                    lambda: be.symgs_dbsr_multi(
+                        dbsr, diag, np.zeros_like(Bk), Bk), repeats),
+            }
+
         # Short MG-preconditioned PCG: exercises vcycle/spmv phases.
         def factory(grid, stencil_, matrix):
             return make_smoother("dbsr", grid, stencil_, matrix,
@@ -193,6 +225,7 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
                 "bsize": bsize,
                 "n_workers": n_workers,
                 "dtype": str(np.dtype(np_dtype)),
+                "backend": backend,
                 "repeats": repeats,
                 "n_rows_padded": Ap.n_rows,
                 "n_tiles": dbsr.n_tiles,
@@ -203,6 +236,12 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
                 "machine": platform.machine(),
             },
             "kernels": kernels,
+            "backends": {
+                "requested": backend,
+                "resolved": resolved.name,
+                "available": list(available_backends()),
+                "seconds": tier_seconds,
+            },
             "phases": session.phase_report(),
             "session": {
                 "pools_created": session.pools_created,

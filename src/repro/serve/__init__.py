@@ -10,6 +10,8 @@ The paper's one-time preprocessing (BMC reorder + DBSR conversion,
   hit/miss/eviction/compile counters and JSON-persisted autotune picks.
 * :mod:`repro.serve.batch` — multi-RHS batched DBSR kernels that load
   each tile's values once per batch (value bytes per solve ~ 1/k).
+  Plans execute them through a kernel *backend tier* selected at
+  compile time (see :mod:`repro.backends`).
 * :mod:`repro.serve.service` — :class:`SolveService`: submit/drain
   with per-structure coalescing, bounded-queue backpressure, and
   per-request error isolation.
@@ -19,11 +21,13 @@ The paper's one-time preprocessing (BMC reorder + DBSR conversion,
 
 from repro.serve.batch import (
     spmv_dbsr_multi,
+    spmv_dbsr_multi_counted,
     sptrsv_dbsr_lower_multi,
     sptrsv_dbsr_lower_multi_counted,
     sptrsv_dbsr_upper_multi,
     sptrsv_dbsr_upper_multi_counted,
     symgs_dbsr_multi,
+    symgs_dbsr_multi_counted,
 )
 from repro.serve.cache import PlanCache
 from repro.serve.plan import (
@@ -51,10 +55,12 @@ __all__ = [
     "SolveTicket",
     "compile_plan",
     "spmv_dbsr_multi",
+    "spmv_dbsr_multi_counted",
     "sptrsv_dbsr_lower_multi",
     "sptrsv_dbsr_lower_multi_counted",
     "sptrsv_dbsr_upper_multi",
     "sptrsv_dbsr_upper_multi_counted",
     "structural_fingerprint",
     "symgs_dbsr_multi",
+    "symgs_dbsr_multi_counted",
 ]

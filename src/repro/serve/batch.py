@@ -14,10 +14,13 @@ property of Algorithm 2 survives batching (nothing here indexes with an
 array; the gather-lint runs over this module). The public API accepts
 ``(n, k)`` blocks column-per-RHS, matching how callers stack requests.
 
-Every kernel is bit-identical per column to its unbatched twin in
-:mod:`repro.kernels.sptrsv_dbsr` / :mod:`repro.kernels.symgs` /
-:meth:`~repro.formats.dbsr.DBSRMatrix.matvec`: batching reorders no
-floating-point operation within a column. Instrumented ``*_counted``
+Every kernel is bit-identical per column to its unbatched sweep twin in
+:mod:`repro.kernels.sptrsv_dbsr` / :mod:`repro.kernels.symgs`:
+batching reorders no floating-point operation within a column. SpMV
+accumulates each row's tiles as a *sequential* chain in storage order —
+the canonical backend-tier rounding sequence — so it matches
+:meth:`~repro.formats.dbsr.DBSRMatrix.matvec` (pairwise ``reduceat``
+summation) to roundoff rather than bitwise. Instrumented ``*_counted``
 twins execute through a :class:`~repro.simd.engine.VectorEngine`;
 closed forms live in :func:`repro.kernels.counts.sptrsv_dbsr_multi_counts`.
 """
@@ -86,8 +89,12 @@ def sptrsv_dbsr_upper_multi(upper: DBSRMatrix, B: np.ndarray,
 def spmv_dbsr_multi(matrix: DBSRMatrix, X: np.ndarray) -> np.ndarray:
     """``Y = A X`` over an ``(n, k)`` block, one tile pass total.
 
-    Column-identical to :meth:`DBSRMatrix.matvec` per RHS; the tile
-    value table is traversed once, not ``k`` times.
+    Each output row is a *sequential* FMA chain over its tiles in
+    storage order — the same rounding sequence as Alg. 4's accumulator
+    register and the ``numpy-counted`` twin, so every backend tier is
+    bit-identical (``np.add.reduceat``'s pairwise summation is not, by
+    ~1 ULP on long rows). Per-RHS results therefore match
+    :meth:`DBSRMatrix.matvec` to roundoff, not bitwise.
     """
     X = np.asarray(X)
     require(X.ndim == 2 and X.shape[0] == matrix.n_cols,
@@ -104,10 +111,12 @@ def spmv_dbsr_multi(matrix: DBSRMatrix, X: np.ndarray) -> np.ndarray:
     # (k, n_tiles, bs): one values load broadcast across the k RHS.
     prod = matrix.values[None, :, :] * Xp[:, window]
     Y = np.zeros((k, matrix.brow, bs), dtype=dtype)
-    nonempty = np.flatnonzero(np.diff(matrix.blk_ptr) > 0)
-    if len(nonempty):
-        Y[:, nonempty] = np.add.reduceat(prod, matrix.blk_ptr[nonempty],
-                                         axis=1)
+    ntiles = np.diff(matrix.blk_ptr)
+    # Tile-position sweep: step ``t`` adds every row's ``t``-th tile at
+    # once, so each row still accumulates its tiles strictly in order.
+    for t in range(int(ntiles.max(initial=0))):
+        rows = np.flatnonzero(ntiles > t)
+        Y[:, rows] += prod[:, matrix.blk_ptr[rows] + t]
     return np.ascontiguousarray(Y.reshape(k, -1).T)
 
 
@@ -204,3 +213,107 @@ def sptrsv_dbsr_upper_multi_counted(upper: DBSRMatrix, B: np.ndarray,
                                     ) -> np.ndarray:
     """Instrumented multi-RHS backward solve."""
     return _sptrsv_multi_counted(upper, B, engine, diag, forward=False)
+
+
+def spmv_dbsr_multi_counted(matrix: DBSRMatrix, X: np.ndarray,
+                            engine: VectorEngine) -> np.ndarray:
+    """Instrumented multi-RHS DBSR SpMV twin of :func:`spmv_dbsr_multi`.
+
+    Per tile one ``load_values`` serves all ``k`` columns; tallies match
+    :func:`repro.kernels.counts.spmv_dbsr_multi_counts` exactly. The
+    accumulator starts from an explicit zero register (the FMA chain of
+    Algorithm 4), so results equal the fast kernel's ``reduceat`` sums
+    under ``np.array_equal`` — the only representable difference is the
+    sign of zero on single-tile rows.
+    """
+    X = np.asarray(X)
+    require(X.ndim == 2 and X.shape[0] == matrix.n_cols,
+            "X block must be (n_cols, k)")
+    n, k = X.shape
+    bs = matrix.bsize
+    require(engine.bsize == bs, "engine width must equal bsize")
+    dtype = np.result_type(matrix.values, X)
+    Xp = np.zeros((k, matrix.n_cols + 2 * bs), dtype=X.dtype)
+    Xp[:, bs:bs + matrix.n_cols] = X.T
+    anchors = matrix.anchors + bs
+    vals_flat = matrix.values.reshape(-1)
+    blk_ptr = matrix.blk_ptr
+    Yk = np.zeros((k, matrix.brow * bs), dtype=dtype)
+    engine.counter.bytes_index += blk_ptr.itemsize
+    for i in range(matrix.brow):
+        engine.counter.bytes_index += blk_ptr.itemsize
+        accs = [np.zeros(bs, dtype=dtype) for _ in range(k)]
+        for t in range(blk_ptr[i], blk_ptr[i + 1]):
+            engine.counter.bytes_index += (
+                matrix.blk_ind.itemsize + matrix.blk_offset.itemsize)
+            vec_vals = engine.load_values(vals_flat, t * bs)
+            a = int(anchors[t])
+            for j in range(k):
+                vec_x = engine.load(Xp[j], a)
+                accs[j] = engine.fma(accs[j], vec_vals, vec_x)
+        for j in range(k):
+            engine.store(Yk[j], i * bs, accs[j])
+    return np.ascontiguousarray(Yk[:, :matrix.n_rows].T)
+
+
+def symgs_dbsr_multi_counted(matrix: DBSRMatrix, diag: np.ndarray,
+                             X: np.ndarray, B: np.ndarray,
+                             engine: VectorEngine) -> np.ndarray:
+    """Instrumented multi-RHS SYMGS twin of :func:`symgs_dbsr_multi`.
+
+    Mirrors the fast kernel's floating-point order exactly — the row
+    sum accumulates through FMAs from a zero register and the update is
+    ``x += (b - rowsum) / d`` — so batched results are **bitwise**
+    equal to :func:`symgs_dbsr_multi`, and tallies match
+    :func:`repro.kernels.counts.symgs_dbsr_multi_counts` exactly.
+
+    Like :func:`repro.kernels.symgs_counted.symgs_dbsr_counted`, the
+    diagonal tile's contiguous x window *is* the block-row's own x
+    slice, so the add-back correction needs no extra load. The
+    ``b - rowsum`` subtraction happens on register-resident operands
+    (both were just produced by engine ops) and is deliberately left
+    untallied, matching the closed form, which models the memory
+    streams and the FMA/divide/add mix.
+    """
+    B = _check_rhs_block(matrix, B)
+    require(X.shape == B.shape, "X/B block shape mismatch")
+    require(bool(np.all(matrix.dia_ptr >= 0)),
+            "every block-row needs a diagonal tile")
+    n, k = B.shape
+    bs = matrix.bsize
+    require(engine.bsize == bs, "engine width must equal bsize")
+    dtype = np.result_type(matrix.values, X)
+    Xp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    Xp[:, bs:bs + n] = X.T
+    Bk = np.ascontiguousarray(B.T)
+    dp = np.asarray(diag)
+    anchors = matrix.anchors + bs
+    vals_flat = matrix.values.reshape(-1)
+    blk_ptr = matrix.blk_ptr
+    dia_ptr = matrix.dia_ptr
+    for forward in (True, False):
+        rng = range(matrix.brow) if forward \
+            else range(matrix.brow - 1, -1, -1)
+        engine.counter.bytes_index += blk_ptr.itemsize
+        for i in rng:
+            engine.counter.bytes_index += blk_ptr.itemsize
+            rowsums = [np.zeros(bs, dtype=dtype) for _ in range(k)]
+            xi_vecs = [None] * k
+            for t in range(int(blk_ptr[i]), int(blk_ptr[i + 1])):
+                engine.counter.bytes_index += (
+                    matrix.blk_ind.itemsize + matrix.blk_offset.itemsize)
+                vec_vals = engine.load_values(vals_flat, t * bs)
+                a = int(anchors[t])
+                for j in range(k):
+                    vec_x = engine.load(Xp[j], a)
+                    if t == dia_ptr[i]:
+                        xi_vecs[j] = vec_x.copy()
+                    rowsums[j] = engine.fma(rowsums[j], vec_vals, vec_x)
+            vec_d = engine.load(dp, i * bs)
+            for j in range(k):
+                bj = engine.load(Bk[j], i * bs)
+                corr = engine.div(bj - rowsums[j], vec_d)
+                engine.store(Xp[j], bs + i * bs,
+                             engine.add(xi_vecs[j], corr))
+    X[:] = Xp[:, bs:bs + n].T
+    return X

@@ -90,7 +90,8 @@ def collect_bench_serve(nx: int = 8, stencil: str = "27pt",
                         n_requests: int = 24, max_batch: int = 8,
                         n_workers: int = 2, dtype: str = "f64",
                         machine: str = "kp920",
-                        ks=(1, 2, 4, 8), seed: int = 2024) -> dict:
+                        ks=(1, 2, 4, 8), seed: int = 2024,
+                        backend: str = "numpy-fast") -> dict:
     """Run the serving workload + batch sweep; return the report dict.
 
     The workload issues ``n_requests`` solves over a single structure
@@ -103,7 +104,7 @@ def collect_bench_serve(nx: int = 8, stencil: str = "27pt",
     from repro.grids.grid import StructuredGrid
 
     config = PlanConfig(bsize=None, n_workers=n_workers, dtype=dtype,
-                        machine=machine)
+                        machine=machine, backend=backend)
     cache = PlanCache(capacity=4)
     rng = np.random.default_rng(seed)
     grid = StructuredGrid((nx,) * 3)
@@ -142,6 +143,8 @@ def collect_bench_serve(nx: int = 8, stencil: str = "27pt",
             "n_requests": n_total,
             "max_batch": max_batch,
             "machine": machine,
+            "backend": backend,
+            "backend_resolved": plan._backend().name,
             "ks": list(sorted(ks)),
             "bsize_autotuned": plan.bsize,
         },

@@ -38,6 +38,12 @@ from repro.serve.plan import (
 )
 from repro.utils.validation import check_positive
 
+#: Pick-file schema. v2 added the plan's requested ``backend`` to each
+#: entry (the fingerprint keying changed with it); files carrying any
+#: other schema string — including the old implicit v1 — are ignored
+#: with a warning rather than silently half-read.
+PICKS_SCHEMA = "dbsr-repro/autotune-picks/v2"
+
 
 class PlanCache:
     """Thread-safe LRU cache of compiled solve plans.
@@ -82,16 +88,38 @@ class PlanCache:
 
     # Persistence -------------------------------------------------------
     def _load_picks(self) -> dict:
+        """Load the persisted picks, validating the file's schema.
+
+        A file written under a different schema (an older release, or
+        some unrelated JSON that happens to carry an ``autotune_picks``
+        key) used to be silently half-read, feeding stale ``bsize``
+        hints into freshly keyed fingerprints. Now any schema mismatch
+        discards the file with a warning — serving proceeds with a cold
+        pick store and simply re-autotunes.
+        """
         if not self.persist_path or not os.path.exists(self.persist_path):
             return {}
         try:
             with open(self.persist_path) as fh:
                 data = json.load(fh)
-            picks = data.get("autotune_picks", {})
-            return {fp: entry for fp, entry in picks.items()
-                    if isinstance(entry, dict) and "bsize" in entry}
         except (OSError, ValueError):
             return {}
+        if not isinstance(data, dict) \
+                or data.get("schema") != PICKS_SCHEMA:
+            import warnings
+
+            found = data.get("schema") if isinstance(data, dict) \
+                else None
+            warnings.warn(
+                f"ignoring autotune pick file {self.persist_path!r}: "
+                f"schema {found!r} != {PICKS_SCHEMA!r}",
+                RuntimeWarning, stacklevel=2)
+            return {}
+        picks = data.get("autotune_picks", {})
+        if not isinstance(picks, dict):
+            return {}
+        return {fp: entry for fp, entry in picks.items()
+                if isinstance(entry, dict) and "bsize" in entry}
 
     def _save_picks(self, picks: dict) -> None:
         """Atomically persist a picks *snapshot*.
@@ -103,7 +131,7 @@ class PlanCache:
         if not self.persist_path:
             return
         blob = {
-            "schema": "dbsr-repro/autotune-picks/v1",
+            "schema": PICKS_SCHEMA,
             "autotune_picks": picks,
         }
         tmp = f"{self.persist_path}.tmp"
@@ -273,6 +301,7 @@ class PlanCache:
                     "block_dims": list(plan.block_dims),
                     "grid": list(plan.grid.dims),
                     "stencil": plan.stencil.name,
+                    "backend": plan.config.backend,
                 }
                 # Snapshot under the lock, write outside it: file
                 # I/O must never block concurrent lookups.

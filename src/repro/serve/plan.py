@@ -11,7 +11,8 @@ kernel calls.
 
 Plans are keyed by a **structural fingerprint**: a SHA-256 digest over
 the canonical JSON of the fields that determine the compiled artifacts
-(grid dims, stencil signature, dtype, bsize, strategy, worker count).
+(grid dims, stencil signature, dtype, bsize, strategy, worker count,
+requested kernel backend).
 The digest is deterministic across processes (no Python hash
 randomization) and across dict orderings (keys are sorted), so it can
 double as a persistence key for autotune picks
@@ -64,6 +65,11 @@ class PlanConfig:
         ``phytium``) feeding the autotuner's lane count.
     groups_per_worker:
         Autotune slack: vector groups each worker should get per color.
+    backend:
+        Kernel execution tier (see :mod:`repro.backends`): the
+        *requested* tier, part of the fingerprint. An unavailable
+        optional tier (``numba``) resolves to ``numpy-fast`` at compile
+        time with a warning.
     """
 
     bsize: int | None = None
@@ -72,10 +78,18 @@ class PlanConfig:
     strategy: str = "dbsr"
     machine: str = "intel"
     groups_per_worker: int = 1
+    backend: str = "numpy-fast"
 
     def __post_init__(self):
+        # Lazy import: repro.serve.__init__ imports this module at
+        # package load, and repro.backends must stay cycle-free.
+        from repro.backends import BACKEND_NAMES
+
         require(self.strategy in STRATEGIES,
                 f"unknown strategy {self.strategy!r}; known: {STRATEGIES}")
+        require(self.backend in BACKEND_NAMES,
+                f"unknown backend {self.backend!r}; "
+                f"known: {BACKEND_NAMES}")
         if self.bsize is not None:
             check_positive(self.bsize, "bsize")
         check_positive(self.n_workers, "n_workers")
@@ -103,7 +117,9 @@ def structural_fingerprint(grid: StructuredGrid,
     """
     stencil = _resolve_stencil(stencil)
     payload = {
-        "v": 1,
+        # v2: added the requested kernel backend tier.
+        "v": 2,
+        "backend": config.backend,
         "grid": [int(d) for d in grid.dims],
         "stencil": {
             "name": stencil.name,
@@ -155,6 +171,11 @@ class SolvePlan:
         Diagonal of the permuted operator.
     sell_lower, sell_upper:
         SELL factors (``strategy == "sell"`` only, else ``None``).
+    backend:
+        The *resolved* :class:`~repro.backends.KernelBackend` instance
+        every :meth:`execute` dispatches through (its ``name`` may
+        differ from ``config.backend`` when an optional tier was
+        unavailable at compile time).
     compile_seconds:
         Wall-clock cost of this compilation (the quantity the cache
         amortizes).
@@ -174,6 +195,7 @@ class SolvePlan:
     diag: np.ndarray
     sell_lower: object = None
     sell_upper: object = None
+    backend: object = field(default=None, repr=False, compare=False)
     compile_seconds: float = 0.0
     autotuned: bool = field(default=False)
     #: Per-artifact SHA-256 digests sealed at compile time by
@@ -210,6 +232,15 @@ class SolvePlan:
         return out[:, 0] if single else out
 
     # Execution ---------------------------------------------------------
+    def _backend(self):
+        """The resolved kernel backend (lazily bound for plans that
+        were constructed without :func:`compile_plan`)."""
+        if self.backend is None:
+            from repro.backends import resolve_backend
+
+            self.backend = resolve_backend(self.config.backend)
+        return self.backend
+
     def execute(self, op: str, B: np.ndarray) -> np.ndarray:
         """Run one op over a ``(n,)`` vector or ``(n, k)`` RHS block.
 
@@ -220,12 +251,16 @@ class SolvePlan:
         * ``"spmv"``  — ``y = A x``.
         * ``"symgs"`` — one SYMGS sweep from a zero initial guess.
 
-        Batched (k > 1) and unbatched execution are bit-identical per
-        column (verified by the serve test suite).
+        Dispatch goes through the plan's resolved kernel backend; every
+        tier is bit-identical per column to the ``numpy-counted`` twin
+        (verified by the serve and golden-trace suites), so results do
+        not depend on which tier a plan compiled to.
         """
         require(op in PLAN_OPS, f"unknown op {op!r}; known: {PLAN_OPS}")
+        backend = self._backend()
         with trace.span("plan.execute", op=op,
                         strategy=self.config.strategy,
+                        backend=backend.name,
                         fingerprint=self.fingerprint[:12]) as sp:
             hooks.fire("plan.execute", strategy=self.config.strategy,
                        op=op, fingerprint=self.fingerprint)
@@ -237,43 +272,9 @@ class SolvePlan:
             if sp is not None:
                 sp.attrs["k"] = int(Bp.shape[1])
                 sp.set_counts(self.op_counts(op, int(Bp.shape[1])))
-            if self.config.strategy == "sell" and op in ("lower",
-                                                         "upper"):
-                Xp = self._execute_sell(op, Bp)
-            else:
-                Xp = self._execute_dbsr(op, Bp)
+            Xp = backend.run(self, op, Bp)
             out = self.restrict(Xp)
             return out[:, 0] if single else out
-
-    def _execute_dbsr(self, op: str, Bp: np.ndarray) -> np.ndarray:
-        from repro.serve.batch import (
-            spmv_dbsr_multi,
-            sptrsv_dbsr_lower_multi,
-            sptrsv_dbsr_upper_multi,
-            symgs_dbsr_multi,
-        )
-
-        if op == "lower":
-            return sptrsv_dbsr_lower_multi(self.lower, Bp, diag=self.diag)
-        if op == "upper":
-            return sptrsv_dbsr_upper_multi(self.upper, Bp, diag=self.diag)
-        if op == "spmv":
-            return spmv_dbsr_multi(self.dbsr, Bp)
-        X = np.zeros_like(Bp)
-        return symgs_dbsr_multi(self.dbsr, self.diag, X, Bp)
-
-    def _execute_sell(self, op: str, Bp: np.ndarray) -> np.ndarray:
-        from repro.kernels.sptrsv_sell import (
-            sptrsv_sell_lower,
-            sptrsv_sell_upper,
-        )
-
-        kern = sptrsv_sell_lower if op == "lower" else sptrsv_sell_upper
-        sell = self.sell_lower if op == "lower" else self.sell_upper
-        out = np.empty_like(Bp)
-        for j in range(Bp.shape[1]):
-            out[:, j] = kern(sell, Bp[:, j], diag=self.diag)
-        return out
 
     def op_counts(self, op: str, k: int = 1):
         """Closed-form op counts of one ``execute(op)`` over ``k`` RHS.
@@ -310,6 +311,8 @@ class SolvePlan:
             "stencil": self.stencil.name,
             "dtype": str(np.dtype(self.config.np_dtype)),
             "strategy": self.config.strategy,
+            "backend": self.config.backend,
+            "backend_resolved": self._backend().name,
             "bsize": self.bsize,
             "autotuned": self.autotuned,
             "block_dims": list(self.block_dims),
@@ -345,12 +348,19 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
     from repro.ordering.vbmc import build_vbmc
     from repro.simd.autotune import autotune_bsize
 
+    from repro.backends import resolve_backend
+
     config = config if config is not None else PlanConfig()
     stencil = _resolve_stencil(stencil)
     fingerprint = structural_fingerprint(grid, stencil, config)
     np_dtype = config.np_dtype
+    # Resolve the kernel tier now, not per-execute: an unavailable
+    # optional tier (numba) degrades to numpy-fast here, once, with a
+    # warning — while the fingerprint keeps the *requested* name.
+    backend = resolve_backend(config.backend)
 
     with trace.span("serve.compile", strategy=config.strategy,
+                    backend=backend.name,
                     fingerprint=fingerprint[:12]) as sp:
         t0 = time.perf_counter()
         autotuned = False
@@ -402,6 +412,7 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
             diag=D,
             sell_lower=sell_lower,
             sell_upper=sell_upper,
+            backend=backend,
             compile_seconds=time.perf_counter() - t0,
             autotuned=autotuned,
         )

@@ -423,6 +423,7 @@ class SolveService:
             "cache_hit": cache_hit,
             "bsize": plan.bsize,
             "strategy": plan.config.strategy,
+            "backend": plan._backend().name,
             "seconds": batch_seconds / k,
         }
         counts = self._op_counts(plan, op, k)

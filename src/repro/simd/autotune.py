@@ -68,26 +68,36 @@ def autotune_bsize(grid: StructuredGrid, stencil: Stencil,
                    min_block_points: int = 8) -> int:
     """Pick a ``bsize`` for this grid level / machine / worker count.
 
-    Returns the largest candidate whose AUTO block partition still
-    supplies ``n_workers * groups_per_worker`` vector groups per color
-    *with blocks of at least* ``min_block_points`` points (smaller
-    blocks degenerate toward MC and its convergence penalty); falls
-    back to the SIMD lane count (or 1) when even that is infeasible —
-    exactly the "scale bsize to the level" rule for coarse multigrid
-    grids.
+    Returns the **largest** candidate satisfying *both* constraints:
+    its AUTO block partition supplies ``n_workers * groups_per_worker``
+    vector groups per color, *with blocks of at least*
+    ``min_block_points`` points (smaller blocks degenerate toward MC
+    and its convergence penalty; the block-size constraint is waived on
+    grids too small to ever meet it). Falls back to ``1`` when no
+    candidate is feasible — the "scale bsize to the level" rule for
+    coarse multigrid grids.
+
+    Feasibility is **not monotone** in ``b``: a larger candidate can
+    repartition into a coarser block grid whose smallest color class
+    clears its (larger) group demand even though a smaller candidate's
+    finer partition misses its own. The selection therefore materializes
+    the whole feasible set and takes its max — a greedy
+    scan-until-first-failure would be wrong.
     """
     check_positive(n_workers, "n_workers")
     from repro.ordering.coloring import _is_star
 
     n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim
-    best = 1
-    for b in candidate_bsizes(machine, dtype_bytes):
+
+    def feasible(b: int) -> bool:
         block_dims = auto_block_dims(grid, n_workers, bsize=b,
                                      n_colors=n_colors)
         if int(np.prod(block_dims)) < min_block_points \
                 and grid.n_points >= min_block_points * n_colors:
-            continue
+            return False
         blocks = min_blocks_per_color(grid, stencil, block_dims)
-        if blocks >= b * n_workers * groups_per_worker:
-            best = b
-    return best
+        return blocks >= b * n_workers * groups_per_worker
+
+    feasible_set = [b for b in candidate_bsizes(machine, dtype_bytes)
+                    if feasible(b)]
+    return max(feasible_set) if feasible_set else 1

@@ -7,6 +7,13 @@ an :class:`~repro.simd.counters.OpCounter`. This makes the kernels in
 :mod:`repro.kernels` structurally identical to the paper's Algorithm 2
 and Algorithm 4 pseudocode — the instruction mix is observable even
 though Python cannot emit real SIMD.
+
+The engine-instrumented kernels form the ``numpy-counted`` backend
+tier (:mod:`repro.backends`): the bitwise-differential twin every
+faster tier (``numpy-fast`` vectorized numpy, ``numba`` JIT) is pinned
+against. Each engine op is a *single* rounding step, so a twin kernel
+reproduces the counted result bit-for-bit exactly when it performs the
+same multiplies/adds/divides in the same order.
 """
 
 from __future__ import annotations

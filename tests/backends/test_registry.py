@@ -1,0 +1,77 @@
+"""Backend registry: naming, singletons, resolution, config plumbing."""
+
+import warnings
+
+import pytest
+
+from repro.backends import (
+    BACKEND_NAMES,
+    DEFAULT_BACKEND,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.backends.numba_backend import numba_available
+from repro.serve.plan import PlanConfig
+
+
+def test_registry_names():
+    assert BACKEND_NAMES == ("numpy-counted", "numpy-fast", "numba")
+    assert DEFAULT_BACKEND == "numpy-fast"
+    for name in BACKEND_NAMES:
+        assert get_backend(name).name == name
+
+
+def test_backends_are_singletons():
+    for name in BACKEND_NAMES:
+        assert get_backend(name) is get_backend(name)
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(KeyError, match="unknown backend"):
+        get_backend("fortran")
+    with pytest.raises(KeyError, match="unknown backend"):
+        resolve_backend("fortran")
+
+
+def test_numpy_tiers_always_available():
+    avail = available_backends()
+    assert "numpy-counted" in avail
+    assert "numpy-fast" in avail
+
+
+def test_resolve_default():
+    assert resolve_backend(None).name == DEFAULT_BACKEND
+    assert resolve_backend("numpy-counted").name == "numpy-counted"
+
+
+def test_resolve_missing_numba_falls_back():
+    if numba_available():
+        assert resolve_backend("numba").name == "numba"
+        return
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        be = resolve_backend("numba")
+    assert be.name == DEFAULT_BACKEND
+    # The degradation warning is one-time per process, so it may have
+    # fired in an earlier test already; when it fires here it must name
+    # both tiers.
+    texts = [str(w.message) for w in caught
+             if issubclass(w.category, RuntimeWarning)]
+    for text in texts:
+        assert "numba" in text and DEFAULT_BACKEND in text
+
+
+def test_config_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        PlanConfig(backend="fortran")
+
+
+def test_backend_in_fingerprint():
+    from repro.grids import StructuredGrid
+    from repro.serve.plan import structural_fingerprint
+
+    grid = StructuredGrid((6, 6, 6))
+    fps = {structural_fingerprint(grid, "27pt", PlanConfig(backend=b))
+           for b in BACKEND_NAMES}
+    assert len(fps) == len(BACKEND_NAMES)

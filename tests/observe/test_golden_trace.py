@@ -55,11 +55,12 @@ def _rhs(plan):
     return np.random.default_rng(SEED).standard_normal(plan.n)
 
 
-def _run_plan_case(strategy, bsize):
+def _run_plan_case(strategy, bsize, backend="numpy-fast"):
     """Compile + run all four ops under a fresh tracer."""
     with trace.tracing() as tr:
         plan = compile_plan(GRID, STENCIL,
-                            PlanConfig(bsize=bsize, strategy=strategy))
+                            PlanConfig(bsize=bsize, strategy=strategy,
+                                       backend=backend))
         b = _rhs(plan)
         results = {op: plan.execute(op, b) for op in OPS}
     return tr, plan, results
@@ -113,6 +114,29 @@ def golden(request):
 def test_plan_trace_matches_golden(strategy, bsize, golden):
     tr, _plan, _ = _run_plan_case(strategy, bsize)
     golden(f"plan-{strategy}-b{bsize}", canonical_trace(tr.to_dict()))
+
+
+def test_counted_backend_trace_matches_golden(golden):
+    """Per-backend golden: the counted tier's span topology differs
+    from numpy-fast only in the ``backend`` attrs and the fingerprint
+    (the requested backend is part of the structural fingerprint)."""
+    tr, plan, _ = _run_plan_case("dbsr", 4, backend="numpy-counted")
+    assert plan._backend().name == "numpy-counted"
+    golden("plan-dbsr-b4-counted", canonical_trace(tr.to_dict()))
+
+
+def test_counted_and_fast_goldens_differ_only_in_backend_and_fp():
+    fast = json.loads((GOLDEN_DIR / "plan-dbsr-b4.json").read_text())
+    counted = json.loads(
+        (GOLDEN_DIR / "plan-dbsr-b4-counted.json").read_text())
+    blob_f = json.dumps(fast, sort_keys=True)
+    blob_c = json.dumps(counted, sort_keys=True)
+    fp_f = fast["spans"][0]["attrs"]["fingerprint"]
+    fp_c = counted["spans"][0]["attrs"]["fingerprint"]
+    assert fp_f != fp_c
+    normalized = blob_c.replace(fp_c, fp_f).replace(
+        '"numpy-counted"', '"numpy-fast"')
+    assert normalized == blob_f
 
 
 def test_fallback_sell_descent_matches_golden(golden):
@@ -203,6 +227,38 @@ def test_traced_run_bitwise_equals_untraced():
     assert tr.n_spans == len(OPS)
     for op in OPS:
         assert np.array_equal(untraced[op], traced[op]), op
+
+
+@pytest.mark.parametrize("strategy,bsize", PLAN_CASES, ids=PLAN_IDS)
+def test_backend_tiers_bit_identical_on_golden_cases(strategy, bsize):
+    """Acceptance criterion: every backend is bit-identical to the
+    counted twin on every golden-trace case, pinned the same way
+    traced ≡ untraced is."""
+    from repro.backends.numba_backend import NumbaBackend
+
+    _, counted_plan, counted = _run_plan_case(strategy, bsize,
+                                              backend="numpy-counted")
+    _, fast_plan, fast = _run_plan_case(strategy, bsize,
+                                        backend="numpy-fast")
+    nb = NumbaBackend(jit=False)
+    b = _rhs(counted_plan)
+    for op in OPS:
+        assert np.array_equal(fast[op], counted[op]), op
+        Bp = fast_plan.extend(b.reshape(-1, 1))
+        got = fast_plan.restrict(nb.run(fast_plan, op, Bp))[:, 0]
+        assert np.array_equal(got, counted[op]), op
+
+
+@pytest.mark.parametrize("strategy,bsize", PLAN_CASES, ids=PLAN_IDS)
+def test_jit_bit_identical_to_counted_on_golden_cases(strategy, bsize):
+    """jit ≡ counted on the golden cases (requires numba)."""
+    pytest.importorskip("numba")
+    _, _, counted = _run_plan_case(strategy, bsize,
+                                   backend="numpy-counted")
+    _, jit_plan, jit = _run_plan_case(strategy, bsize, backend="numba")
+    assert jit_plan._backend().name == "numba"
+    for op in OPS:
+        assert np.array_equal(jit[op], counted[op]), op
 
 
 # 4. Zero added ops on the clean path (acceptance criterion) ---------------

@@ -325,3 +325,66 @@ def test_stats_schema():
 def test_chain_errors_are_resilience_errors():
     assert issubclass(FallbackExhausted, ResilienceError)
     assert issubclass(CircuitOpen, ResilienceError)
+
+
+# Non-recoverable failures -------------------------------------------------
+#
+# The two ladder-boundary ``except Exception`` handlers used to swallow
+# *everything*, so resource exhaustion and violated internal invariants
+# were silently "recovered" by descending rungs. They must re-raise the
+# typed NON_RECOVERABLE_ERRORS set instead.
+
+@pytest.mark.parametrize("exc_type", [MemoryError, AssertionError])
+def test_rung_boundary_reraises_non_recoverable(exc_type):
+    cache, plan, b = _setup()
+    chain = _chain(cache)
+
+    def boom(plan, rung, op, B):
+        raise exc_type("cache invariant violated")
+
+    chain._run_rung = boom
+    with pytest.raises(exc_type):
+        chain.execute(plan, "lower", b)
+    # Nothing was mis-counted as a recovered solve.
+    assert chain.stats()["solves"] == 0
+
+
+def test_rung_boundary_still_degrades_on_ordinary_errors():
+    cache, plan, b = _setup()
+    chain = _chain(cache)
+    ref = chain.execute_reference(plan, "lower", b)
+    real_run = chain._run_rung
+
+    def flaky(plan, rung, op, B):
+        if rung == "dbsr":
+            raise RuntimeError("ordinary kernel crash")
+        return real_run(plan, rung, op, B)
+
+    chain._run_rung = flaky
+    res = chain.execute(plan, "lower", b)
+    assert res.rung == "sell"
+    assert np.allclose(res.solution, ref)
+
+
+@pytest.mark.parametrize("exc_type", [MemoryError, AssertionError])
+def test_heal_reraises_non_recoverable_compile_failure(exc_type):
+    cache, plan, b = _setup()
+    chain = _chain(cache)
+
+    def poisoned_compile(*a, **kw):
+        raise exc_type("compile blew the heap")
+
+    cache.get_or_compile = poisoned_compile
+    with pytest.raises(exc_type):
+        chain._heal(plan)
+
+
+def test_heal_returns_none_on_ordinary_compile_failure():
+    cache, plan, b = _setup()
+    chain = _chain(cache)
+
+    def broken_compile(*a, **kw):
+        raise RuntimeError("compile itself is poisoned")
+
+    cache.get_or_compile = broken_compile
+    assert chain._heal(plan) is None

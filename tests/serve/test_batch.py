@@ -15,6 +15,7 @@ from repro.kernels.sptrsv_dbsr import (
 from repro.kernels.symgs import symgs_dbsr
 from repro.serve.batch import (
     spmv_dbsr_multi,
+    spmv_dbsr_multi_counted,
     sptrsv_dbsr_lower_multi,
     sptrsv_dbsr_lower_multi_counted,
     sptrsv_dbsr_upper_multi,
@@ -70,12 +71,18 @@ def test_lower_multi_unit_diag(factors, rhs_block):
 
 
 @pytest.mark.parametrize("k", [1, 4])
-def test_spmv_multi_bitwise_equals_matvec(factors, rhs_block, k):
+def test_spmv_multi_bitwise_equals_counted_twin(factors, rhs_block, k):
+    """The fast SpMV pins the canonical sequential-chain rounding
+    (bitwise vs the counted twin); ``matvec``'s pairwise ``reduceat``
+    summation only agrees to roundoff."""
     dbsr = factors[0]
     X = rhs_block[:, :k]
     Y = spmv_dbsr_multi(dbsr, X)
+    engine = VectorEngine(dbsr.bsize, dtype=dbsr.values.dtype)
+    assert np.array_equal(Y, spmv_dbsr_multi_counted(dbsr, X, engine))
     for j in range(k):
-        assert np.array_equal(Y[:, j], dbsr.matvec(X[:, j]))
+        assert np.allclose(Y[:, j], dbsr.matvec(X[:, j]),
+                           rtol=1e-12, atol=1e-12)
 
 
 def test_symgs_multi_bitwise_equals_unbatched(reordered_3d, rhs_block):

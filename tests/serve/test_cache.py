@@ -101,9 +101,10 @@ def test_autotune_pick_persisted_across_instances(tmp_path):
     plan1, _ = cache1.get_or_compile(_grid(), "27pt", auto)
     assert plan1.autotuned
     blob = json.loads(open(path).read())
-    assert blob["schema"] == "dbsr-repro/autotune-picks/v1"
+    assert blob["schema"] == "dbsr-repro/autotune-picks/v2"
     fp = structural_fingerprint(_grid(), "27pt", auto)
     assert blob["autotune_picks"][fp]["bsize"] == plan1.bsize
+    assert blob["autotune_picks"][fp]["backend"] == auto.backend
 
     # A cold cache in a "new process" reuses the pick: same bsize,
     # no autotune sweep on the recompile.
@@ -149,3 +150,40 @@ def test_stats_schema():
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         PlanCache(capacity=0)
+
+
+def test_legacy_v1_pick_file_ignored_with_warning(tmp_path):
+    """Schema drift regression: a v1 pick file (pre-backend keying)
+    must be discarded with a warning, not silently half-read."""
+    path = tmp_path / "picks.json"
+    path.write_text(json.dumps({
+        "schema": "dbsr-repro/autotune-picks/v1",
+        "autotune_picks": {"deadbeef": {"bsize": 64}},
+    }))
+    with pytest.warns(RuntimeWarning, match="autotune-picks/v2"):
+        cache = PlanCache(persist_path=str(path))
+    assert cache.stats()["persisted_picks"] == 0
+
+
+def test_schemaless_json_with_picks_key_ignored(tmp_path):
+    path = tmp_path / "picks.json"
+    path.write_text(json.dumps({
+        "autotune_picks": {"deadbeef": {"bsize": 64}},
+    }))
+    with pytest.warns(RuntimeWarning, match="schema None"):
+        cache = PlanCache(persist_path=str(path))
+    assert cache.persisted_bsize("deadbeef") is None
+
+
+def test_current_schema_file_loads_silently(tmp_path):
+    import warnings as _warnings
+
+    path = tmp_path / "picks.json"
+    path.write_text(json.dumps({
+        "schema": "dbsr-repro/autotune-picks/v2",
+        "autotune_picks": {"cafe": {"bsize": 8, "backend": "numpy-fast"}},
+    }))
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        cache = PlanCache(persist_path=str(path))
+    assert cache.persisted_bsize("cafe") == 8

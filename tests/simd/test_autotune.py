@@ -1,10 +1,16 @@
 """Tests for automatic bsize selection."""
 
+import numpy as np
 import pytest
 
 from repro.grids.grid import StructuredGrid
 from repro.grids.stencils import box27_3d, star5_2d
-from repro.simd.autotune import autotune_bsize, candidate_bsizes
+from repro.ordering.blocks import auto_block_dims
+from repro.simd.autotune import (
+    autotune_bsize,
+    candidate_bsizes,
+    min_blocks_per_color,
+)
 from repro.simd.machine import INTEL_XEON, KUNPENG_920
 
 
@@ -113,3 +119,27 @@ def test_result_is_valid_vbmc_config():
     A = assemble_csr(g, st)
     dbsr = DBSRMatrix.from_csr(vb.apply_matrix(A), b)
     assert dbsr.n_tiles > 0
+
+
+def test_non_monotone_feasibility_takes_largest_feasible():
+    """Regression: feasibility is not monotone in ``b``. On KunPeng
+    920 over a 9x9x9 box27 grid with one worker the candidate
+    feasibility sequence is [F, T, F, F, F, F] (b = 2 is infeasible
+    because its finer partition's smallest color class has only one
+    block). The pick must be 4 — a greedy scan-until-first-failure
+    returns 1.
+    """
+    machine = KUNPENG_920
+    grid = StructuredGrid((9, 9, 9))
+    stencil = box27_3d()
+    assert candidate_bsizes(machine, 8)[:2] == [2, 4]
+
+    def feasible(b):
+        block_dims = auto_block_dims(grid, 1, bsize=b, n_colors=8)
+        if np.prod(block_dims) < 8 and grid.n_points >= 64:
+            return False
+        return min_blocks_per_color(grid, stencil, block_dims) >= b
+
+    flags = [feasible(b) for b in candidate_bsizes(machine, 8)]
+    assert flags[0] is False and flags[1] is True  # non-monotone front
+    assert autotune_bsize(grid, stencil, machine, n_workers=1) == 4

@@ -91,3 +91,23 @@ def test_scalar_and_slice_indexing_allowed():
                 z = x[i * 4]
         """)
     assert lint_source(src) == []
+
+
+def test_backend_kernels_are_clean():
+    """The backend tiers (including the numba loop bodies, which take
+    no engine parameter) must also be gather-free — checked in strict
+    every-function mode."""
+    from repro.utils.kernel_lint import BACKENDS_DIR
+
+    violations = lint_kernels(BACKENDS_DIR, require_engine=False)
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_require_engine_false_flags_engineless_kernels():
+    src = textwrap.dedent("""
+        def body(colidx, vals, x):
+            cols = colidx[0:4]
+            return x[cols]
+        """)
+    assert lint_source(src) == []
+    assert len(lint_source(src, require_engine=False)) == 1
