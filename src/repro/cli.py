@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
     python -m repro.cli shard-bench --nx 9 --ranks 27
+    python -m repro.cli gateway-bench --nx 6 --requests 18
     python -m repro.cli chaos-bench --nx 8 --quick
     python -m repro.cli trace --nx 8 --strategy dbsr
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
@@ -256,6 +257,46 @@ def _cmd_shard_bench(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_gateway_bench(args) -> int:
+    from repro.gateway.bench import collect_bench_gateway
+    from repro.runtime.metrics import write_bench_json
+
+    report = collect_bench_gateway(
+        nx=args.nx, stencil=args.stencil, n_requests=args.requests,
+        k_stream=args.k_stream, n_workers=args.workers,
+        machine=args.machine)
+    path = write_bench_json(report, args.out)
+    cfg = report["config"]
+    print(f"gateway {cfg['nx']}^3 {cfg['stencil']}: "
+          f"{report['service']['accepted_requests']} accepted / "
+          f"{report['service']['rejected_requests']} rejected, "
+          f"{report['service']['completed_columns']} columns solved")
+    adm = report["admission"]
+    print(f"infeasible deadline rejected pre-compile: "
+          f"{'yes' if adm['rejected'] else 'NO'} "
+          f"(compile delta {adm['compile_delta']})")
+    stream = report["streaming"]
+    print(f"streaming: first yield at "
+          f"{stream['first_yield_columns_done']}/{stream['k']} "
+          f"columns done (chunk={stream['stream_chunk']}), partial "
+          f"before complete: "
+          f"{'yes' if stream['partial_before_complete'] else 'NO'}")
+    scaling = report["scaling"]
+    print(f"elastic pool: {scaling['min_shards']} -> "
+          f"{scaling['peak_shards']} -> {scaling['final_shards']} "
+          f"shards over {len(scaling['events'])} scale events")
+    for name, row in report["fairness"].items():
+        print(f"tenant {name}: weight {row['weight']:g}, "
+              f"pass {row['pass']:.2f}")
+    for case in report["identity"]["cases"]:
+        if not case["bitwise"]:
+            print(f"identity MISMATCH: {case}")
+    print(f"all gatewayed solves bitwise-identical: "
+          f"{'yes' if report['identity']['all_bitwise'] else 'NO'}")
+    print(f"[written to {path}]")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos_bench(args) -> int:
     from repro.resilience.chaos import collect_bench_chaos
     from repro.runtime.metrics import write_bench_json
@@ -498,6 +539,22 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("intel", "kp920", "thunderx2", "phytium"))
     p.add_argument("--out", default="BENCH_shard.json")
     p.set_defaults(func=_cmd_shard_bench)
+
+    p = sub.add_parser("gateway-bench",
+                       help="run the async front-door benchmark "
+                            "(admission control + streaming + "
+                            "elastic shards) and emit "
+                            "BENCH_gateway.json")
+    p.add_argument("--nx", type=int, default=6)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--requests", type=int, default=18)
+    p.add_argument("--k-stream", type=int, default=6,
+                   help="RHS columns in the streaming request")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--machine", default="kp920",
+                   choices=("intel", "kp920", "thunderx2", "phytium"))
+    p.add_argument("--out", default="BENCH_gateway.json")
+    p.set_defaults(func=_cmd_gateway_bench)
 
     p = sub.add_parser("chaos-bench",
                        help="run the fault-injection benchmark "

@@ -1,0 +1,67 @@
+"""Typed failure taxonomy of the async front door.
+
+Everything the gateway can refuse gets its own type so tenants can
+branch on semantics: quota refusals and deadline refusals are both
+:class:`AdmissionRejected` (callers that only care about "was my
+request ever accepted?" catch the base class), while
+:class:`GatewayClosed` marks requests that were *accepted* but
+cancelled by shutdown.
+
+Like :mod:`repro.resilience.errors`, this module is a dependency leaf
+(stdlib only) so the scheduler, pool and gateway can all import it
+without cycles.
+"""
+
+from __future__ import annotations
+
+
+class GatewayError(RuntimeError):
+    """Base class of every gateway-level failure."""
+
+
+class AdmissionRejected(GatewayError):
+    """The gateway refused a request *before* doing any work on it.
+
+    Raised synchronously by ``SolveGateway.submit`` — no compile, no
+    queue slot, no ticket. ``reason`` is machine-readable
+    (``"deadline"`` or ``"quota"``); ``estimate`` carries the service
+    time breakdown that justified a deadline rejection (``None`` for
+    quota refusals).
+    """
+
+    def __init__(self, message: str, tenant: str = "",
+                 reason: str = "deadline",
+                 estimate: dict | None = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.estimate = dict(estimate) if estimate else None
+
+
+class QuotaExceeded(AdmissionRejected):
+    """A per-tenant quota (queued or in-flight) is at its limit.
+
+    A quota refusal is transient — the tenant retries after draining —
+    so it is distinct from a deadline refusal, which no retry under the
+    same deadline can fix.
+    """
+
+    def __init__(self, tenant: str, quota: str, limit: int):
+        super().__init__(
+            f"tenant {tenant!r} exceeded its {quota} quota "
+            f"(limit {limit})", tenant=tenant, reason="quota")
+        self.quota = quota
+        self.limit = int(limit)
+
+
+class GatewayClosed(GatewayError):
+    """The gateway shut down with this request still queued.
+
+    Accepted-but-unexecuted tickets resolve to this error on
+    ``close()`` so awaiting callers raise instead of hanging (the async
+    analogue of :class:`repro.resilience.errors.ServiceClosed`).
+    """
+
+    def __init__(self, detail: str = ""):
+        super().__init__("gateway closed" + (f": {detail}" if detail
+                                             else ""))

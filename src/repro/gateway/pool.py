@@ -1,0 +1,304 @@
+"""Elastic worker-shard pool with hysteresis and warm draining.
+
+A :class:`GatewayShard` owns one synchronous
+:class:`~repro.serve.service.SolveService` (or any submit/drain
+compatible frontend, e.g. a
+:class:`~repro.shard.service.ShardedSolveService`): because every
+shard owns its own :class:`~repro.serve.cache.PlanCache` and — when
+configured — its own fallback chain, shards are fully independent and
+elasticity reduces to lifecycle + work placement.
+
+:class:`ElasticShardPool` scales the shard count against observed
+queue depth with **hysteresis**: a scale decision needs the pressure
+signal to persist for ``up_patience``/``down_patience`` consecutive
+observations *and* a cooldown to have elapsed since the last scale
+event, so an oscillating queue cannot thrash the pool. Scaling down
+**warm-drains**: the victim shard is only reaped once idle — a busy
+shard is marked draining, keeps its in-flight work, and is closed when
+released, so no accepted request is ever lost to elasticity.
+
+Hysteresis is counted in *observations* (one per submit/completion/
+``poll()``), not wall seconds, which keeps the controller deterministic
+and testable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections import deque
+
+from repro.observe import trace
+from repro.utils.validation import check_positive
+
+
+class GatewayShard:
+    """One worker: a private sync service executed off-loop.
+
+    ``execute`` runs in a worker thread (``asyncio.to_thread``); the
+    shard is handed to exactly one chunk at a time by the pool, so the
+    underlying service never sees concurrent drains from the gateway.
+    """
+
+    def __init__(self, index: int, service):
+        self.index = index
+        self.service = service
+        self.draining = False
+        self.chunks_executed = 0
+
+    def execute(self, grid, stencil, op: str, config,
+                columns: list) -> list:
+        """Solve ``columns`` (same structure + op) as one coalesced
+        batch; returns one result *or exception* per column."""
+        tickets = [self.service.submit(grid, stencil, rhs, op=op,
+                                       config=config)
+                   for rhs in columns]
+        self.service.drain()
+        out = []
+        for t in tickets:
+            try:
+                out.append(t.result(timeout=0))
+            except BaseException as exc:  # noqa: BLE001 - per-column
+                out.append(exc)
+        self.chunks_executed += 1
+        return out
+
+    def compile_stats(self) -> tuple:
+        """(compiles, compile_seconds) of this shard's cache, if any."""
+        cache = getattr(self.service, "cache", None)
+        if cache is None:
+            return (0, 0.0)
+        return (cache.compiles, cache.compile_seconds)
+
+    def has_plan(self, fingerprint: str) -> bool:
+        cache = getattr(self.service, "cache", None)
+        return (cache is not None
+                and cache.peek(fingerprint) is not None)
+
+    def close(self) -> None:
+        self.service.close()
+
+    def stats(self) -> dict:
+        return {
+            "index": self.index,
+            "draining": self.draining,
+            "chunks_executed": self.chunks_executed,
+            "service": self.service.stats(),
+        }
+
+
+class ElasticShardPool:
+    """Queue-depth-driven shard pool (asyncio-native).
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable building one shard's service.
+    min_shards, max_shards:
+        Pool size bounds; the pool starts at ``min_shards``.
+    high_water:
+        Scale **up** when queued chunks per active shard reach this.
+    low_water:
+        Scale **down** when total queued chunks are at or below this
+        (and a shard is idle or can be drained).
+    up_patience, down_patience:
+        Consecutive observations the pressure must persist before a
+        scale event fires (the hysteresis band).
+    cooldown:
+        Observations to ignore after any scale event (anti-thrash).
+    metrics:
+        Optional :class:`~repro.observe.metrics.MetricsRegistry` to
+        grow ``gateway.scale_up`` / ``gateway.scale_down`` counters
+        and a ``gateway.shards`` gauge on.
+    """
+
+    def __init__(self, factory, min_shards: int = 1,
+                 max_shards: int = 4, high_water: float = 4.0,
+                 low_water: float = 1.0, up_patience: int = 2,
+                 down_patience: int = 3, cooldown: int = 2,
+                 metrics=None):
+        self.factory = factory
+        self.min_shards = check_positive(min_shards, "min_shards")
+        self.max_shards = check_positive(max_shards, "max_shards")
+        if self.max_shards < self.min_shards:
+            raise ValueError(
+                f"max_shards {max_shards} < min_shards {min_shards}")
+        self.high_water = float(high_water)
+        self.low_water = float(low_water)
+        self.up_patience = check_positive(up_patience, "up_patience")
+        self.down_patience = check_positive(down_patience,
+                                            "down_patience")
+        self.cooldown = int(cooldown)
+        self._ids = itertools.count()
+        self._shards: list[GatewayShard] = []
+        self._free: deque = deque()
+        self._cond = asyncio.Condition()
+        self._up_streak = 0
+        self._down_streak = 0
+        self._cooldown_left = 0
+        self.scale_events: list[dict] = []
+        self._metrics = metrics
+        if metrics is not None:
+            self._scale_up = metrics.counter(
+                "gateway.scale_up", "shards added by the controller")
+            self._scale_down = metrics.counter(
+                "gateway.scale_down",
+                "shards warm-drained and reaped by the controller")
+            self._shards_gauge = metrics.gauge(
+                "gateway.shards", "active worker shards")
+        else:
+            self._scale_up = self._scale_down = None
+            self._shards_gauge = None
+        for _ in range(self.min_shards):
+            self._spawn()
+
+    # Lifecycle ----------------------------------------------------------
+    def _spawn(self) -> GatewayShard:
+        shard = GatewayShard(next(self._ids), self.factory())
+        self._shards.append(shard)
+        self._free.append(shard)
+        if self._shards_gauge is not None:
+            self._shards_gauge.set(len(self._shards))
+        return shard
+
+    def _reap(self, shard: GatewayShard, depth: int,
+              deferred: bool) -> None:
+        """Close an idle shard (warm drain already satisfied)."""
+        self._shards.remove(shard)
+        shard.close()
+        if self._shards_gauge is not None:
+            self._shards_gauge.set(len(self._shards))
+        if self._scale_down is not None:
+            self._scale_down.inc()
+        event = {"action": "scale_down", "shard": shard.index,
+                 "n_shards": len(self._shards), "queue_depth": depth,
+                 "warm_drained": deferred}
+        self.scale_events.append(event)
+        trace.event("gateway.scale_down", **event)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def n_draining(self) -> int:
+        return sum(1 for s in self._shards if s.draining)
+
+    def has_plan(self, fingerprint: str) -> bool:
+        """True when any shard's cache already holds this structure."""
+        return any(s.has_plan(fingerprint) for s in self._shards)
+
+    def compile_totals(self) -> tuple:
+        """Pool-wide ``(compiles, compile_seconds)`` across live shards."""
+        stats = [s.compile_stats() for s in self._shards]
+        return (sum(c for c, _ in stats), sum(s for _, s in stats))
+
+    # Placement ----------------------------------------------------------
+    async def acquire(self) -> GatewayShard:
+        """Wait for — and take — an idle shard."""
+        async with self._cond:
+            while not self._free:
+                await self._cond.wait()
+            return self._free.popleft()
+
+    async def release(self, shard: GatewayShard) -> None:
+        """Return a shard; a draining shard is reaped instead."""
+        async with self._cond:
+            if shard.draining:
+                self._reap(shard, depth=0, deferred=True)
+            else:
+                self._free.append(shard)
+            self._cond.notify_all()
+
+    # Scaling controller -------------------------------------------------
+    def observe(self, queue_depth: int) -> str | None:
+        """Feed one queue-depth sample; maybe scale. Returns the
+        action taken (``"scale_up"``/``"scale_down"``) or ``None``.
+
+        Must be called from the event loop (it touches the free list);
+        the gateway calls it on every submit, every chunk completion,
+        and every explicit ``poll()``.
+        """
+        depth = int(queue_depth)
+        active = max(1, len(self._shards) - self.n_draining)
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return None
+        if depth / active >= self.high_water:
+            self._up_streak += 1
+            self._down_streak = 0
+        elif depth <= self.low_water:
+            self._down_streak += 1
+            self._up_streak = 0
+        else:
+            self._up_streak = 0
+            self._down_streak = 0
+        if (self._up_streak >= self.up_patience
+                and len(self._shards) < self.max_shards):
+            self._up_streak = 0
+            self._cooldown_left = self.cooldown
+            shard = self._spawn()
+            if self._scale_up is not None:
+                self._scale_up.inc()
+            event = {"action": "scale_up", "shard": shard.index,
+                     "n_shards": len(self._shards),
+                     "queue_depth": depth}
+            self.scale_events.append(event)
+            trace.event("gateway.scale_up", **event)
+            self._notify_soon()
+            return "scale_up"
+        if (self._down_streak >= self.down_patience
+                and len(self._shards) - self.n_draining
+                > self.min_shards):
+            self._down_streak = 0
+            self._cooldown_left = self.cooldown
+            # Prefer the youngest idle shard: older shards carry the
+            # warmest plan caches.
+            idle = next((s for s in reversed(self._free)
+                         if not s.draining), None)
+            if idle is not None:
+                self._free.remove(idle)
+                self._reap(idle, depth=depth, deferred=False)
+            else:
+                # Every shard is busy: warm-drain — mark one, reap on
+                # release, lose nothing.
+                victim = next(s for s in self._shards
+                              if not s.draining)
+                victim.draining = True
+            return "scale_down"
+        return None
+
+    def _notify_soon(self) -> None:
+        """Wake acquire() waiters after a spawn (loop context only)."""
+        async def _notify():
+            async with self._cond:
+                self._cond.notify_all()
+        try:
+            asyncio.get_running_loop().create_task(_notify())
+        except RuntimeError:  # no loop: nobody can be waiting
+            pass
+
+    # Shutdown -----------------------------------------------------------
+    def close(self) -> None:
+        """Close every shard (callers must have drained in-flight)."""
+        for shard in self._shards:
+            shard.close()
+        self._shards.clear()
+        self._free.clear()
+        if self._shards_gauge is not None:
+            self._shards_gauge.set(0)
+
+    def stats(self) -> dict:
+        return {
+            "n_shards": len(self._shards),
+            "n_free": len(self._free),
+            "n_draining": self.n_draining,
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "scale_events": list(self.scale_events),
+            "shards": [s.stats() for s in self._shards],
+        }

@@ -1,0 +1,228 @@
+"""Per-tenant queues with quotas and weighted fair dequeue.
+
+:class:`FairScheduler` is the gateway's queueing discipline: one FIFO
+per tenant, per-tenant quotas (bounded queue depth, bounded in-flight
+work), and **stride scheduling** across tenants — every tenant ``t``
+carries a *pass* value advanced by ``1/weight_t`` each time it is
+served, and ``pop`` always serves the eligible tenant with the lowest
+pass. Consequences (pinned by the Hypothesis suite in
+``tests/gateway/``):
+
+* **No starvation** — a nonempty tenant's pass stands still while
+  everyone served moves up, so it becomes the minimum after a bounded
+  number of pops regardless of arrival order.
+* **Weighted shares** — over a busy interval, tenant service counts
+  are proportional to their weights.
+* **No history abuse** — a tenant whose queue emptied re-enters at the
+  current minimum pass (its pass is clamped up on refill), so idling
+  banks no credit for a later burst.
+
+The scheduler is a plain synchronous data structure (the gateway calls
+it from the event loop only); a lock still guards it so stats can be
+read from other threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.gateway.errors import QuotaExceeded
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission limits and fair-share weight of one tenant.
+
+    Attributes
+    ----------
+    max_queued:
+        Most work items (request chunks) the tenant may have queued;
+        ``push`` past this raises :class:`QuotaExceeded`.
+    max_in_flight:
+        Most chunks the tenant may have executing concurrently; a
+        tenant at this limit is skipped by ``pop`` until one finishes.
+    weight:
+        Fair-share weight; a weight-2 tenant is served twice as often
+        as a weight-1 tenant while both stay backlogged.
+    """
+
+    max_queued: int = 64
+    max_in_flight: int = 4
+    weight: float = 1.0
+
+    def __post_init__(self):
+        check_positive(self.max_queued, "max_queued")
+        check_positive(self.max_in_flight, "max_in_flight")
+        if not self.weight > 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+
+
+class _Tenant:
+    """Internal per-tenant state (queue, pass value, in-flight)."""
+
+    __slots__ = ("name", "quota", "queue", "passval", "in_flight")
+
+    def __init__(self, name: str, quota: TenantQuota,
+                 passval: float):
+        self.name = name
+        self.quota = quota
+        self.queue: deque = deque()
+        self.passval = passval
+        self.in_flight = 0
+
+    @property
+    def stride(self) -> float:
+        return 1.0 / self.quota.weight
+
+    @property
+    def eligible(self) -> bool:
+        return (len(self.queue) > 0
+                and self.in_flight < self.quota.max_in_flight)
+
+
+class FairScheduler:
+    """Stride-scheduled multi-tenant work queue with quotas."""
+
+    def __init__(self, default_quota: TenantQuota | None = None):
+        self.default_quota = default_quota or TenantQuota()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _Tenant] = {}
+        self._seq = itertools.count()  # FIFO tiebreak for equal passes
+
+    # Tenant management --------------------------------------------------
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        """Set (or change) one tenant's quota; creates the tenant."""
+        with self._lock:
+            t = self._ensure(tenant)
+            t.quota = quota
+
+    def _ensure(self, name: str) -> _Tenant:
+        t = self._tenants.get(name)
+        if t is None:
+            t = _Tenant(name, self.default_quota, self._min_pass())
+            self._tenants[name] = t
+        return t
+
+    def _min_pass(self) -> float:
+        """Lowest pass among backlogged tenants (0 when none)."""
+        passes = [t.passval for t in self._tenants.values()
+                  if t.queue]
+        return min(passes) if passes else 0.0
+
+    # Queue operations ---------------------------------------------------
+    def push(self, tenant: str, item) -> int:
+        """Enqueue one work item; returns the tenant's queue depth.
+
+        Raises :class:`QuotaExceeded` at ``max_queued`` — the caller
+        decides whether that surfaces as backpressure or rejection.
+        """
+        with self._lock:
+            t = self._ensure(tenant)
+            if len(t.queue) >= t.quota.max_queued:
+                raise QuotaExceeded(tenant, "queued",
+                                    t.quota.max_queued)
+            if not t.queue:
+                # Re-entering the run queue: clamp the pass up to the
+                # current minimum so idle time banks no credit.
+                t.passval = max(t.passval, self._min_pass())
+            t.queue.append((next(self._seq), item))
+            return len(t.queue)
+
+    def push_many(self, tenant: str, items: list) -> int:
+        """Atomically enqueue several items (one request's chunks).
+
+        All-or-nothing: if the batch would cross ``max_queued`` the
+        whole push raises :class:`QuotaExceeded` and the queue is
+        untouched — a request is never half-admitted.
+        """
+        with self._lock:
+            t = self._ensure(tenant)
+            if len(t.queue) + len(items) > t.quota.max_queued:
+                raise QuotaExceeded(tenant, "queued",
+                                    t.quota.max_queued)
+            if not t.queue:
+                t.passval = max(t.passval, self._min_pass())
+            for item in items:
+                t.queue.append((next(self._seq), item))
+            return len(t.queue)
+
+    def pop(self):
+        """Serve the eligible tenant with the lowest pass.
+
+        Returns ``(tenant_name, item)``, or ``None`` when no tenant is
+        eligible (all empty, or all backlogged tenants at their
+        in-flight cap). Advances the served tenant's pass by its
+        stride and counts the item as in-flight until
+        :meth:`finish` is called for that tenant.
+        """
+        with self._lock:
+            best = None
+            for t in self._tenants.values():
+                if not t.eligible:
+                    continue
+                key = (t.passval, t.queue[0][0])
+                if best is None or key < best[0]:
+                    best = (key, t)
+            if best is None:
+                return None
+            t = best[1]
+            _, item = t.queue.popleft()
+            t.passval += t.stride
+            t.in_flight += 1
+            return (t.name, item)
+
+    def finish(self, tenant: str) -> None:
+        """Release one in-flight slot for ``tenant``."""
+        with self._lock:
+            t = self._tenants.get(tenant)
+            if t is None or t.in_flight <= 0:
+                raise ValueError(
+                    f"finish({tenant!r}) without a matching pop")
+            t.in_flight -= 1
+
+    def drain_all(self) -> list:
+        """Remove and return every queued item (``close()`` path)."""
+        with self._lock:
+            out = []
+            for t in self._tenants.values():
+                out.extend((t.name, item) for _, item in t.queue)
+                t.queue.clear()
+            return out
+
+    # Introspection ------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return sum(len(t.queue) for t in self._tenants.values())
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return sum(t.in_flight for t in self._tenants.values())
+
+    def queued(self, tenant: str) -> int:
+        with self._lock:
+            t = self._tenants.get(tenant)
+            return 0 if t is None else len(t.queue)
+
+    def tenants(self) -> list:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                name: {
+                    "queued": len(t.queue),
+                    "in_flight": t.in_flight,
+                    "pass": t.passval,
+                    "weight": t.quota.weight,
+                    "max_queued": t.quota.max_queued,
+                    "max_in_flight": t.quota.max_in_flight,
+                }
+                for name, t in sorted(self._tenants.items())
+            }

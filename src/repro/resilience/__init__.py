@@ -22,6 +22,7 @@ from repro.resilience.errors import (
     NonFiniteError,
     PlanValidationError,
     ResilienceError,
+    ServiceClosed,
     SolverBreakdown,
 )
 from repro.resilience.fallback import (
@@ -70,6 +71,7 @@ __all__ = [
     "NonFiniteError",
     "PlanValidationError",
     "ResilienceError",
+    "ServiceClosed",
     "SolverBreakdown",
     "check_integrity",
     "inject",

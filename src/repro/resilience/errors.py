@@ -105,6 +105,23 @@ class DrainTimeout(ResilienceError):
         self.ticket_ids = list(ticket_ids)
 
 
+class ServiceClosed(ResilienceError):
+    """The service was closed with requests still pending.
+
+    Raised by ``SolveService.submit``/``drain`` on a closed service,
+    and carried by every ticket that was still queued (or staged inside
+    an in-flight ``drain``) when ``close()`` ran — those tickets are
+    *failed*, never left forever-pending. ``ticket_ids`` lists them.
+    """
+
+    def __init__(self, ticket_ids: list[int] | None = None):
+        ids = sorted(ticket_ids) if ticket_ids else []
+        detail = (f" with {len(ids)} request(s) unfinished: {ids}"
+                  if ids else "")
+        super().__init__(f"service closed{detail}")
+        self.ticket_ids = list(ids)
+
+
 class DeadlineExceeded(ResilienceError):
     """A single request's deadline expired before it was executed."""
 

@@ -42,7 +42,11 @@ from repro.observe.metrics import (
     WIDTH_EDGES,
     MetricsRegistry,
 )
-from repro.resilience.errors import DeadlineExceeded, DrainTimeout
+from repro.resilience.errors import (
+    DeadlineExceeded,
+    DrainTimeout,
+    ServiceClosed,
+)
 from repro.runtime.session import SolverSession
 from repro.serve.cache import PlanCache
 from repro.serve.plan import (
@@ -94,6 +98,10 @@ class SolveTicket:
 
     def _finish(self, result: np.ndarray | None,
                 error: BaseException | None = None) -> None:
+        if self._done.is_set():
+            # close() racing a drain may try to fail a ticket the
+            # drain just completed; first outcome wins.
+            return
         if error is not None and hasattr(error, "add_note"):
             # Name the originating request so a bare kernel error read
             # off a ticket is traceable to its op and structure.
@@ -149,6 +157,7 @@ class SolveService:
         self.resilience = resilience
         self.session = SolverSession(n_workers=self.config.n_workers)
         self._lock = threading.Lock()
+        self._closed = False
         self._pending: list[_Pending] = []
         self._ids = itertools.count()
         #: Unified instrument registry (naming scheme in
@@ -230,6 +239,8 @@ class SolveService:
                                       if deadline is not None else None),
                          deadline_seconds=deadline or 0.0)
         with self._lock:
+            if self._closed:
+                raise ServiceClosed()
             if len(self._pending) >= self.max_pending:
                 raise Backpressure(
                     f"{self.max_pending} requests pending; drain first")
@@ -264,6 +275,8 @@ class SolveService:
         deadline_at = (time.monotonic() + timeout
                        if timeout is not None else None)
         with self._lock:
+            if self._closed:
+                raise ServiceClosed()
             pending, self._pending = self._pending, []
             self._pending_gauge.set(len(self._pending))
         if not pending:
@@ -289,6 +302,15 @@ class SolveService:
         leftover: list[_Pending] = []
         group_items = list(groups.items())
         for gi, ((fp, op), entries) in enumerate(group_items):
+            if self._closed:
+                # close() raced this drain: everything not yet
+                # executed (staged batches included) fails typed.
+                leftover.extend(e for _, _, _, chunk in work
+                                for e in chunk)
+                leftover.extend(entries)
+                for _, rest in group_items[gi + 1:]:
+                    leftover.extend(rest)
+                self._fail_closed(leftover)
             if deadline_at is not None \
                     and time.monotonic() > deadline_at:
                 # Out of budget before this group even compiled.
@@ -313,6 +335,10 @@ class SolveService:
                 work.append((plan, op, hits[lo:lo + self.max_batch],
                              entries[lo:lo + self.max_batch]))
         for wi, (plan, op, hits, chunk) in enumerate(work):
+            if self._closed:
+                for _, _, _, rest in work[wi:]:
+                    leftover.extend(rest)
+                self._fail_closed(leftover)
             if deadline_at is not None \
                     and time.monotonic() > deadline_at:
                 for _, _, _, rest in work[wi:]:
@@ -325,12 +351,27 @@ class SolveService:
             sp.attrs["n_done"] = n_done
         return n_done
 
+    def _fail_closed(self, leftover: list) -> None:
+        """Fail unexecuted requests with :class:`ServiceClosed`."""
+        ids = [e.ticket.request_id for e in leftover]
+        for e in leftover:
+            e.ticket._finish(None, ServiceClosed([e.ticket.request_id]))
+            self._failed.inc()
+        trace.event("serve.closed_drop", n_requests=len(leftover))
+        raise ServiceClosed(ids)
+
     def _requeue_and_raise(self, timeout: float,
                            leftover: list) -> None:
         """Put unexecuted requests back (ahead of newer submissions)."""
         with self._lock:
-            self._pending = leftover + self._pending
-            self._pending_gauge.set(len(self._pending))
+            # Re-queueing into a closed service would leave these
+            # tickets forever-pending; fail them typed instead.
+            requeued = not self._closed
+            if requeued:
+                self._pending = leftover + self._pending
+                self._pending_gauge.set(len(self._pending))
+        if not requeued:
+            self._fail_closed(leftover)
         self._requeued.inc(len(leftover))
         trace.event("serve.requeue", n_requests=len(leftover))
         raise DrainTimeout(timeout,
@@ -470,7 +511,27 @@ class SolveService:
         }
 
     def close(self) -> None:
-        self.session.close()
+        """Shut the service down; never leaves a ticket pending.
+
+        Queued requests (and, for a ``drain()`` racing this call, its
+        staged-but-unexecuted batches) fail with a typed
+        :class:`~repro.resilience.errors.ServiceClosed` carrying their
+        request id, so a thread blocked in ``ticket.result()`` raises
+        instead of waiting forever. Idempotent.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+            pending, self._pending = self._pending, []
+            self._pending_gauge.set(0)
+        for entry in pending:
+            entry.ticket._finish(
+                None, ServiceClosed([entry.ticket.request_id]))
+            self._failed.inc()
+        if pending:
+            trace.event("serve.closed_drop", n_requests=len(pending))
+        if not already:
+            self.session.close()
 
     def __enter__(self) -> "SolveService":
         return self

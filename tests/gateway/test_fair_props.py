@@ -1,0 +1,151 @@
+"""Hypothesis properties of the weighted fair scheduler.
+
+The ISSUE-level contract of :class:`repro.gateway.queues.FairScheduler`:
+
+* a nonempty tenant is never starved — under any arrival pattern it is
+  served within a bounded number of pops;
+* quotas hold invariantly — queued never exceeds ``max_queued``,
+  concurrent in-flight never exceeds ``max_in_flight``;
+* sustained service is weight-proportional;
+* idling banks no credit (pass clamp on refill-from-empty).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.errors import QuotaExceeded
+from repro.gateway.queues import FairScheduler, TenantQuota
+
+pytestmark = pytest.mark.fast
+
+TENANTS = ("a", "b", "c", "d")
+
+quotas = st.fixed_dictionaries({
+    name: st.builds(
+        TenantQuota,
+        max_queued=st.integers(min_value=1, max_value=8),
+        max_in_flight=st.integers(min_value=1, max_value=4),
+        weight=st.sampled_from([0.5, 1.0, 2.0, 4.0]),
+    )
+    for name in TENANTS
+})
+
+# A workload script: push(tenant), pop, or finish-oldest.
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.sampled_from(TENANTS)),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("finish"), st.none()),
+    ),
+    min_size=1, max_size=200,
+)
+
+
+@given(quotas=quotas, script=actions)
+@settings(max_examples=150, deadline=None)
+def test_quotas_hold_invariantly_under_any_script(quotas, script):
+    sched = FairScheduler()
+    for name, q in quotas.items():
+        sched.set_quota(name, q)
+    served: list = []  # tenants of popped-but-unfinished items
+    for action, arg in script:
+        if action == "push":
+            try:
+                sched.push(arg, object())
+            except QuotaExceeded as exc:
+                assert exc.reason == "quota"
+                assert sched.queued(arg) == quotas[arg].max_queued
+        elif action == "pop":
+            popped = sched.pop()
+            if popped is not None:
+                served.append(popped[0])
+        elif served:
+            sched.finish(served.pop(0))
+        # The invariants, re-checked after every single step:
+        stats = sched.stats()
+        for name, row in stats.items():
+            assert row["queued"] <= quotas[name].max_queued
+            assert 0 <= row["in_flight"] <= quotas[name].max_in_flight
+    assert sched.in_flight == len(served)
+
+
+@given(
+    backlog=st.dictionaries(st.sampled_from(TENANTS),
+                            st.integers(min_value=1, max_value=6),
+                            min_size=2),
+    weights=st.lists(st.sampled_from([0.5, 1.0, 2.0, 3.0]),
+                     min_size=4, max_size=4),
+)
+@settings(max_examples=150, deadline=None)
+def test_every_backlogged_tenant_is_served_within_a_bounded_window(
+        backlog, weights):
+    """No starvation: with unbounded in-flight, a nonempty tenant is
+    popped before the full backlog of everyone else drains twice."""
+    sched = FairScheduler(TenantQuota(max_queued=64,
+                                      max_in_flight=64))
+    for name, w in zip(TENANTS, weights):
+        sched.set_quota(name, TenantQuota(max_queued=64,
+                                          max_in_flight=64,
+                                          weight=w))
+    for name, n in backlog.items():
+        for _ in range(n):
+            sched.push(name, object())
+    first_pop: dict = {}
+    for i in range(sum(backlog.values())):
+        name, _ = sched.pop()
+        first_pop.setdefault(name, i)
+    # Everyone with work got served, and no tenant had to wait for
+    # more pops than there are tenants times the max weight ratio.
+    assert set(first_pop) == set(backlog)
+    max_ratio = max(weights) / min(weights)
+    bound = len(backlog) * max_ratio
+    assert all(i <= bound for i in first_pop.values()), first_pop
+
+
+@given(
+    w_heavy=st.sampled_from([2.0, 3.0, 4.0]),
+    rounds=st.integers(min_value=40, max_value=120),
+)
+@settings(max_examples=60, deadline=None)
+def test_sustained_service_is_weight_proportional(w_heavy, rounds):
+    """A weight-w tenant is served ~w times as often as a weight-1
+    tenant while both stay backlogged (exact for stride scheduling,
+    up to integer rounding)."""
+    sched = FairScheduler(TenantQuota(max_queued=1024,
+                                      max_in_flight=1024))
+    sched.set_quota("heavy", TenantQuota(max_queued=1024,
+                                         max_in_flight=1024,
+                                         weight=w_heavy))
+    sched.set_quota("light", TenantQuota(max_queued=1024,
+                                         max_in_flight=1024,
+                                         weight=1.0))
+    for _ in range(rounds):
+        sched.push("heavy", object())
+        sched.push("light", object())
+    counts = {"heavy": 0, "light": 0}
+    # Pop while both are still backlogged so shares are meaningful.
+    while sched.queued("heavy") > 0 and sched.queued("light") > 0:
+        name, _ = sched.pop()
+        counts[name] += 1
+    assert counts["light"] >= 1
+    ratio = counts["heavy"] / counts["light"]
+    assert abs(ratio - w_heavy) <= 1.0, counts
+
+
+@given(idle_pops=st.integers(min_value=1, max_value=50))
+@settings(max_examples=50, deadline=None)
+def test_idle_tenant_banks_no_credit(idle_pops):
+    """A tenant that idles while another is served re-enters at the
+    current pass, so it cannot monopolize the queue afterwards."""
+    sched = FairScheduler(TenantQuota(max_queued=256,
+                                      max_in_flight=256))
+    for _ in range(idle_pops + 2):
+        sched.push("busy", object())
+    for _ in range(idle_pops):
+        assert sched.pop()[0] == "busy"
+    # "lazy" arrives late; service must alternate, not run lazy-only.
+    for _ in range(4):
+        sched.push("lazy", object())
+    order = [sched.pop()[0] for _ in range(4)]
+    assert order.count("lazy") <= 2, order
