@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve-bench --nx 8 --requests 24
     python -m repro.cli shard-bench --nx 9 --ranks 27
     python -m repro.cli gateway-bench --nx 6 --requests 18
+    python -m repro.cli gateway-chaos-bench --nx 5 --requests 8
     python -m repro.cli chaos-bench --nx 8 --quick
     python -m repro.cli trace --nx 8 --strategy dbsr
     python -m repro.cli solve path/to/matrix.mtx --bsize 4
@@ -297,6 +298,51 @@ def _cmd_gateway_bench(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_gateway_chaos_bench(args) -> int:
+    from repro.runtime.metrics import write_bench_json
+    from repro.supervise.bench import collect_bench_gateway_chaos
+
+    report = collect_bench_gateway_chaos(
+        nx=args.nx, stencil=args.stencil, n_requests=args.requests,
+        n_workers=args.workers, machine=args.machine,
+        seed=args.seed)
+    path = write_bench_json(report, args.out)
+    clean = report["clean"]
+    print(f"clean: bitwise={'yes' if clean['all_bitwise'] else 'NO'} "
+          f"quarantines={clean['quarantines']} "
+          f"retries={clean['retries']} sheds={clean['sheds']}")
+    crash = report["crash_storm"]
+    print(f"crash storm: {crash['faults_injected']} faults over "
+          f"{crash['n_requests']} requests, recovery "
+          f"{crash['recovery_rate'] * 100:.1f}% "
+          f"({crash['retries']} retries, {crash['hedges']} hedges)")
+    poison = report["poison_restart"]
+    print(f"poison+restart: quarantines={poison['quarantines']} "
+          f"restarts={poison['restarts']} "
+          f"failed_attempts={poison['restart_failures']}, backoff "
+          f"{poison['backoff_total_seconds'] * 1e3:.1f} ms <= bound "
+          f"{poison['backoff_budget_bound'] * 1e3:.1f} ms: "
+          f"{'yes' if poison['within_backoff_budget'] else 'NO'}")
+    hedging = report["hedging"]
+    print(f"hedging: delay "
+          f"{hedging['hedge_delay_seconds'] * 1e3:.1f} ms vs "
+          f"{hedging['hang_seconds'] * 1e3:.0f} ms hang -> "
+          f"{hedging['hedge_wins']} backup wins, bitwise="
+          f"{'yes' if hedging['bitwise'] else 'NO'}")
+    brown = report["brownout"]
+    print(f"brownout: stages "
+          + " -> ".join(t["to"] for t in brown["transitions"])
+          + f", {brown['sheds']} sheds "
+          f"(typed={'yes' if brown['shed_typed'] else 'NO'}, "
+          f"retry_after={brown['shed_retry_after']}), premium kept: "
+          f"{'yes' if brown['premium_admitted_during_shed'] is not False else 'NO'}")
+    for name, val in report["gates"].items():
+        if not val:
+            print(f"gate FAILED: {name}")
+    print(f"[written to {path}]")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_chaos_bench(args) -> int:
     from repro.resilience.chaos import collect_bench_chaos
     from repro.runtime.metrics import write_bench_json
@@ -555,6 +601,22 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("intel", "kp920", "thunderx2", "phytium"))
     p.add_argument("--out", default="BENCH_gateway.json")
     p.set_defaults(func=_cmd_gateway_bench)
+
+    p = sub.add_parser("gateway-chaos-bench",
+                       help="run the shard-supervision chaos "
+                            "benchmark (canary restarts, hedged "
+                            "retries, overload brownout) and emit "
+                            "BENCH_gateway_chaos.json")
+    p.add_argument("--nx", type=int, default=5)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--requests", type=int, default=8,
+                   help="requests in the crash-storm phase")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--machine", default="kp920",
+                   choices=("intel", "kp920", "thunderx2", "phytium"))
+    p.add_argument("--seed", type=int, default=2024)
+    p.add_argument("--out", default="BENCH_gateway_chaos.json")
+    p.set_defaults(func=_cmd_gateway_chaos_bench)
 
     p = sub.add_parser("chaos-bench",
                        help="run the fault-injection benchmark "

@@ -20,6 +20,7 @@ gatewayed solves are bit-identical to direct ones.
 
 from repro.gateway.errors import (
     AdmissionRejected,
+    BrownoutShed,
     GatewayClosed,
     GatewayError,
     QuotaExceeded,
@@ -31,6 +32,7 @@ from repro.gateway.queues import FairScheduler, TenantQuota
 
 __all__ = [
     "AdmissionRejected",
+    "BrownoutShed",
     "ElasticShardPool",
     "Ewma",
     "FairScheduler",

@@ -1,10 +1,10 @@
 """Typed failure taxonomy of the async front door.
 
 Everything the gateway can refuse gets its own type so tenants can
-branch on semantics: quota refusals and deadline refusals are both
-:class:`AdmissionRejected` (callers that only care about "was my
-request ever accepted?" catch the base class), while
-:class:`GatewayClosed` marks requests that were *accepted* but
+branch on semantics: quota refusals, deadline refusals and overload
+brownout sheds are all :class:`AdmissionRejected` (callers that only
+care about "was my request ever accepted?" catch the base class),
+while :class:`GatewayClosed` marks requests that were *accepted* but
 cancelled by shutdown.
 
 Like :mod:`repro.resilience.errors`, this module is a dependency leaf
@@ -52,6 +52,29 @@ class QuotaExceeded(AdmissionRejected):
             f"(limit {limit})", tenant=tenant, reason="quota")
         self.quota = quota
         self.limit = int(limit)
+
+
+class BrownoutShed(AdmissionRejected):
+    """Overload brownout shed this admission before any work.
+
+    Raised by ``SolveGateway.submit`` while the
+    :class:`~repro.supervise.brownout.BrownoutController` is in its
+    *shed* stage and the tenant's fair-share weight falls below the
+    shed threshold. Like every admission refusal it costs the gateway
+    nothing — no queue slot, no compile — and unlike a deadline
+    refusal it is transient: ``retry_after`` tells the tenant when the
+    backlog is expected to have drained enough to try again.
+    """
+
+    def __init__(self, tenant: str, retry_after: float,
+                 stage: str = "shed", queue_wait: float = 0.0):
+        super().__init__(
+            f"brownout ({stage}): tenant {tenant!r} shed under "
+            f"overload; retry in {retry_after:.3g}s",
+            tenant=tenant, reason="brownout")
+        self.retry_after = float(retry_after)
+        self.stage = stage
+        self.queue_wait_seconds = float(queue_wait)
 
 
 class GatewayClosed(GatewayError):

@@ -34,15 +34,16 @@ import time
 
 import numpy as np
 
-from repro.gateway.errors import (AdmissionRejected, GatewayClosed,
-                                  QuotaExceeded)
-from repro.gateway.estimator import ServiceTimeEstimator
+from repro.gateway.errors import (AdmissionRejected, BrownoutShed,
+                                  GatewayClosed, QuotaExceeded)
+from repro.gateway.estimator import Ewma, ServiceTimeEstimator
 from repro.gateway.pool import ElasticShardPool
 from repro.gateway.queues import FairScheduler, TenantQuota
 from repro.observe import trace
 from repro.observe.metrics import (LATENCY_EDGES, WIDTH_EDGES,
                                    MetricsRegistry)
-from repro.resilience.errors import DeadlineExceeded
+from repro.resilience.errors import (NON_RECOVERABLE_ERRORS,
+                                     DeadlineExceeded)
 from repro.serve.plan import (PlanConfig, _resolve_stencil,
                               structural_fingerprint)
 from repro.serve.service import SolveService
@@ -145,6 +146,18 @@ class SolveGateway:
         estimate; ``< 1.0`` keeps headroom.
     min_shards .. cooldown:
         Forwarded to :class:`~repro.gateway.pool.ElasticShardPool`.
+    supervisor, hedge, retry, brownout:
+        Optional supervision-tier policies (:mod:`repro.supervise`):
+        a :class:`~repro.supervise.supervisor.ShardSupervisor` for
+        canary-probed quarantine/restart of failed shards, a
+        :class:`~repro.supervise.hedge.HedgePolicy` for straggler
+        hedging (duplicate a slow chunk onto a spare shard, first
+        result wins — safe because chunks are bit-identical across
+        shards), a :class:`~repro.supervise.hedge.RetryPolicy` for
+        bounded re-dispatch after recoverable shard failures, and a
+        :class:`~repro.supervise.brownout.BrownoutController` for
+        staged overload shedding. All default to ``None`` — the
+        unsupervised gateway behaves exactly as before.
     """
 
     def __init__(self, service_factory=None, *,
@@ -158,7 +171,9 @@ class SolveGateway:
                  min_shards: int = 1, max_shards: int = 4,
                  high_water: float = 4.0, low_water: float = 1.0,
                  up_patience: int = 2, down_patience: int = 3,
-                 cooldown: int = 2):
+                 cooldown: int = 2,
+                 supervisor=None, hedge=None, retry=None,
+                 brownout=None):
         self.config = config if config is not None else PlanConfig()
         if service_factory is None:
             cfg = self.config
@@ -179,6 +194,15 @@ class SolveGateway:
             low_water=low_water, up_patience=up_patience,
             down_patience=down_patience, cooldown=cooldown,
             metrics=self.metrics)
+        self.supervisor = supervisor
+        if supervisor is not None:
+            supervisor.bind(self.pool, self.metrics)
+        self.hedge = hedge
+        self.retry = retry
+        self.brownout = brownout
+        # Mean wall seconds per executed chunk; the queue-wait signal
+        # the brownout controller watches is backlog × this / shards.
+        self._chunk_ewma = Ewma(0.3)
         self._ids = itertools.count()
         self._closed = False
         self._wake = asyncio.Event()
@@ -198,6 +222,16 @@ class SolveGateway:
             "gateway.failed", "columns failed")
         self._expired = self.metrics.counter(
             "gateway.expired", "columns expired before dispatch")
+        self._retries = self.metrics.counter(
+            "gateway.retries", "chunk re-dispatches after "
+            "recoverable shard failures")
+        self._hedges = self.metrics.counter(
+            "gateway.hedges", "straggler chunks duplicated onto a "
+            "spare shard")
+        self._hedge_wins = self.metrics.counter(
+            "gateway.hedge_wins", "hedged chunks won by the backup")
+        self._sheds = self.metrics.counter(
+            "gateway.sheds", "admissions refused by overload brownout")
         self._depth_gauge = self.metrics.gauge(
             "gateway.queue_depth", "chunks queued across tenants")
         self._latency = self.metrics.histogram(
@@ -242,6 +276,22 @@ class SolveGateway:
         request_id = next(self._ids)
         with trace.span("gateway.admit", tenant=tenant, op=op, k=k,
                         fingerprint=fingerprint[:12]):
+            if self.brownout is not None:
+                self._observe_brownout()
+                if self.brownout.should_shed(
+                        self.scheduler.weight(tenant)):
+                    wait = self.brownout.last_wait
+                    self.brownout.shed()
+                    self._rejected.inc()
+                    self._sheds.inc()
+                    self._tenant_counter(tenant, "rejected").inc()
+                    trace.event("gateway.brownout_shed",
+                                tenant=tenant,
+                                stage=self.brownout.stage,
+                                queue_wait=wait)
+                    raise BrownoutShed(
+                        tenant, self.brownout.retry_after(wait),
+                        stage=self.brownout.stage, queue_wait=wait)
             cold = (fingerprint not in self._warm
                     and not self.pool.has_plan(fingerprint))
             estimate = self.estimator.estimate(
@@ -265,10 +315,13 @@ class SolveGateway:
             ticket = GatewayTicket(
                 request_id, tenant, op, k, fingerprint,
                 deadline=deadline, estimate=estimate, single=single)
+            chunk_size = (self.stream_chunk if self.brownout is None
+                          else self.brownout.effective_chunk(
+                              self.stream_chunk))
             chunks = []
-            for start in range(0, k, self.stream_chunk):
+            for start in range(0, k, chunk_size):
                 cols = list(range(start,
-                                  min(start + self.stream_chunk, k)))
+                                  min(start + chunk_size, k)))
                 chunks.append(_Chunk(
                     ticket, cols, [columns[i] for i in cols]))
             ticket._work = (grid, stencil, config)
@@ -333,14 +386,31 @@ class SolveGateway:
                 fut.set_result(res)
                 self._completed.inc()
 
+    def _queue_wait_estimate(self) -> float:
+        """Estimated seconds a new chunk would wait behind the
+        backlog: ``(queued + in_flight) × chunk_EWMA / shards``."""
+        depth = self.scheduler.depth + self.scheduler.in_flight
+        per = self._chunk_ewma.value
+        if depth == 0 or per is None:
+            return 0.0
+        return depth * per / max(1, self.pool.n_shards)
+
+    def _observe_brownout(self) -> None:
+        before = self.brownout.stage
+        stage = self.brownout.observe(self._queue_wait_estimate())
+        if stage != before:
+            trace.event("gateway.brownout_stage", stage=stage,
+                        was=before,
+                        queue_wait=self.brownout.last_wait)
+
     async def _run_chunk(self, tenant: str, chunk: _Chunk,
                          shard) -> None:
         ticket = chunk.ticket
-        grid, stencil, config = ticket._work
         try:
             if self._closed:
                 self._resolve(chunk, [GatewayClosed("cancelled")
                                       for _ in chunk.cols])
+                await self.pool.release(shard)
                 return
             now = time.monotonic()
             if ticket.deadline_at is not None \
@@ -354,11 +424,68 @@ class SolveGateway:
                             request_id=ticket.request_id,
                             cols=chunk.cols)
                 self._resolve(chunk, [err for _ in chunk.cols])
+                await self.pool.release(shard)
                 return
-            kk = len(chunk.cols)
+            attempt = 0
+            current = shard
+            while True:
+                try:
+                    results = await self._hedged_attempt(
+                        tenant, chunk, current)
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except NON_RECOVERABLE_ERRORS:
+                    # PR-6 contract: never retried, never hedged
+                    # around — surface to the columns.
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    attempt += 1
+                    if (self.retry is None or self._closed
+                            or attempt > self.retry.max_retries):
+                        raise
+                    self._retries.inc()
+                    trace.event("gateway.retry", tenant=tenant,
+                                request_id=ticket.request_id,
+                                attempt=attempt,
+                                error=type(exc).__name__)
+                    await asyncio.sleep(self.retry.delay(attempt))
+                    current = await self.pool.acquire()
+            self._resolve(chunk, results)
+            self._tenant_counter(tenant, "completed").inc(
+                len(chunk.cols))
+        except BaseException as exc:  # noqa: BLE001 - fail the columns
+            self._resolve(chunk, [exc for _ in chunk.cols])
+        finally:
+            # Shard disposition happened inside the attempt (release,
+            # reap, or supervisor hand-off) — never here.
+            self.scheduler.finish(tenant)
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._quiesced.set()
+            if self.brownout is not None:
+                self._observe_brownout()
+            self.pool.observe(self.scheduler.depth)
+            self._wake.set()
+
+    async def _attempt(self, tenant: str, chunk: _Chunk, shard,
+                       hedge_of: int | None = None) -> tuple:
+        """Execute ``chunk`` on ``shard``; owns the shard's fate.
+
+        On success the shard is released (healthy path) and
+        ``(results, wall_seconds)`` returned; on failure the shard is
+        disposed via :meth:`_dispose_failed` — released (reaping it if
+        defunct) or handed to the supervisor for a canary probe — and
+        the error re-raised. Callers never touch the shard again.
+        """
+        ticket = chunk.ticket
+        grid, stencil, config = ticket._work
+        kk = len(chunk.cols)
+        try:
             with trace.span("gateway.execute", tenant=tenant,
                             request_id=ticket.request_id, k=kk,
-                            shard=shard.index, op=ticket.op):
+                            shard=shard.index, op=ticket.op,
+                            hedge_of=hedge_of):
                 c0, s0 = shard.compile_stats()
                 t0 = time.monotonic()
                 results = await asyncio.to_thread(
@@ -366,26 +493,116 @@ class SolveGateway:
                     chunk.columns)
                 dt = time.monotonic() - t0
                 c1, s1 = shard.compile_stats()
-            self._latency.observe(dt)
-            if c1 > c0:
-                self.estimator.observe_compile(s1 - s0)
-            exec_seconds = max(1e-9, dt - (s1 - s0))
-            self.estimator.observe(
-                ticket.fingerprint, ticket.op, exec_seconds, k=kk,
-                model_seconds=self.estimator.model_seconds(
-                    grid, stencil, config, ticket.op, kk))
-            self._resolve(chunk, results)
-            self._tenant_counter(tenant, "completed").inc(kk)
-        except BaseException as exc:  # noqa: BLE001 - fail the columns
-            self._resolve(chunk, [exc for _ in chunk.cols])
-        finally:
-            self.scheduler.finish(tenant)
+        except BaseException as exc:
+            await self._dispose_failed(shard, exc)
+            raise
+        self._latency.observe(dt)
+        if c1 > c0:
+            self.estimator.observe_compile(s1 - s0)
+        exec_seconds = max(1e-9, dt - (s1 - s0))
+        self.estimator.observe(
+            ticket.fingerprint, ticket.op, exec_seconds, k=kk,
+            model_seconds=self.estimator.model_seconds(
+                grid, stencil, config, ticket.op, kk))
+        await self.pool.release(shard)
+        return results, dt
+
+    async def _dispose_failed(self, shard,
+                              exc: BaseException) -> None:
+        """Decide a failed shard's fate: cancellation isn't the
+        shard's fault (plain release); otherwise let the supervisor
+        probe it, or fall back to ``release`` (which reaps defunct
+        shards on its own)."""
+        if isinstance(exc, asyncio.CancelledError) \
+                or self.supervisor is None:
             await self.pool.release(shard)
-            self._outstanding -= 1
-            if self._outstanding == 0:
-                self._quiesced.set()
-            self.pool.observe(self.scheduler.depth)
-            self._wake.set()
+        else:
+            await self.supervisor.handle_failure(shard, exc)
+
+    def _record_chunk_time(self, dt: float) -> None:
+        self._chunk_ewma.update(dt)
+        if self.hedge is not None:
+            self.hedge.record(dt)
+
+    def _adopt_background(self, task: asyncio.Task) -> None:
+        """Track a losing hedge attempt until it finishes on its own.
+
+        Losers are never cancelled: ``asyncio.to_thread`` work cannot
+        be interrupted, and the attempt must run to completion so its
+        shard is released (or reaped) cleanly. Its exception (if any)
+        is retrieved to keep the loop warning-free.
+        """
+        self._tasks.add(task)
+
+        def _reap_loser(t: asyncio.Task) -> None:
+            self._tasks.discard(t)
+            if not t.cancelled():
+                t.exception()
+
+        task.add_done_callback(_reap_loser)
+
+    async def _hedged_attempt(self, tenant: str, chunk: _Chunk,
+                              shard) -> list:
+        """One chunk attempt, possibly raced against a backup shard.
+
+        If the primary straggles past the hedge delay *and* a spare
+        shard is idle, the chunk is duplicated; the first successful
+        result wins (bit-identical either way) and the loser finishes
+        in the background. With no hedge policy, a cold latency
+        distribution, or no spare capacity this degenerates to a plain
+        single-shard attempt.
+        """
+        delay = None if self.hedge is None else self.hedge.delay()
+        if delay is None:
+            results, dt = await self._attempt(tenant, chunk, shard)
+            self._record_chunk_time(dt)
+            return results
+        loop = asyncio.get_running_loop()
+        primary = loop.create_task(
+            self._attempt(tenant, chunk, shard))
+        done, _ = await asyncio.wait({primary}, timeout=delay)
+        if primary in done:
+            results, dt = primary.result()
+            self._record_chunk_time(dt)
+            return results
+        backup_shard = self.pool.try_acquire()
+        if backup_shard is None:
+            # No spare capacity: hedging must never queue duplicate
+            # work behind real work.
+            results, dt = await primary
+            self._record_chunk_time(dt)
+            return results
+        self._hedges.inc()
+        trace.event("gateway.hedge", tenant=tenant,
+                    request_id=chunk.ticket.request_id,
+                    primary=shard.index, backup=backup_shard.index,
+                    delay=delay)
+        backup = loop.create_task(
+            self._attempt(tenant, chunk, backup_shard,
+                          hedge_of=shard.index))
+        pending = {primary, backup}
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED)
+            # Deterministic tiebreak: prefer the primary when both
+            # land in the same wake-up.
+            for task in sorted(done,
+                               key=lambda t: 0 if t is primary else 1):
+                if task.exception() is not None:
+                    continue
+                results, dt = task.result()
+                self._record_chunk_time(dt)
+                if task is backup:
+                    self._hedge_wins.inc()
+                    trace.event("gateway.hedge_win", tenant=tenant,
+                                request_id=chunk.ticket.request_id,
+                                backup=backup_shard.index)
+                for loser in pending:
+                    self._adopt_background(loser)
+                return results
+        # Both attempts failed; shards were disposed by _attempt.
+        # Surface the primary's error (the retry loop may re-dispatch).
+        raise primary.exception()
 
     # Convenience --------------------------------------------------------
     async def solve(self, grid, stencil, rhs, **kwargs) -> np.ndarray:
@@ -398,9 +615,13 @@ class SolveGateway:
 
         Benchmarks and tests call this to drive scale-*down* while no
         traffic is arriving (the controller otherwise only sees depth
-        samples on submit/completion).
+        samples on submit/completion). The brownout controller gets
+        the same idle samples, so recovery back toward ``normal``
+        does not require fresh traffic.
         """
         self.pool.observe(self.scheduler.depth)
+        if self.brownout is not None:
+            self._observe_brownout()
 
     async def join(self) -> None:
         """Await until every accepted chunk has resolved."""
@@ -432,6 +653,8 @@ class SolveGateway:
         if self._tasks:
             await asyncio.gather(*self._tasks,
                                  return_exceptions=True)
+        if self.supervisor is not None:
+            await self.supervisor.drain(cancel=True)
         self.pool.close()
         self._depth_gauge.set(0)
 
@@ -455,5 +678,16 @@ class SolveGateway:
             "tenants": self.scheduler.stats(),
             "pool": self.pool.stats(),
             "estimator": self.estimator.stats(),
+            "retries": self._retries.value,
+            "hedges": self._hedges.value,
+            "hedge_wins": self._hedge_wins.value,
+            "sheds": self._sheds.value,
+            "queue_wait_estimate": self._queue_wait_estimate(),
+            "supervisor": (self.supervisor.stats()
+                           if self.supervisor is not None else None),
+            "brownout": (self.brownout.stats()
+                         if self.brownout is not None else None),
+            "hedge_policy": (self.hedge.stats()
+                             if self.hedge is not None else None),
             "metrics": self.metrics.snapshot(),
         }

@@ -20,6 +20,14 @@ released, so no accepted request is ever lost to elasticity.
 Hysteresis is counted in *observations* (one per submit/completion/
 ``poll()``), not wall seconds, which keeps the controller deterministic
 and testable.
+
+Beyond elasticity the pool understands **health**: a shard whose
+``execute`` raised a non-recoverable error is marked ``defunct`` and
+reaped on release (the pool replenishes itself back to ``min_shards``),
+and the supervision tier (:mod:`repro.supervise`) can ``quarantine`` a
+shard out of rotation, ``build_shard`` a replacement (through the
+``pool.spawn`` chaos site), and ``adopt`` it once its canary probe
+passes.
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ import itertools
 from collections import deque
 
 from repro.observe import trace
+from repro.resilience import hooks
+from repro.resilience.errors import NON_RECOVERABLE_ERRORS, FaultInjected
 from repro.utils.validation import check_positive
 
 
@@ -38,26 +48,60 @@ class GatewayShard:
     ``execute`` runs in a worker thread (``asyncio.to_thread``); the
     shard is handed to exactly one chunk at a time by the pool, so the
     underlying service never sees concurrent drains from the gateway.
+
+    Three health flags drive lifecycle decisions:
+
+    * ``defunct`` — ``execute`` hit a non-recoverable error
+      (:data:`~repro.resilience.errors.NON_RECOVERABLE_ERRORS`);
+      :meth:`ElasticShardPool.release` reaps such a shard instead of
+      returning it to the free list.
+    * ``poisoned`` — an armed ``shard_poison`` fault marked this shard:
+      every execute raises until the supervisor replaces it.
+    * ``quarantined`` — the supervisor pulled the shard out of
+      rotation; ``release`` ignores it (the supervisor owns it now).
     """
 
     def __init__(self, index: int, service):
         self.index = index
         self.service = service
         self.draining = False
+        self.defunct = False
+        self.poisoned = False
+        self.quarantined = False
         self.chunks_executed = 0
+
+    def poison(self) -> None:
+        """Chaos hook: make every later ``execute`` raise (until the
+        supervisor restarts this shard with a fresh service)."""
+        self.poisoned = True
 
     def execute(self, grid, stencil, op: str, config,
                 columns: list) -> list:
         """Solve ``columns`` (same structure + op) as one coalesced
         batch; returns one result *or exception* per column."""
-        tickets = [self.service.submit(grid, stencil, rhs, op=op,
-                                       config=config)
-                   for rhs in columns]
-        self.service.drain()
+        hooks.fire("gateway.shard", shard=self, op=op)
+        if self.poisoned:
+            raise FaultInjected(
+                "gateway.shard", "shard_poison",
+                f"shard {self.index} is poisoned until restart")
+        try:
+            tickets = [self.service.submit(grid, stencil, rhs, op=op,
+                                           config=config)
+                       for rhs in columns]
+            self.service.drain()
+        except NON_RECOVERABLE_ERRORS:
+            self.defunct = True
+            raise
         out = []
         for t in tickets:
             try:
                 out.append(t.result(timeout=0))
+            except NON_RECOVERABLE_ERRORS as exc:
+                # The service's internals tripped resource exhaustion
+                # or a violated invariant: surface the column error AND
+                # condemn the shard — release() will reap it.
+                self.defunct = True
+                out.append(exc)
             except BaseException as exc:  # noqa: BLE001 - per-column
                 out.append(exc)
         self.chunks_executed += 1
@@ -82,6 +126,9 @@ class GatewayShard:
         return {
             "index": self.index,
             "draining": self.draining,
+            "defunct": self.defunct,
+            "poisoned": self.poisoned,
+            "quarantined": self.quarantined,
             "chunks_executed": self.chunks_executed,
             "service": self.service.stats(),
         }
@@ -137,6 +184,9 @@ class ElasticShardPool:
         self._down_streak = 0
         self._cooldown_left = 0
         self.scale_events: list[dict] = []
+        #: Health-driven lifecycle events (defunct reaps, quarantines,
+        #: adoptions) — separate from the controller's scale_events.
+        self.lifecycle_events: list[dict] = []
         self._metrics = metrics
         if metrics is not None:
             self._scale_up = metrics.counter(
@@ -153,21 +203,46 @@ class ElasticShardPool:
             self._spawn()
 
     # Lifecycle ----------------------------------------------------------
-    def _spawn(self) -> GatewayShard:
-        shard = GatewayShard(next(self._ids), self.factory())
+    def build_shard(self) -> GatewayShard:
+        """Construct one shard *without* adding it to the pool.
+
+        Fires the ``pool.spawn`` chaos site (an armed ``spawn_fail``
+        fault raises here), so callers that must survive spawn
+        failures — the supervisor's restart loop — can catch and back
+        off. The shard only serves traffic after :meth:`adopt`.
+        """
+        index = next(self._ids)
+        hooks.fire("pool.spawn", shard_index=index)
+        return GatewayShard(index, self.factory())
+
+    def adopt(self, shard: GatewayShard) -> GatewayShard:
+        """Put a built (and, if supervised, canary-checked) shard into
+        rotation and wake any ``acquire`` waiters."""
         self._shards.append(shard)
         self._free.append(shard)
         if self._shards_gauge is not None:
             self._shards_gauge.set(len(self._shards))
+        self._notify_soon()
         return shard
+
+    def _spawn(self) -> GatewayShard:
+        return self.adopt(self.build_shard())
+
+    def _remove(self, shard: GatewayShard) -> None:
+        if shard in self._shards:
+            self._shards.remove(shard)
+        try:
+            self._free.remove(shard)
+        except ValueError:
+            pass
+        if self._shards_gauge is not None:
+            self._shards_gauge.set(len(self._shards))
 
     def _reap(self, shard: GatewayShard, depth: int,
               deferred: bool) -> None:
         """Close an idle shard (warm drain already satisfied)."""
-        self._shards.remove(shard)
+        self._remove(shard)
         shard.close()
-        if self._shards_gauge is not None:
-            self._shards_gauge.set(len(self._shards))
         if self._scale_down is not None:
             self._scale_down.inc()
         event = {"action": "scale_down", "shard": shard.index,
@@ -175,6 +250,43 @@ class ElasticShardPool:
                  "warm_drained": deferred}
         self.scale_events.append(event)
         trace.event("gateway.scale_down", **event)
+
+    def _reap_defunct(self, shard: GatewayShard) -> None:
+        """Close a shard condemned by a non-recoverable failure, and
+        replenish the pool if that dropped it below ``min_shards``."""
+        self._remove(shard)
+        shard.close()
+        event = {"action": "reap_defunct", "shard": shard.index,
+                 "n_shards": len(self._shards)}
+        self.lifecycle_events.append(event)
+        trace.event("gateway.reap_defunct", **event)
+        if len(self._shards) < self.min_shards:
+            try:
+                self._spawn()
+            except BaseException as exc:  # noqa: BLE001 - chaos spawn
+                # An armed spawn_fail fault: record the hole; the
+                # supervisor's restart path (or the next scale-up)
+                # refills it.
+                self.lifecycle_events.append(
+                    {"action": "spawn_failed",
+                     "error": type(exc).__name__})
+                trace.event("gateway.spawn_failed",
+                            error=type(exc).__name__)
+
+    def quarantine(self, shard: GatewayShard) -> None:
+        """Pull a shard out of rotation without closing it.
+
+        The supervisor calls this for a shard that failed its canary
+        probe; the shard keeps its service alive (the supervisor may
+        re-probe or close it) but can no longer be acquired, and a
+        later ``release`` of it is a no-op.
+        """
+        shard.quarantined = True
+        self._remove(shard)
+        event = {"action": "quarantine", "shard": shard.index,
+                 "n_shards": len(self._shards)}
+        self.lifecycle_events.append(event)
+        trace.event("gateway.quarantine", **event)
 
     @property
     def n_shards(self) -> int:
@@ -205,10 +317,33 @@ class ElasticShardPool:
                 await self._cond.wait()
             return self._free.popleft()
 
+    def try_acquire(self) -> GatewayShard | None:
+        """Take an idle shard *without* waiting (``None`` when none).
+
+        The hedging path uses this: a straggler is only duplicated
+        when spare capacity exists — hedging must never make an
+        overloaded pool worse by queueing duplicate work.
+        """
+        if self._free:
+            return self._free.popleft()
+        return None
+
     async def release(self, shard: GatewayShard) -> None:
-        """Return a shard; a draining shard is reaped instead."""
+        """Return a shard — unless its health says otherwise.
+
+        A ``quarantined`` shard is ignored (the supervisor owns its
+        lifecycle now); a ``defunct`` shard — one whose ``execute``
+        raised a non-recoverable error — is reaped, never returned to
+        the free list; a ``draining`` shard completes its warm drain
+        and is reaped as the controller promised.
+        """
         async with self._cond:
-            if shard.draining:
+            if shard.quarantined:
+                self._cond.notify_all()
+                return
+            if shard.defunct:
+                self._reap_defunct(shard)
+            elif shard.draining:
                 self._reap(shard, depth=0, deferred=True)
             else:
                 self._free.append(shard)
@@ -300,5 +435,6 @@ class ElasticShardPool:
             "min_shards": self.min_shards,
             "max_shards": self.max_shards,
             "scale_events": list(self.scale_events),
+            "lifecycle_events": list(self.lifecycle_events),
             "shards": [s.stats() for s in self._shards],
         }

@@ -204,6 +204,17 @@ class FairScheduler:
         with self._lock:
             return sum(t.in_flight for t in self._tenants.values())
 
+    def weight(self, tenant: str) -> float:
+        """Fair-share weight of ``tenant`` (default quota if unknown).
+
+        The brownout controller sheds by weight, so admission must be
+        able to price a tenant *before* it has ever queued anything.
+        """
+        with self._lock:
+            t = self._tenants.get(tenant)
+            quota = self.default_quota if t is None else t.quota
+            return quota.weight
+
     def queued(self, tenant: str) -> int:
         with self._lock:
             t = self._tenants.get(tenant)

@@ -3,7 +3,8 @@
 A :class:`FaultPlan` is a reproducible specification of *what goes
 wrong*: each :class:`FaultSpec` names a fault kind (NaN/Inf/bit-flip
 value corruption, permutation scrambling, block-index corruption,
-worker exceptions, kernel delays), where it strikes, and how many
+worker exceptions, kernel delays, and the gateway-tier shard faults —
+crash, hang, poison, spawn failure), where it strikes, and how many
 times. Arm a plan with :func:`inject` and every corruption site and
 random choice derives from the plan's seed — the same plan replays the
 same chaos bit-for-bit, so recovery behaviour is assertable.
@@ -11,9 +12,11 @@ same chaos bit-for-bit, so recovery behaviour is assertable.
 Two delivery mechanisms:
 
 * **Hook faults** (``worker_exception``, ``kernel_exception``,
-  ``kernel_delay`` and any corruption spec with ``at_compile=True``)
-  trigger through the sites of :mod:`repro.resilience.hooks`, which the
-  pooled executor, the vector engine, and the plan compiler fire.
+  ``kernel_delay``, the shard kinds ``shard_crash`` / ``shard_hang`` /
+  ``shard_poison`` / ``spawn_fail``, and any corruption spec with
+  ``at_compile=True``) trigger through the sites of
+  :mod:`repro.resilience.hooks`, which the pooled executor, the vector
+  engine, the plan compiler, and the gateway's shard pool fire.
 * **Direct corruption** — :meth:`FaultInjector.corrupt_plan` applies
   the plan's corruption specs to an already-compiled
   :class:`~repro.serve.plan.SolvePlan`, modelling bit rot / memory
@@ -49,6 +52,10 @@ SITE_KINDS = (
     "worker_exception",   # raise FaultInjected in a pooled worker task
     "kernel_exception",   # raise FaultInjected at kernel entry
     "kernel_delay",       # sleep at kernel entry
+    "shard_crash",        # raise FaultInjected at gateway-shard entry
+    "shard_hang",         # sleep at gateway-shard entry (straggler)
+    "shard_poison",       # shard raises on every execute until restart
+    "spawn_fail",         # raise FaultInjected while spawning a shard
 )
 
 FAULT_KINDS = CORRUPTION_KINDS + SITE_KINDS
@@ -85,9 +92,19 @@ class FaultSpec:
         poisoned). Off by default — corruption then only happens via
         :meth:`FaultInjector.corrupt_plan`.
     delay_seconds:
-        Sleep length for ``kernel_delay``.
+        Sleep length for ``kernel_delay`` and ``shard_hang``.
     seed:
         Per-spec seed offset mixed into the plan seed.
+
+    The shard kinds strike the gateway tier: ``shard_crash`` raises at
+    :meth:`~repro.gateway.pool.GatewayShard.execute` entry (one chunk
+    lost, shard otherwise fine), ``shard_hang`` sleeps there (a
+    straggler the hedging policy must beat), ``shard_poison`` marks the
+    shard so *every* later execute raises until the supervisor restarts
+    it, and ``spawn_fail`` raises while the pool is building a new
+    shard (exercising the restart backoff budget). All honor the
+    ``ops`` filter; ``strategies`` is ignored at shard sites (a shard
+    hosts every strategy).
     """
 
     kind: str
@@ -136,14 +153,17 @@ class FaultRecord:
 class FaultInjector:
     """Armed instance of a :class:`FaultPlan`.
 
-    Thread-safe: hook sites may fire from pooled workers. Each spec
-    carries its own seeded generator so delivery order across threads
-    cannot change *where* corruption lands.
+    Thread-safe: hook sites may fire from pooled workers *and* from
+    the gateway's shard worker threads concurrently. Fire counting
+    (:meth:`_take`), record keeping, and every draw from a spec's
+    seeded generator happen under one re-entrant lock, so a ``count=N``
+    spec fires exactly ``N`` times across threads and delivery order
+    across threads cannot change *where* corruption lands.
     """
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._fires = [0] * len(plan.specs)
         self._rngs = [np.random.default_rng(plan.seed + 31 * i + s.seed)
                       for i, s in enumerate(plan.specs)]
@@ -161,6 +181,11 @@ class FaultInjector:
             self._fires[i] += 1
             self.injected += 1
             return True
+
+    def fires(self, i: int) -> int:
+        """How many times spec ``i`` has fired so far."""
+        with self._lock:
+            return self._fires[i]
 
     def _record(self, rec: FaultRecord) -> None:
         with self._lock:
@@ -199,6 +224,36 @@ class FaultInjector:
                     else:
                         raise FaultInjected(site, spec.kind,
                                             f"{strategy} kernel, op={op}")
+            elif spec.kind in ("shard_crash", "shard_hang",
+                               "shard_poison") \
+                    and site == "gateway.shard":
+                op = ctx.get("op")
+                if spec.ops is not None and op is not None \
+                        and op not in spec.ops:
+                    continue
+                if self._take(i):
+                    shard = ctx.get("shard")
+                    index = getattr(shard, "index", -1)
+                    self._record(FaultRecord(
+                        spec.kind, site, detail=f"shard {index}/{op}",
+                        index=index))
+                    if spec.kind == "shard_hang":
+                        time.sleep(spec.delay_seconds)
+                    elif spec.kind == "shard_poison":
+                        if shard is not None:
+                            shard.poison()
+                    else:
+                        raise FaultInjected(
+                            site, spec.kind,
+                            f"shard {index}, op={op}")
+            elif spec.kind == "spawn_fail" and site == "pool.spawn":
+                if self._take(i):
+                    index = ctx.get("shard_index", -1)
+                    self._record(FaultRecord(spec.kind, site,
+                                             detail=f"shard {index}",
+                                             index=int(index)))
+                    raise FaultInjected(site, spec.kind,
+                                        f"spawning shard {index}")
             elif spec.kind in CORRUPTION_KINDS and spec.at_compile \
                     and site == "serve.compile":
                 plan_obj = ctx.get("plan")
@@ -212,20 +267,34 @@ class FaultInjector:
 
         Returns the records of the corruptions actually delivered
         (respecting each spec's remaining ``max_fires`` budget).
+        Thread-safe: concurrent callers each get exactly the records
+        of *their* corruptions, never a slice of someone else's.
         """
-        before = len(self.records)
+        delivered = []
         for i, spec in enumerate(self.plan.specs):
             if spec.kind in CORRUPTION_KINDS and self._take(i):
-                self._apply_corruption(i, spec, plan, site="direct")
-        return self.records[before:]
+                rec = self._apply_corruption(i, spec, plan,
+                                             site="direct")
+                if rec is not None:
+                    delivered.append(rec)
+        return delivered
 
     def _apply_corruption(self, i: int, spec: FaultSpec, plan,
-                          site: str) -> None:
+                          site: str) -> FaultRecord | None:
+        # The whole draw-and-mutate runs under the injector lock: a
+        # spec's generator must advance in take order even when two
+        # shard workers corrupt plans concurrently.
+        with self._lock:
+            return self._apply_corruption_locked(i, spec, plan, site)
+
+    def _apply_corruption_locked(self, i: int, spec: FaultSpec, plan,
+                                 site: str) -> FaultRecord | None:
         rng = self._rngs[i]
+        rec = None
         if spec.kind in ("nan_value", "inf_value", "bitflip_value"):
             name, arr = _value_array(plan, spec.target)
             if arr.size == 0:
-                return
+                return None
             flat = arr.reshape(-1)
             idx = int(rng.integers(flat.size))
             if spec.kind == "nan_value":
@@ -240,28 +309,31 @@ class FaultInjector:
                 bits = flat[idx:idx + 1].view(np.uint64)
                 bit = int(rng.integers(52, 63))  # exponent-field bits
                 bits ^= np.uint64(1 << bit)
-            self._record(FaultRecord(spec.kind, site, artifact=name,
-                                     index=idx))
+            rec = FaultRecord(spec.kind, site, artifact=name,
+                              index=idx)
         elif spec.kind == "scramble_permutation":
             perm = plan.ordering.old_to_new
             n = len(perm)
             if n < 2:
-                return
+                return None
             i1 = int(rng.integers(n))
             i2 = int(rng.integers(n - 1))
             i2 += i2 >= i1  # distinct positions -> a duplicated image
             perm[i1] = perm[i2]
-            self._record(FaultRecord(spec.kind, site,
-                                     artifact="ordering.old_to_new",
-                                     index=i1))
+            rec = FaultRecord(spec.kind, site,
+                              artifact="ordering.old_to_new",
+                              index=i1)
         elif spec.kind == "bad_block_index":
             blk_ind = plan.lower.blk_ind
             if blk_ind.size == 0:
-                return
+                return None
             idx = int(rng.integers(blk_ind.size))
             blk_ind[idx] = plan.lower.n_cols  # beyond any valid block
-            self._record(FaultRecord(spec.kind, site,
-                                     artifact="lower.blk_ind", index=idx))
+            rec = FaultRecord(spec.kind, site,
+                              artifact="lower.blk_ind", index=idx)
+        if rec is not None:
+            self._record(rec)
+        return rec
 
     # Reporting ------------------------------------------------------------
     def stats(self) -> dict:

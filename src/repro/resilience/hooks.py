@@ -19,6 +19,13 @@ site                    fired from
 ``plan.execute``        :meth:`repro.serve.plan.SolvePlan.execute`
 ``serve.compile``       end of :func:`repro.serve.plan.compile_plan`,
                         *before* compile-time validation
+``gateway.shard``       entry of
+                        :meth:`repro.gateway.pool.GatewayShard.execute`
+                        (shard crash / hang / poison faults; fired from
+                        the gateway's worker threads)
+``pool.spawn``          :class:`~repro.gateway.pool.ElasticShardPool`
+                        shard construction (spawn-failure faults, hit
+                        both elastic scale-up and supervisor restarts)
 ======================  ====================================================
 
 The installed object only needs a ``fire(site, **ctx)`` method — in

@@ -1,0 +1,79 @@
+"""Capped exponential backoff with decorrelated jitter.
+
+Restarting a sick shard too eagerly turns one failure into a retry
+storm; restarting on a fixed exponential schedule synchronizes every
+restarter onto the same instants. The classic fix is *decorrelated
+jitter*: each delay is drawn uniformly from ``[base, 3 * previous]``
+and capped, so delays grow roughly exponentially **and** decorrelate
+across restarters — no two supervisors hammer the factory in lockstep.
+
+The generator is seeded, so a schedule replays bit-for-bit: chaos
+tests can assert exactly how long a quarantined shard was allowed to
+take to come back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class DecorrelatedJitterBackoff:
+    """Seeded decorrelated-jitter delay sequence.
+
+    Parameters
+    ----------
+    base:
+        First delay and the lower bound of every draw (seconds).
+    cap:
+        Upper bound on any delay (seconds) — the "capped" part.
+    seed:
+        RNG seed; the same seed replays the same schedule.
+    """
+
+    def __init__(self, base: float = 0.05, cap: float = 2.0,
+                 seed: int = 0):
+        if not base > 0:
+            raise ValueError(f"base must be > 0, got {base}")
+        if cap < base:
+            raise ValueError(f"cap {cap} < base {base}")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._last: float | None = None
+        #: Total seconds handed out so far (the "backoff budget" a
+        #: restart must fit inside).
+        self.total = 0.0
+        self.draws = 0
+
+    def next(self) -> float:
+        """Next delay: ``base`` first, then ``min(cap, U[base, 3*last])``."""
+        if self._last is None:
+            delay = self.base
+        else:
+            hi = max(self.base, 3.0 * self._last)
+            delay = min(self.cap, float(self._rng.uniform(self.base,
+                                                          hi)))
+        self._last = delay
+        self.total += delay
+        self.draws += 1
+        return delay
+
+    def reset(self) -> None:
+        """Forget the streak (a success ends the escalation)."""
+        self._last = None
+
+    def max_total(self, attempts: int) -> float:
+        """Worst-case total sleep across ``attempts`` draws.
+
+        Every draw after the first is capped, so the budget bound is
+        closed-form: ``base + (attempts - 1) * cap``.
+        """
+        check_positive(attempts, "attempts")
+        return self.base + (attempts - 1) * self.cap
+
+    def stats(self) -> dict:
+        return {"base": self.base, "cap": self.cap, "seed": self.seed,
+                "draws": self.draws, "total_seconds": self.total}

@@ -1,0 +1,114 @@
+"""FaultInjector fire-counting must be atomic across threads.
+
+Regression for the unsynchronised ``_take`` race: the gateway runs
+shard executes on worker threads, so a ``max_fires=N`` spec hammered
+from many threads used to fire anywhere between N and N+threads-1
+times (check-then-increment without a lock). It must fire exactly N.
+"""
+
+import threading
+
+import pytest
+
+from repro.resilience.errors import FaultInjected
+from repro.resilience.faults import FaultInjector, FaultPlan, FaultSpec
+
+pytestmark = [pytest.mark.fast, pytest.mark.chaos]
+
+
+def hammer(inj, site, n_threads, per_thread, **ctx):
+    """Fire ``site`` from ``n_threads`` threads simultaneously; return
+    the number of FaultInjected raised across all of them."""
+    barrier = threading.Barrier(n_threads)
+    hits = []
+    lock = threading.Lock()
+
+    def worker():
+        barrier.wait()
+        mine = 0
+        for _ in range(per_thread):
+            try:
+                inj.fire(site, **ctx)
+            except FaultInjected:
+                mine += 1
+        with lock:
+            hits.append(mine)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return sum(hits)
+
+
+def test_count_n_shard_fault_fires_exactly_n_across_threads():
+    plan = FaultPlan(name="threaded-crash", seed=0, specs=(
+        FaultSpec(kind="shard_crash", max_fires=7),
+    ))
+    inj = FaultInjector(plan)
+    # 8 threads x 5 attempts = 40 chances, only 7 armed firings.
+    raised = hammer(inj, "gateway.shard", n_threads=8, per_thread=5,
+                    shard=None, op="lower")
+    assert raised == 7
+    assert inj.fires(0) == 7
+    assert inj.injected == 7
+    assert len(inj.records) == 7
+
+
+def test_count_n_worker_fault_fires_exactly_n_across_threads():
+    plan = FaultPlan(name="threaded-worker", seed=1, specs=(
+        FaultSpec(kind="worker_exception", max_fires=3),
+    ))
+    inj = FaultInjector(plan)
+    raised = hammer(inj, "parallel.worker", n_threads=6, per_thread=4,
+                    group=0)
+    assert raised == 3
+    assert inj.fires(0) == 3
+
+
+def test_persistent_fault_fires_every_time_across_threads():
+    plan = FaultPlan(name="threaded-persistent", seed=2, specs=(
+        FaultSpec(kind="shard_crash", max_fires=None),
+    ))
+    inj = FaultInjector(plan)
+    raised = hammer(inj, "gateway.shard", n_threads=4, per_thread=10,
+                    shard=None, op="lower")
+    assert raised == 40
+    assert inj.fires(0) == 40
+
+
+def test_independent_specs_count_independently_under_contention():
+    plan = FaultPlan(name="threaded-mixed", seed=3, specs=(
+        FaultSpec(kind="shard_crash", max_fires=2),
+        FaultSpec(kind="spawn_fail", max_fires=4),
+    ))
+    inj = FaultInjector(plan)
+    barrier = threading.Barrier(8)
+    totals = {"shard": 0, "spawn": 0}
+    lock = threading.Lock()
+
+    def worker(kind):
+        barrier.wait()
+        mine = 0
+        for _ in range(6):
+            try:
+                if kind == "shard":
+                    inj.fire("gateway.shard", shard=None, op="lower")
+                else:
+                    inj.fire("pool.spawn", shard_index=0)
+            except FaultInjected:
+                mine += 1
+        with lock:
+            totals[kind] += mine
+
+    threads = [threading.Thread(target=worker,
+                                args=("shard" if i % 2 else "spawn",))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert totals["shard"] == 2 and inj.fires(0) == 2
+    assert totals["spawn"] == 4 and inj.fires(1) == 4
+    assert inj.injected == 6
