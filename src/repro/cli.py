@@ -7,6 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli storage --nx 16 --bsizes 1,2,4,8,16
     python -m repro.cli weak-scaling --variant dbsr --nodes 1,4,16,64,256
     python -m repro.cli figures fig9
+    python -m repro.cli bench all --quick
+    python -m repro.cli bench all --update-references
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
     python -m repro.cli shard-bench --nx 9 --ranks 27
@@ -162,7 +164,8 @@ def _cmd_bench_runtime(args) -> int:
     report = collect_bench_runtime(
         nx=args.nx, stencil=args.stencil, bsize=args.bsize,
         n_workers=args.workers, dtype=args.dtype,
-        repeats=args.repeats, backend=args.backend)
+        repeats=args.repeats, backend=args.backend,
+        seed=args.seed)
     path = write_bench_json(report, args.out)
     ker = report["kernels"]
     for name in sorted(ker):
@@ -194,7 +197,7 @@ def _cmd_serve_bench(args) -> int:
         nx=args.nx, stencil=args.stencil, n_requests=args.requests,
         max_batch=args.max_batch, n_workers=args.workers,
         dtype=args.dtype, machine=args.machine,
-        backend=args.backend)
+        seed=args.seed, backend=args.backend)
     path = write_bench_json(report, args.out)
     cache = report["cache"]
     print(f"plan cache: {cache['hits']} hits / {cache['misses']} misses "
@@ -227,7 +230,7 @@ def _cmd_shard_bench(args) -> int:
         nx=args.nx, stencil=args.stencil, n_ranks=args.ranks,
         n_requests=args.requests, max_batch=args.max_batch,
         n_workers=args.workers, dtype=args.dtype,
-        machine=args.machine)
+        machine=args.machine, seed=args.seed)
     path = write_bench_json(report, args.out)
     cfg = report["config"]
     print(f"sharded {cfg['nx']}^3 {cfg['stencil']} over "
@@ -265,7 +268,7 @@ def _cmd_gateway_bench(args) -> int:
     report = collect_bench_gateway(
         nx=args.nx, stencil=args.stencil, n_requests=args.requests,
         k_stream=args.k_stream, n_workers=args.workers,
-        machine=args.machine)
+        machine=args.machine, seed=args.seed)
     path = write_bench_json(report, args.out)
     cfg = report["config"]
     print(f"gateway {cfg['nx']}^3 {cfg['stencil']}: "
@@ -348,7 +351,8 @@ def _cmd_chaos_bench(args) -> int:
     from repro.runtime.metrics import write_bench_json
 
     report = collect_bench_chaos(nx=args.nx, stencil=args.stencil,
-                                 bsize=args.bsize, quick=args.quick)
+                                 bsize=args.bsize, quick=args.quick,
+                                 seed=args.seed)
     path = write_bench_json(report, args.out)
     for s in report["scenarios"]:
         status = ("ok" if s["recovered"] and s["bit_identical"]
@@ -400,6 +404,26 @@ def _cmd_trace(args) -> int:
         print(f"trace report invalid: {p}", file=sys.stderr)
     print(f"[written to {path}]")
     return 1 if problems else 0
+
+
+def _cmd_bench_all(args) -> int:
+    from repro.regress import run_bench_all, summarize
+
+    only = ([s for s in args.only.split(",") if s]
+            if args.only else None)
+    skip = [s for s in args.skip.split(",") if s] if args.skip else []
+    report = run_bench_all(
+        quick=args.quick, seed=args.seed, backend=args.backend,
+        out=args.out, emit_individual=not args.merged_only,
+        only=only, skip=skip, parallel=args.parallel,
+        references_dir=args.references_dir,
+        machine_id=args.machine_id,
+        tolerance_scale=args.tolerance_scale,
+        update_references=args.update_references,
+        autotune=not args.no_autotune, fault=args.inject_fault)
+    print(summarize(report))
+    print(f"[written to {args.out}]")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_spy(args) -> int:
@@ -472,6 +496,8 @@ def _cmd_figures(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.regress.registry import add_common_bench_args, get_emitter
+
     parser = argparse.ArgumentParser(
         prog="dbsr-repro",
         description="DBSR (SC 2024) reproduction toolkit")
@@ -543,11 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
     p.add_argument("--repeats", type=int, default=3)
-    p.add_argument("--backend", default="numpy-fast",
-                   choices=("numpy-counted", "numpy-fast", "numba"),
-                   help="kernel execution tier (numba falls back to "
-                        "numpy-fast when not installed)")
-    p.add_argument("--out", default="BENCH_runtime.json")
+    add_common_bench_args(p, get_emitter("runtime"))
     p.set_defaults(func=_cmd_bench_runtime)
 
     p = sub.add_parser("serve-bench",
@@ -562,11 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
     p.add_argument("--machine", default="kp920",
                    choices=("intel", "kp920", "thunderx2", "phytium"))
-    p.add_argument("--backend", default="numpy-fast",
-                   choices=("numpy-counted", "numpy-fast", "numba"),
-                   help="kernel execution tier compiled into the "
-                        "served plans")
-    p.add_argument("--out", default="BENCH_serve.json")
+    add_common_bench_args(p, get_emitter("serve"))
     p.set_defaults(func=_cmd_serve_bench)
 
     p = sub.add_parser("shard-bench",
@@ -583,7 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
     p.add_argument("--machine", default="kp920",
                    choices=("intel", "kp920", "thunderx2", "phytium"))
-    p.add_argument("--out", default="BENCH_shard.json")
+    add_common_bench_args(p, get_emitter("shard"))
     p.set_defaults(func=_cmd_shard_bench)
 
     p = sub.add_parser("gateway-bench",
@@ -599,7 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--machine", default="kp920",
                    choices=("intel", "kp920", "thunderx2", "phytium"))
-    p.add_argument("--out", default="BENCH_gateway.json")
+    add_common_bench_args(p, get_emitter("gateway"))
     p.set_defaults(func=_cmd_gateway_bench)
 
     p = sub.add_parser("gateway-chaos-bench",
@@ -614,8 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--machine", default="kp920",
                    choices=("intel", "kp920", "thunderx2", "phytium"))
-    p.add_argument("--seed", type=int, default=2024)
-    p.add_argument("--out", default="BENCH_gateway_chaos.json")
+    add_common_bench_args(p, get_emitter("gateway-chaos"))
     p.set_defaults(func=_cmd_gateway_chaos_bench)
 
     p = sub.add_parser("chaos-bench",
@@ -627,7 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bsize", type=int, default=4)
     p.add_argument("--quick", action="store_true",
                    help="smaller scenario set (CI smoke)")
-    p.add_argument("--out", default="BENCH_chaos.json")
+    add_common_bench_args(p, get_emitter("chaos"))
     p.set_defaults(func=_cmd_chaos_bench)
 
     p = sub.add_parser("trace",
@@ -645,11 +662,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="requests per op (coalesced into one batch)")
     p.add_argument("--workers", type=int, default=2)
     p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
-    p.add_argument("--seed", type=int, default=2024)
     p.add_argument("--prometheus", action="store_true",
                    help="also print the Prometheus text exposition")
-    p.add_argument("--out", default="BENCH_trace.json")
+    add_common_bench_args(p, get_emitter("trace"))
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("bench",
+                       help="perf-regression harness: run the whole "
+                            "bench fleet through the unified registry")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pa = bench_sub.add_parser(
+        "all",
+        help="run every bench emitter, merge into BENCH_all.json, "
+             "and judge the perf checks against per-machine "
+             "references (exit nonzero on regression)")
+    pa.add_argument("--quick", action="store_true",
+                    help="small configs (CI smoke)")
+    pa.add_argument("--seed", type=int, default=2024,
+                    help="workload RNG seed forwarded to every "
+                         "emitter that takes one")
+    pa.add_argument("--backend", default="numpy-fast",
+                    choices=("numpy-counted", "numpy-fast", "numba"),
+                    help="kernel backend tier forwarded to emitters "
+                         "that take one")
+    pa.add_argument("--out", default="BENCH_all.json")
+    pa.add_argument("--only", default="",
+                    help="comma-separated emitter subset")
+    pa.add_argument("--skip", default="",
+                    help="comma-separated emitters to skip")
+    pa.add_argument("--parallel", action="store_true",
+                    help="run non-exclusive emitters concurrently")
+    pa.add_argument("--merged-only", action="store_true",
+                    help="do not rewrite the individual BENCH_*.json "
+                         "artifacts")
+    pa.add_argument("--references-dir", default="references")
+    pa.add_argument("--machine-id", default=None,
+                    help="override the CPU-fingerprint machine id "
+                         "(e.g. ci-default)")
+    pa.add_argument("--tolerance-scale", type=float, default=1.0,
+                    help="widen every perf tolerance band by this "
+                         "factor (loose-CI mode)")
+    pa.add_argument("--update-references", action="store_true",
+                    help="capture/ratchet baselines instead of "
+                         "judging against them")
+    pa.add_argument("--no-autotune", action="store_true",
+                    help="skip the roofline-vs-exhaustive autotune "
+                         "differential section")
+    pa.add_argument("--inject-fault", default=None,
+                    choices=("kernel_delay",),
+                    help="arm a synthetic fault for the whole run "
+                         "(the check layer must then fail)")
+    pa.set_defaults(func=_cmd_bench_all)
 
     p = sub.add_parser("spy", help="render a .mtx pattern as ASCII")
     p.add_argument("matrix", help="path to a .mtx file")

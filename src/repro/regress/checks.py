@@ -1,0 +1,361 @@
+"""ReFrame-style perf checks: extract, compare, ratchet.
+
+A :class:`PerfCheck` names one scalar in one bench report (a
+*path* into the JSON), and how to judge it:
+
+* ``kind="gate"`` — the value must equal ``equals`` (defaulting to
+  truthiness). Gates are machine-independent invariants — recovery
+  rates, bit-identity flags — and need no reference file.
+* ``kind="perf"`` — the value compares against a per-machine
+  *reference* under asymmetric relative ``(lower, upper)`` tolerances,
+  the ReFrame idiom (``(ref, -0.1, 0.5)`` == "no more than 10% below,
+  50% above"). References live in ``references/<machine-id>.json``
+  and only ever *tighten* automatically (see :func:`ratchet`).
+
+Paths are dot-separated with two extensions over plain keys: a bare
+integer segment indexes a list (``scenarios.0.recovered``) and a
+``[key=value]`` segment selects the first object in a list whose
+``key`` stringifies to ``value`` (``table.[name=serve.solve].calls``
+— note the selector may itself contain dots).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field, replace
+
+#: Sentinel distinguishing "path missing" from a legitimate ``None``.
+_MISSING = object()
+
+_SELECTOR = re.compile(r"^\[([^=\[\]]+)=(.*)\]$")
+
+#: Statuses a check evaluation can land on.
+CHECK_STATUSES = ("pass", "fail", "no_reference", "captured",
+                  "missing_value", "gate_pass", "gate_fail")
+
+
+def split_path(path: str) -> list:
+    """Tokenize a check path: keys, integer indices, ``[k=v]`` selectors.
+
+    Selectors are atomic — the dots inside ``[name=serve.solve]`` do
+    not split — so bracket segments are carved out first and the
+    remainder splits on dots.
+    """
+    tokens: list = []
+    rest = path
+    while rest:
+        if rest.startswith("["):
+            end = rest.find("]")
+            if end < 0:
+                raise ValueError(f"unclosed selector in path {path!r}")
+            tokens.append(rest[:end + 1])
+            rest = rest[end + 1:].lstrip(".")
+            continue
+        head, bracket, tail = rest.partition(".[")
+        if bracket:
+            tokens.extend(t for t in head.split(".") if t != "")
+            rest = "[" + tail
+        else:
+            tokens.extend(t for t in head.split(".") if t != "")
+            rest = ""
+    if not tokens:
+        raise ValueError(f"empty check path {path!r}")
+    return tokens
+
+
+def extract_path(obj, path: str):
+    """Walk ``path`` into ``obj``; returns ``_MISSING`` when absent.
+
+    Never raises on absent/mistyped steps — a missing scalar is a
+    *reportable* condition (status ``missing_value``), not a crash in
+    the middle of a bench run.
+    """
+    node = obj
+    for token in split_path(path):
+        sel = _SELECTOR.match(token)
+        if sel is not None:
+            key, want = sel.group(1), sel.group(2)
+            if not isinstance(node, list):
+                return _MISSING
+            for item in node:
+                if isinstance(item, dict) and str(item.get(key)) == want:
+                    node = item
+                    break
+            else:
+                return _MISSING
+            continue
+        if isinstance(node, list):
+            try:
+                index = int(token)
+            except ValueError:
+                return _MISSING
+            if not -len(node) <= index < len(node):
+                return _MISSING
+            node = node[index]
+            continue
+        if isinstance(node, dict):
+            if token not in node:
+                return _MISSING
+            node = node[token]
+            continue
+        return _MISSING
+    return node
+
+
+def is_missing(value) -> bool:
+    return value is _MISSING
+
+
+@dataclass(frozen=True)
+class PerfCheck:
+    """One named scalar extraction + judgment rule.
+
+    Attributes
+    ----------
+    name:
+        Unique check id; also the key in reference files.
+    report:
+        Emitter name whose report the path walks (see
+        :mod:`repro.regress.registry`).
+    path:
+        Path into the report (see module docstring for syntax).
+    kind:
+        ``"perf"`` (reference + tolerance) or ``"gate"`` (invariant).
+    lower, upper:
+        Asymmetric relative tolerances, ``lower <= 0 <= upper``. The
+        admissible band around reference ``r`` is
+        ``[r + lower*|r|, r + upper*|r|]``.
+    better:
+        ``"lower"`` / ``"higher"`` — which direction is an improvement
+        (drives reference ratcheting); ``None`` pins a two-sided
+        deterministic quantity whose reference never auto-moves.
+    equals:
+        Gate expectation; ``None`` means plain truthiness.
+    required:
+        A failing optional check is reported but does not fail the run.
+    """
+
+    name: str
+    report: str
+    path: str
+    kind: str = "perf"
+    lower: float = -0.5
+    upper: float = 0.5
+    better: str | None = None
+    equals: object = None
+    required: bool = True
+
+    def __post_init__(self):
+        if self.kind not in ("perf", "gate"):
+            raise ValueError(f"unknown check kind {self.kind!r}")
+        if self.kind == "perf":
+            if not (self.lower <= 0.0 <= self.upper):
+                raise ValueError(
+                    f"{self.name}: tolerances must satisfy "
+                    f"lower <= 0 <= upper, got ({self.lower}, "
+                    f"{self.upper})")
+            if self.better not in (None, "lower", "higher"):
+                raise ValueError(
+                    f"{self.name}: better must be None/'lower'/"
+                    f"'higher', got {self.better!r}")
+        split_path(self.path)  # fail fast on malformed paths
+
+    def scaled(self, tolerance_scale: float) -> "PerfCheck":
+        """Widen the band by ``tolerance_scale`` (loose-CI mode)."""
+        if tolerance_scale == 1.0 or self.kind != "perf":
+            return self
+        if tolerance_scale <= 0:
+            raise ValueError("tolerance_scale must be positive")
+        return replace(self, lower=self.lower * tolerance_scale,
+                       upper=self.upper * tolerance_scale)
+
+
+def tolerance_bounds(reference: float, lower: float,
+                     upper: float) -> tuple:
+    """Admissible ``(lo, hi)`` band around ``reference``.
+
+    Relative to ``|reference|`` so the band orients the same way for
+    negative references; a zero reference collapses the band to the
+    point ``{0}`` — the only value "within relative tolerance of
+    zero" is zero itself.
+    """
+    spread = abs(reference)
+    return (reference + lower * spread, reference + upper * spread)
+
+
+def compare(value, reference, lower: float, upper: float) -> bool:
+    """Does ``value`` sit inside the tolerance band of ``reference``?
+
+    Non-finite values never pass (a NaN timing is a broken
+    measurement, not a fast one); a non-finite reference admits
+    nothing — it must be repaired, not matched.
+    """
+    try:
+        value = float(value)
+        reference = float(reference)
+    except (TypeError, ValueError):
+        return False
+    if not (math.isfinite(value) and math.isfinite(reference)):
+        return False
+    lo, hi = tolerance_bounds(reference, lower, upper)
+    return lo <= value <= hi
+
+
+def ratchet(old: float | None, measured: float,
+            better: str | None) -> float | None:
+    """The reference value after observing ``measured``.
+
+    References only ever *tighten*: a lower-is-better reference moves
+    down to a faster measurement and never back up; higher-is-better
+    mirrors. Direction-less references stick at first capture. A
+    non-finite measurement never replaces anything. Returns ``None``
+    only when there is nothing to store (no old value, bad sample).
+    """
+    measured = float(measured)
+    if not math.isfinite(measured):
+        return old
+    if old is None:
+        return measured
+    old = float(old)
+    if not math.isfinite(old):
+        return measured
+    if better == "lower":
+        return min(old, measured)
+    if better == "higher":
+        return max(old, measured)
+    return old
+
+
+@dataclass
+class CheckResult:
+    """Outcome of evaluating one check against one report set."""
+
+    check: PerfCheck
+    status: str
+    value: object = None
+    reference: object = None
+    bounds: tuple | None = None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Does this result keep the run green?"""
+        if self.status in ("pass", "gate_pass", "captured",
+                           "no_reference"):
+            return True
+        return not self.check.required
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("fail", "gate_fail", "missing_value") \
+            and self.check.required
+
+    def to_dict(self) -> dict:
+        def _num(v):
+            if isinstance(v, float) and not math.isfinite(v):
+                return str(v)
+            return v
+
+        return {
+            "name": self.check.name,
+            "report": self.check.report,
+            "path": self.check.path,
+            "kind": self.check.kind,
+            "status": self.status,
+            "value": _num(self.value),
+            "reference": _num(self.reference),
+            "bounds": (None if self.bounds is None
+                       else [_num(self.bounds[0]), _num(self.bounds[1])]),
+            "required": self.check.required,
+            "message": self.message,
+        }
+
+
+def evaluate_check(check: PerfCheck, reports: dict,
+                   references: dict,
+                   tolerance_scale: float = 1.0,
+                   update: bool = False) -> CheckResult:
+    """Judge one check; pure function of its inputs."""
+    report = reports.get(check.report)
+    if report is None:
+        return CheckResult(check, "missing_value",
+                           message=f"report {check.report!r} absent")
+    value = extract_path(report, check.path)
+    if is_missing(value):
+        return CheckResult(check, "missing_value",
+                           message=f"path {check.path!r} absent from "
+                                   f"{check.report} report")
+    if check.kind == "gate":
+        expected = True if check.equals is None else check.equals
+        passed = (bool(value) if check.equals is None
+                  else value == expected)
+        return CheckResult(
+            check, "gate_pass" if passed else "gate_fail",
+            value=value, reference=expected,
+            message="" if passed
+            else f"gate expected {expected!r}, got {value!r}")
+
+    scaled = check.scaled(tolerance_scale)
+    reference = references.get(check.name)
+    if update:
+        return CheckResult(check, "captured", value=value,
+                           reference=ratchet(reference, float(value),
+                                             check.better)
+                           if _is_number(value) else reference,
+                           message="reference captured")
+    if reference is None:
+        return CheckResult(check, "no_reference", value=value,
+                           message="no reference for this machine "
+                                   "(run with --update-references)")
+    if not _is_number(value):
+        return CheckResult(check, "fail", value=value,
+                           reference=reference,
+                           message=f"non-numeric value {value!r}")
+    bounds = tolerance_bounds(float(reference), scaled.lower,
+                              scaled.upper)
+    passed = compare(float(value), float(reference), scaled.lower,
+                     scaled.upper)
+    return CheckResult(
+        check, "pass" if passed else "fail", value=value,
+        reference=reference, bounds=bounds,
+        message="" if passed else
+        f"{check.name}: value {value} outside "
+        f"[{bounds[0]:.6g}, {bounds[1]:.6g}] "
+        f"(reference {reference}, tolerances ({scaled.lower:+g}, "
+        f"{scaled.upper:+g}))")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) \
+        and not isinstance(value, bool) \
+        and math.isfinite(float(value))
+
+
+def evaluate_checks(checks, reports: dict, references: dict,
+                    tolerance_scale: float = 1.0,
+                    update: bool = False) -> tuple:
+    """Judge every check; returns ``(results, updated_references)``.
+
+    ``updated_references`` is the reference mapping after ratcheting
+    the measured values in (only meaningful under ``update=True``, but
+    always returned so callers need no branching).
+    """
+    results = []
+    updated = dict(references)
+    names = [c.name for c in checks]
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise ValueError(f"duplicate check names: {sorted(dupes)}")
+    for check in checks:
+        result = evaluate_check(check, reports, references,
+                                tolerance_scale=tolerance_scale,
+                                update=update)
+        results.append(result)
+        if update and check.kind == "perf" \
+                and result.status == "captured" \
+                and _is_number(result.value):
+            updated[check.name] = ratchet(references.get(check.name),
+                                          float(result.value),
+                                          check.better)
+    return results, updated

@@ -1,0 +1,84 @@
+"""The standing check suite `repro bench all` evaluates.
+
+Two families:
+
+* **perf** checks — machine-dependent scalars (kernel seconds, cache
+  hit rates) judged against ``references/<machine-id>.json`` with
+  asymmetric tolerances. Timings get a tight-ish upper bound (a
+  regression) and a very loose lower bound (faster is suspicious only
+  when extreme); rates invert.
+* **gate** checks — machine-independent invariants the emitters
+  already compute (bitwise identity, recovery rates, admission
+  behaviour). Gates need no reference file and fail identically on
+  every host.
+
+Names are stable identifiers: they key the reference files, so rename
+one only with a reference migration.
+"""
+
+from __future__ import annotations
+
+from .checks import PerfCheck
+
+#: Wide-but-real timing band: flag a 2x slowdown, tolerate wobble.
+_TIME = {"lower": -0.9, "upper": 1.0, "better": "lower"}
+#: Rates are tight: deterministic workloads barely move them.
+_RATE = {"lower": -0.05, "upper": 0.10, "better": "higher"}
+
+
+def default_checks() -> list:
+    """Fresh list of the standing checks (callers may extend)."""
+    return [
+        # -- runtime kernels ------------------------------------------------
+        PerfCheck("runtime.sptrsv_lower.seconds", "runtime",
+                  "kernels.sptrsv_dbsr_lower.seconds", **_TIME),
+        PerfCheck("runtime.sptrsv_upper.seconds", "runtime",
+                  "kernels.sptrsv_dbsr_upper.seconds", **_TIME),
+        PerfCheck("runtime.spmv_dbsr.seconds", "runtime",
+                  "kernels.spmv_dbsr.seconds", **_TIME),
+        PerfCheck("runtime.symgs_dbsr.seconds", "runtime",
+                  "kernels.symgs_dbsr.seconds", **_TIME),
+        PerfCheck("runtime.spmv_dbsr.gather_free", "runtime",
+                  "kernels.spmv_dbsr.counts.ops.vgather",
+                  kind="gate", equals=0),
+        # -- serving --------------------------------------------------------
+        PerfCheck("serve.solve.seconds", "serve",
+                  "phases.solve.seconds", **_TIME),
+        PerfCheck("serve.compile.seconds", "serve",
+                  "phases.compile.seconds", **_TIME),
+        PerfCheck("serve.cache.hit_rate", "serve",
+                  "cache.hit_rate", **_RATE),
+        PerfCheck("serve.amortized_setup.seconds", "serve",
+                  "amortization.amortized_setup_seconds_per_request",
+                  **_TIME),
+        PerfCheck("serve.batch.bitwise", "serve",
+                  "batch_scaling.all_bitwise_equal", kind="gate"),
+        # -- chaos ----------------------------------------------------------
+        PerfCheck("chaos.recovery_rate", "chaos",
+                  "recovery_rate", kind="gate", equals=1.0),
+        PerfCheck("chaos.bit_identical_rate", "chaos",
+                  "bit_identical_rate", kind="gate", equals=1.0),
+        PerfCheck("chaos.breaker_opened", "chaos",
+                  "circuit_breaker.breaker_opened", kind="gate"),
+        # -- trace ----------------------------------------------------------
+        PerfCheck("trace.n_spans", "trace", "n_spans",
+                  lower=-0.1, upper=0.1, better=None),
+        # -- shard ----------------------------------------------------------
+        PerfCheck("shard.ok", "shard", "ok", kind="gate"),
+        PerfCheck("shard.hit_rate_min", "shard",
+                  "per_shard_hit_rate_min", **_RATE),
+        # -- gateway --------------------------------------------------------
+        PerfCheck("gateway.ok", "gateway", "ok", kind="gate"),
+        PerfCheck("gateway.admission.rejected", "gateway",
+                  "admission.rejected", kind="gate"),
+        PerfCheck("gateway.streaming.partial_first", "gateway",
+                  "streaming.partial_before_complete", kind="gate"),
+        # -- gateway chaos --------------------------------------------------
+        PerfCheck("gateway_chaos.ok", "gateway-chaos", "ok",
+                  kind="gate"),
+        PerfCheck("gateway_chaos.crash_recovery", "gateway-chaos",
+                  "crash_storm.recovery_rate", kind="gate",
+                  equals=1.0),
+        PerfCheck("gateway_chaos.hedge_bitwise", "gateway-chaos",
+                  "hedging.bitwise", kind="gate"),
+    ]

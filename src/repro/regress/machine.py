@@ -1,0 +1,53 @@
+"""Machine identity for per-host perf references.
+
+Perf numbers only compare meaningfully against the same hardware, so
+reference files are keyed by a **machine id** derived from a CPU
+fingerprint: ISA name, logical core count, and a short digest of the
+CPU model string. The id is deliberately coarse — two identical boxes
+share one reference file; a container migrating between CPU models
+does not silently compare apples to oranges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (empty when undiscoverable)."""
+    try:
+        with open("/proc/cpuinfo") as fh:
+            for line in fh:
+                if line.lower().startswith(("model name", "hardware",
+                                            "processor\t: 0")):
+                    _, _, value = line.partition(":")
+                    value = value.strip()
+                    if value and not value.isdigit():
+                        return value
+    except OSError:
+        pass
+    return platform.processor() or ""
+
+
+def machine_fingerprint() -> dict:
+    """The raw facts the machine id digests (recorded in reports)."""
+    return {
+        "arch": platform.machine() or "unknown",
+        "cores": os.cpu_count() or 1,
+        "cpu_model": _cpu_model(),
+        "system": platform.system().lower() or "unknown",
+    }
+
+
+def machine_id(fingerprint: dict | None = None) -> str:
+    """Stable short id, e.g. ``x86_64-8c-3fe2a1``.
+
+    The trailing hex digest covers the CPU model string, so same-arch
+    hosts with different silicon get distinct reference files.
+    """
+    fp = machine_fingerprint() if fingerprint is None else fingerprint
+    blob = f"{fp['arch']}|{fp['cores']}|{fp['cpu_model']}|{fp['system']}"
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:6]
+    return f"{fp['arch']}-{fp['cores']}c-{digest}"

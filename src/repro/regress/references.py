@@ -1,0 +1,98 @@
+"""Per-machine perf reference files.
+
+One JSON file per machine id under ``references/``, holding the
+baseline scalar for every perf check, keyed by run mode (``full`` vs
+``quick`` configs measure different workloads, so their baselines
+never mix):
+
+.. code-block:: json
+
+    {
+      "schema": "dbsr-repro/perf-references/v1",
+      "machine_id": "x86_64-8c-3fe2a1",
+      "fingerprint": {"arch": "x86_64", "cores": 8, ...},
+      "values": {
+        "full":  {"runtime.sptrsv_lower.seconds": 0.0012, ...},
+        "quick": {"runtime.sptrsv_lower.seconds": 0.0004, ...}
+      }
+    }
+
+Resolution order when loading: the exact machine file, then the
+``ci-default.json`` fallback (CI runners are ephemeral hardware;
+their checks run with widened tolerances instead of per-host
+baselines). A missing file is not an error — every check simply lands
+on ``no_reference`` until ``--update-references`` captures one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .machine import machine_fingerprint, machine_id
+
+REFERENCES_SCHEMA = "dbsr-repro/perf-references/v1"
+
+#: Shared fallback baseline for hosts without their own file.
+FALLBACK_ID = "ci-default"
+
+
+def reference_path(references_dir, mid: str) -> Path:
+    return Path(references_dir) / f"{mid}.json"
+
+
+def load_reference_file(path) -> dict | None:
+    """Parse one reference file; ``None`` when absent."""
+    path = Path(path)
+    if not path.is_file():
+        return None
+    with path.open() as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != REFERENCES_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {REFERENCES_SCHEMA!r}, "
+            f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("values"), dict):
+        raise ValueError(f"{path}: missing values mapping")
+    return doc
+
+
+def resolve_references(references_dir, mid: str,
+                       mode: str) -> tuple:
+    """Reference values for ``(machine, mode)`` plus their provenance.
+
+    Returns ``(values, source)`` where ``source`` names which file
+    supplied them (``mid``, ``"ci-default"``, or ``None`` when neither
+    file exists).
+    """
+    for candidate in (mid, FALLBACK_ID):
+        doc = load_reference_file(
+            reference_path(references_dir, candidate))
+        if doc is not None:
+            values = doc["values"].get(mode, {})
+            return dict(values), candidate
+    return {}, None
+
+
+def store_references(references_dir, mid: str, mode: str,
+                     values: dict,
+                     fingerprint: dict | None = None) -> Path:
+    """Write ``values`` for one ``(machine, mode)``, keeping the other
+    mode's entries intact, and return the file path."""
+    path = reference_path(references_dir, mid)
+    doc = load_reference_file(path)
+    if doc is None:
+        doc = {"schema": REFERENCES_SCHEMA, "machine_id": mid,
+               "fingerprint": fingerprint
+               or (machine_fingerprint()
+                   if mid == machine_id() else {}),
+               "values": {}}
+    doc["values"][mode] = {
+        name: values[name] for name in sorted(values)
+        if values[name] is not None
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -1,0 +1,197 @@
+"""Unified registry of every bench emitter in the repo.
+
+Seven subsystems each grew their own ``BENCH_*.json`` emitter across
+PRs 1–8; this registry is the single table describing all of them —
+how to import the collector lazily, which CLI command fronts it,
+where its artifact lands, which schema validates it, and the
+*full*/*quick* kwarg presets — so ``repro bench all`` (and the CI
+smoke job) can drive the whole fleet uniformly instead of shelling
+out to seven hand-rolled subcommands.
+
+Emitters marked ``exclusive`` mutate process-global state while they
+run (the trace emitter installs the global tracer; the chaos emitters
+arm the global fault injector) and must never execute concurrently
+with any other emitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from dataclasses import dataclass, field
+
+#: Common flags hoisted out of the per-command CLI handlers.
+COMMON_FLAGS = ("--out", "--seed", "--backend")
+
+DEFAULT_SEED = 2024
+DEFAULT_BACKEND = "numpy-fast"
+
+
+@dataclass(frozen=True)
+class BenchEmitter:
+    """One bench emitter: collector + CLI surface + presets."""
+
+    name: str
+    cli_command: str
+    out_default: str
+    schema_path: str
+    # Lazy "module:function" spec, imported at call time so the CLI
+    # stays import-light; tests may pass a plain callable instead.
+    collect: object = None
+    full_kwargs: dict = field(default_factory=dict)
+    quick_kwargs: dict = field(default_factory=dict)
+    supports_seed: bool = True
+    supports_backend: bool = False
+    exclusive: bool = False
+
+    def collector(self):
+        if callable(self.collect):
+            return self.collect
+        module_name, _, func_name = self.collect.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, func_name)
+
+    def kwargs(self, quick: bool = False) -> dict:
+        return dict(self.quick_kwargs if quick else self.full_kwargs)
+
+
+REGISTRY: dict = {}
+
+
+def register(emitter: BenchEmitter) -> BenchEmitter:
+    if emitter.name in REGISTRY:
+        raise ValueError(f"duplicate bench emitter {emitter.name!r}")
+    REGISTRY[emitter.name] = emitter
+    return emitter
+
+
+register(BenchEmitter(
+    name="runtime",
+    cli_command="bench-runtime",
+    out_default="BENCH_runtime.json",
+    schema_path="tests/runtime/bench_runtime.schema.json",
+    collect="repro.runtime.metrics:collect_bench_runtime",
+    quick_kwargs={"nx": 6, "repeats": 1},
+    supports_backend=True,
+))
+register(BenchEmitter(
+    name="serve",
+    cli_command="serve-bench",
+    out_default="BENCH_serve.json",
+    schema_path="tests/serve/bench_serve.schema.json",
+    collect="repro.serve.bench:collect_bench_serve",
+    quick_kwargs={"nx": 6, "n_requests": 12},
+    supports_backend=True,
+))
+register(BenchEmitter(
+    name="chaos",
+    cli_command="chaos-bench",
+    out_default="BENCH_chaos.json",
+    schema_path="tests/resilience/bench_chaos.schema.json",
+    collect="repro.resilience.chaos:collect_bench_chaos",
+    quick_kwargs={"nx": 6, "quick": True},
+    exclusive=True,  # arms the process-global fault injector
+))
+register(BenchEmitter(
+    name="trace",
+    cli_command="trace",
+    out_default="BENCH_trace.json",
+    schema_path="tests/observe/bench_trace.schema.json",
+    collect="repro.observe.report:collect_bench_trace",
+    quick_kwargs={"nx": 6, "k": 2},
+    exclusive=True,  # installs the process-global tracer
+))
+register(BenchEmitter(
+    name="shard",
+    cli_command="shard-bench",
+    out_default="BENCH_shard.json",
+    schema_path="tests/shard/bench_shard.schema.json",
+    collect="repro.shard.bench:collect_bench_shard",
+    quick_kwargs={"nx": 6, "n_ranks": 8, "n_requests": 12},
+))
+register(BenchEmitter(
+    name="gateway",
+    cli_command="gateway-bench",
+    out_default="BENCH_gateway.json",
+    schema_path="tests/gateway/bench_gateway.schema.json",
+    collect="repro.gateway.bench:collect_bench_gateway",
+    quick_kwargs={"nx": 5, "n_requests": 10, "k_stream": 4},
+))
+register(BenchEmitter(
+    name="gateway-chaos",
+    cli_command="gateway-chaos-bench",
+    out_default="BENCH_gateway_chaos.json",
+    schema_path="tests/supervise/bench_gateway_chaos.schema.json",
+    collect="repro.supervise.bench:collect_bench_gateway_chaos",
+    quick_kwargs={"nx": 4, "n_requests": 6},
+    exclusive=True,  # injects faults through the global injector
+))
+
+#: Canonical run order: exclusive emitters interleave fine
+#: sequentially; the parallel runner serialises them explicitly.
+EMITTER_ORDER = tuple(REGISTRY)
+
+
+def get_emitter(name: str) -> BenchEmitter:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench emitter {name!r}; "
+            f"known: {', '.join(REGISTRY)}") from None
+
+
+def run_emitter(name: str, quick: bool = False,
+                seed: int | None = None,
+                backend: str | None = None,
+                overrides: dict | None = None,
+                registry: dict | None = None) -> dict:
+    """Import the collector lazily and run one emitter's preset.
+
+    ``seed``/``backend`` apply only where the emitter supports them;
+    ``overrides`` (last) win over the preset kwargs. ``registry``
+    swaps in a scoped emitter table for tests.
+    """
+    table = REGISTRY if registry is None else registry
+    emitter = table[name] if name in table else get_emitter(name)
+    kwargs = emitter.kwargs(quick)
+    if seed is not None and emitter.supports_seed:
+        kwargs["seed"] = seed
+    if backend is not None and emitter.supports_backend:
+        kwargs["backend"] = backend
+    if overrides:
+        kwargs.update(overrides)
+    return emitter.collector()(**kwargs)
+
+
+def add_common_bench_args(parser: argparse.ArgumentParser,
+                          emitter: BenchEmitter) -> None:
+    """Attach the hoisted ``--out/--seed/--backend`` flags.
+
+    Every bench subcommand gets the same three spellings; ``--backend``
+    only appears where the collector accepts one, so ``--help`` stays
+    honest.
+    """
+    parser.add_argument("--out", default=emitter.out_default,
+                        help=f"output path "
+                             f"(default {emitter.out_default})")
+    if emitter.supports_seed:
+        parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                            help="workload RNG seed "
+                                 f"(default {DEFAULT_SEED})")
+    if emitter.supports_backend:
+        parser.add_argument("--backend", default=DEFAULT_BACKEND,
+                            choices=("numpy-counted", "numpy-fast",
+                                     "numba"),
+                            help="kernel backend tier "
+                                 f"(default {DEFAULT_BACKEND})")
+
+
+def resolve_common_kwargs(emitter: BenchEmitter, args) -> dict:
+    """Map parsed common flags back onto collector kwargs."""
+    kwargs: dict = {}
+    if emitter.supports_seed:
+        kwargs["seed"] = args.seed
+    if emitter.supports_backend:
+        kwargs["backend"] = args.backend
+    return kwargs

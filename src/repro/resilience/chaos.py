@@ -220,10 +220,12 @@ def run_breaker_scenario(nx: int, stencil: str, bsize: int) -> dict:
 
 
 def collect_bench_chaos(nx: int = 8, stencil: str = "27pt",
-                        bsize: int = 4, quick: bool = False) -> dict:
+                        bsize: int = 4, quick: bool = False,
+                        seed: int = 2024) -> dict:
     """Run every scenario and assemble the ``BENCH_chaos.json`` report."""
     scenarios = default_scenarios(quick=quick)
-    records = [run_scenario(s, nx=nx, stencil=stencil, bsize=bsize)
+    records = [run_scenario(s, nx=nx, stencil=stencil, bsize=bsize,
+                            rhs_seed=seed)
                for s in scenarios]
     breaker_record = run_breaker_scenario(nx=nx, stencil=stencil,
                                           bsize=bsize)
@@ -241,6 +243,7 @@ def collect_bench_chaos(nx: int = 8, stencil: str = "27pt",
             added_by_depth.setdefault(
                 str(r["fallback_depth"]), []).append(r["added_seconds"])
     return {
+        "schema": "dbsr-repro/bench-chaos/v1",
         "bench": "chaos",
         "grid": [nx, nx, nx],
         "stencil": stencil,

@@ -75,7 +75,8 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
                           bsize: int = 4, n_workers: int = 4,
                           dtype: str = "f64", repeats: int = 3,
                           pcg_iters: int = 5,
-                          backend: str = "numpy-fast") -> dict:
+                          backend: str = "numpy-fast",
+                          seed: int = 2024) -> dict:
     """Run the benchmark suite through one session; return the report.
 
     The report covers SpTRSV (lower + upper, sequential and
@@ -133,7 +134,7 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
             Ld = DBSRMatrix.from_csr(L, bsize)
             Ud = DBSRMatrix.from_csr(U, bsize)
 
-        rng = np.random.default_rng(2024)
+        rng = np.random.default_rng(seed)
         b = rng.standard_normal(Ap.n_rows).astype(np_dtype)
         x0 = np.zeros(Ap.n_rows, dtype=np_dtype)
 
@@ -227,6 +228,7 @@ def collect_bench_runtime(nx: int = 8, stencil: str = "27pt",
                 "dtype": str(np.dtype(np_dtype)),
                 "backend": backend,
                 "repeats": repeats,
+                "seed": seed,
                 "n_rows_padded": Ap.n_rows,
                 "n_tiles": dbsr.n_tiles,
                 "n_colors": vb.n_colors,

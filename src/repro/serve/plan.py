@@ -70,6 +70,15 @@ class PlanConfig:
         *requested* tier, part of the fingerprint. An unavailable
         optional tier (``numba``) resolves to ``numpy-fast`` at compile
         time with a warning.
+    autotune_prune:
+        Autotune search mode when ``bsize`` is left to the tuner:
+        ``None`` (feasibility rule, the historical default),
+        ``"exhaustive"`` (measure every feasible candidate) or
+        ``"roofline"`` (measure only the top model-ranked candidates —
+        the cold-compile fast path). Deliberately *not* part of the
+        structural fingerprint: like ``bsize_hint``, it only steers
+        which equally-valid pick the tuner lands on, never the
+        compiled artifacts' validity.
     """
 
     bsize: int | None = None
@@ -79,17 +88,22 @@ class PlanConfig:
     machine: str = "intel"
     groups_per_worker: int = 1
     backend: str = "numpy-fast"
+    autotune_prune: str | None = None
 
     def __post_init__(self):
         # Lazy import: repro.serve.__init__ imports this module at
         # package load, and repro.backends must stay cycle-free.
         from repro.backends import BACKEND_NAMES
+        from repro.simd.autotune import PRUNE_MODES
 
         require(self.strategy in STRATEGIES,
                 f"unknown strategy {self.strategy!r}; known: {STRATEGIES}")
         require(self.backend in BACKEND_NAMES,
                 f"unknown backend {self.backend!r}; "
                 f"known: {BACKEND_NAMES}")
+        require(self.autotune_prune in PRUNE_MODES,
+                f"unknown autotune_prune {self.autotune_prune!r}; "
+                f"known: {PRUNE_MODES}")
         if self.bsize is not None:
             check_positive(self.bsize, "bsize")
         check_positive(self.n_workers, "n_workers")
@@ -372,11 +386,13 @@ def compile_plan(grid: StructuredGrid, stencil: Stencil | str,
             from repro.experiments.base import machine_by_name
 
             machine = machine_by_name(config.machine)
-            with trace.span("serve.autotune", machine=config.machine):
+            with trace.span("serve.autotune", machine=config.machine,
+                            prune=str(config.autotune_prune)):
                 bsize = autotune_bsize(
                     grid, stencil, machine, n_workers=config.n_workers,
                     dtype_bytes=int(np.dtype(np_dtype).itemsize),
-                    groups_per_worker=config.groups_per_worker)
+                    groups_per_worker=config.groups_per_worker,
+                    prune=config.autotune_prune)
             autotuned = True
 
         n_colors = 2 if _is_star(stencil) else 2 ** grid.ndim

@@ -1,0 +1,253 @@
+"""PerfCheck extraction, comparison, and evaluation unit tests."""
+
+import math
+
+import pytest
+
+from repro.regress.checks import (
+    CheckResult,
+    PerfCheck,
+    compare,
+    evaluate_check,
+    evaluate_checks,
+    extract_path,
+    is_missing,
+    ratchet,
+    split_path,
+    tolerance_bounds,
+)
+
+REPORT = {
+    "kernels": {"sptrsv": {"seconds": 0.5, "flops": 100}},
+    "phases": {"solve": {"seconds": 0.25}},
+    "scenarios": [
+        {"name": "a", "recovered": True},
+        {"name": "serve.solve", "added": 3.5},
+    ],
+    "flags": {"ok": True, "none": None},
+}
+
+
+# -- path syntax -----------------------------------------------------------
+
+def test_split_plain_dotted():
+    assert split_path("kernels.sptrsv.seconds") == \
+        ["kernels", "sptrsv", "seconds"]
+
+
+def test_split_bracket_selector_is_atomic():
+    # The selector value contains a dot; it must not split.
+    assert split_path("scenarios.[name=serve.solve].added") == \
+        ["scenarios", "[name=serve.solve]", "added"]
+
+
+def test_split_rejects_unclosed_selector():
+    with pytest.raises(ValueError):
+        split_path("scenarios.[name=serve")
+
+
+def test_split_rejects_empty():
+    with pytest.raises(ValueError):
+        split_path("")
+
+
+def test_extract_nested():
+    assert extract_path(REPORT, "kernels.sptrsv.seconds") == 0.5
+
+
+def test_extract_list_index():
+    assert extract_path(REPORT, "scenarios.0.recovered") is True
+    assert extract_path(REPORT, "scenarios.1.added") == 3.5
+
+
+def test_extract_selector():
+    assert extract_path(
+        REPORT, "scenarios.[name=serve.solve].added") == 3.5
+
+
+def test_extract_missing_is_sentinel_not_none():
+    assert is_missing(extract_path(REPORT, "kernels.zzz.seconds"))
+    assert is_missing(extract_path(REPORT, "scenarios.7.name"))
+    assert is_missing(extract_path(REPORT, "scenarios.[name=zzz].x"))
+    # A stored None is a value, not a missing path.
+    assert extract_path(REPORT, "flags.none") is None
+    assert not is_missing(extract_path(REPORT, "flags.none"))
+
+
+def test_extract_type_mismatch_is_missing():
+    assert is_missing(extract_path(REPORT, "flags.ok.deeper"))
+    assert is_missing(extract_path(REPORT, "kernels.0"))
+
+
+# -- comparator ------------------------------------------------------------
+
+def test_bounds_asymmetric():
+    lo, hi = tolerance_bounds(10.0, -0.1, 0.5)
+    assert lo == pytest.approx(9.0)
+    assert hi == pytest.approx(15.0)
+
+
+def test_bounds_negative_reference_orients_correctly():
+    lo, hi = tolerance_bounds(-10.0, -0.1, 0.5)
+    assert lo == pytest.approx(-11.0)
+    assert hi == pytest.approx(-5.0)
+    assert lo < hi
+
+
+def test_compare_inside_outside():
+    assert compare(9.0, 10.0, -0.1, 0.5)
+    assert compare(15.0, 10.0, -0.1, 0.5)
+    assert not compare(8.99, 10.0, -0.1, 0.5)
+    assert not compare(15.01, 10.0, -0.1, 0.5)
+
+
+def test_compare_zero_reference_only_admits_zero():
+    assert compare(0.0, 0.0, -0.5, 0.5)
+    assert not compare(1e-12, 0.0, -0.5, 0.5)
+
+
+def test_compare_nan_and_inf_fail():
+    assert not compare(math.nan, 1.0, -1.0, 1.0)
+    assert not compare(1.0, math.nan, -1.0, 1.0)
+    assert not compare(math.inf, 1.0, -1.0, 1.0)
+    assert not compare("bogus", 1.0, -1.0, 1.0)
+
+
+# -- ratchet ---------------------------------------------------------------
+
+def test_ratchet_first_capture():
+    assert ratchet(None, 2.0, "lower") == 2.0
+    assert ratchet(None, 2.0, None) == 2.0
+
+
+def test_ratchet_only_tightens():
+    assert ratchet(2.0, 1.0, "lower") == 1.0   # faster -> adopt
+    assert ratchet(1.0, 2.0, "lower") == 1.0   # slower -> keep
+    assert ratchet(1.0, 2.0, "higher") == 2.0  # better -> adopt
+    assert ratchet(2.0, 1.0, "higher") == 2.0  # worse -> keep
+    assert ratchet(1.0, 99.0, None) == 1.0     # pinned -> keep
+
+
+def test_ratchet_ignores_bad_samples():
+    assert ratchet(1.0, math.nan, "lower") == 1.0
+    assert ratchet(None, math.inf, "lower") is None
+
+
+# -- PerfCheck validation --------------------------------------------------
+
+def test_perfcheck_rejects_bad_tolerances():
+    with pytest.raises(ValueError):
+        PerfCheck("x", "r", "a.b", lower=0.1, upper=0.5)
+    with pytest.raises(ValueError):
+        PerfCheck("x", "r", "a.b", lower=-0.5, upper=-0.1)
+
+
+def test_perfcheck_rejects_bad_kind_and_better():
+    with pytest.raises(ValueError):
+        PerfCheck("x", "r", "a.b", kind="vibes")
+    with pytest.raises(ValueError):
+        PerfCheck("x", "r", "a.b", better="sideways")
+
+
+def test_perfcheck_rejects_malformed_path_eagerly():
+    with pytest.raises(ValueError):
+        PerfCheck("x", "r", "a.[broken")
+
+
+def test_scaled_widens_band():
+    c = PerfCheck("x", "r", "a.b", lower=-0.1, upper=0.5)
+    s = c.scaled(3.0)
+    assert s.lower == pytest.approx(-0.3)
+    assert s.upper == pytest.approx(1.5)
+    assert c.scaled(1.0) is c
+    with pytest.raises(ValueError):
+        c.scaled(0.0)
+
+
+# -- evaluation ------------------------------------------------------------
+
+def _reports():
+    return {"serve": {"phases": {"solve": {"seconds": 0.25}},
+                      "flags": {"bitwise": True}}}
+
+
+def test_evaluate_pass_and_fail():
+    check = PerfCheck("serve.solve", "serve", "phases.solve.seconds",
+                      lower=-0.5, upper=0.5, better="lower")
+    ok = evaluate_check(check, _reports(), {"serve.solve": 0.25})
+    assert ok.status == "pass" and ok.ok and not ok.failed
+    bad = evaluate_check(check, _reports(), {"serve.solve": 0.1})
+    assert bad.status == "fail" and bad.failed
+    assert "serve.solve" in bad.message
+
+
+def test_evaluate_no_reference_passes_with_note():
+    check = PerfCheck("serve.solve", "serve", "phases.solve.seconds")
+    r = evaluate_check(check, _reports(), {})
+    assert r.status == "no_reference" and r.ok
+
+
+def test_evaluate_missing_value_fails_required():
+    check = PerfCheck("nope", "serve", "phases.zzz.seconds")
+    r = evaluate_check(check, _reports(), {})
+    assert r.status == "missing_value" and r.failed
+    optional = PerfCheck("nope2", "serve", "phases.zzz.seconds",
+                         required=False)
+    r2 = evaluate_check(optional, _reports(), {})
+    assert r2.status == "missing_value" and r2.ok and not r2.failed
+
+
+def test_evaluate_missing_report():
+    check = PerfCheck("gone", "shard", "ok")
+    r = evaluate_check(check, _reports(), {})
+    assert r.status == "missing_value" and "shard" in r.message
+
+
+def test_evaluate_gate_truthiness_and_equals():
+    gate = PerfCheck("bw", "serve", "flags.bitwise", kind="gate")
+    assert evaluate_check(gate, _reports(), {}).status == "gate_pass"
+    eq = PerfCheck("solve-is", "serve", "phases.solve.seconds",
+                   kind="gate", equals=0.25)
+    assert evaluate_check(eq, _reports(), {}).status == "gate_pass"
+    ne = PerfCheck("solve-not", "serve", "phases.solve.seconds",
+                   kind="gate", equals=0.5)
+    r = evaluate_check(ne, _reports(), {})
+    assert r.status == "gate_fail" and r.failed
+
+
+def test_evaluate_tolerance_scale_rescues_near_miss():
+    check = PerfCheck("serve.solve", "serve", "phases.solve.seconds",
+                      lower=-0.1, upper=0.1, better="lower")
+    refs = {"serve.solve": 0.2}  # measured 0.25 is a +25% miss
+    assert evaluate_check(check, _reports(), refs).status == "fail"
+    assert evaluate_check(check, _reports(), refs,
+                          tolerance_scale=3.0).status == "pass"
+
+
+def test_evaluate_update_captures_and_ratchets():
+    check = PerfCheck("serve.solve", "serve", "phases.solve.seconds",
+                      better="lower")
+    results, updated = evaluate_checks([check], _reports(), {},
+                                       update=True)
+    assert results[0].status == "captured"
+    assert updated == {"serve.solve": 0.25}
+    # A second capture against a faster old baseline keeps it.
+    _, updated2 = evaluate_checks([check], _reports(),
+                                  {"serve.solve": 0.1}, update=True)
+    assert updated2 == {"serve.solve": 0.1}
+
+
+def test_evaluate_checks_rejects_duplicate_names():
+    check = PerfCheck("dup", "serve", "phases.solve.seconds")
+    with pytest.raises(ValueError):
+        evaluate_checks([check, check], _reports(), {})
+
+
+def test_result_to_dict_is_json_safe():
+    import json
+
+    check = PerfCheck("x", "serve", "phases.solve.seconds")
+    r = CheckResult(check, "fail", value=math.nan, reference=1.0,
+                    bounds=(0.5, math.inf))
+    json.dumps(r.to_dict())  # must not raise
+    assert r.to_dict()["value"] == "nan"

@@ -1,0 +1,147 @@
+"""Hypothesis properties for the tolerance comparator and paths."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regress.checks import (
+    compare,
+    extract_path,
+    is_missing,
+    ratchet,
+    split_path,
+    tolerance_bounds,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+positive = st.floats(min_value=1e-9, max_value=1e9,
+                     allow_nan=False, allow_infinity=False)
+lower_tol = st.floats(min_value=-1.0, max_value=0.0,
+                      allow_nan=False)
+upper_tol = st.floats(min_value=0.0, max_value=5.0,
+                      allow_nan=False)
+direction = st.sampled_from([None, "lower", "higher"])
+
+
+# -- comparator ------------------------------------------------------------
+
+@given(reference=finite, lower=lower_tol, upper=upper_tol)
+def test_reference_always_within_own_band(reference, lower, upper):
+    assert compare(reference, reference, lower, upper)
+
+
+@given(reference=finite, lower=lower_tol, upper=upper_tol)
+def test_bounds_ordered(reference, lower, upper):
+    lo, hi = tolerance_bounds(reference, lower, upper)
+    assert lo <= reference <= hi
+
+
+@given(value=finite, reference=positive, lower=lower_tol,
+       upper=upper_tol)
+def test_compare_matches_bounds(value, reference, lower, upper):
+    lo, hi = tolerance_bounds(reference, lower, upper)
+    assert compare(value, reference, lower, upper) == \
+        (lo <= value <= hi)
+
+
+@given(value=finite, lower=lower_tol, upper=upper_tol)
+def test_zero_reference_admits_only_zero(value, lower, upper):
+    assert compare(value, 0.0, lower, upper) == (value == 0.0)
+
+
+@given(reference=finite, lower=lower_tol, upper=upper_tol)
+def test_nan_never_passes(reference, lower, upper):
+    assert not compare(math.nan, reference, lower, upper)
+    assert not compare(reference, math.nan, lower, upper)
+
+
+@given(value=finite, reference=positive, lower=lower_tol,
+       upper=upper_tol, scale=st.floats(min_value=1.0, max_value=10.0,
+                                        allow_nan=False))
+def test_widening_tolerances_never_unpasses(value, reference, lower,
+                                            upper, scale):
+    if compare(value, reference, lower, upper):
+        assert compare(value, reference, lower * scale,
+                       upper * scale)
+
+
+# -- ratchet monotonicity --------------------------------------------------
+
+@given(old=finite, measured=finite)
+def test_ratchet_lower_never_loosens(old, measured):
+    assert ratchet(old, measured, "lower") <= old
+
+
+@given(old=finite, measured=finite)
+def test_ratchet_higher_never_loosens(old, measured):
+    assert ratchet(old, measured, "higher") >= old
+
+
+@given(old=finite, measured=finite, direction=direction)
+def test_ratchet_result_is_old_or_measured(old, measured, direction):
+    assert ratchet(old, measured, direction) in (old, measured)
+
+
+@given(measured=finite, direction=direction)
+def test_ratchet_idempotent(measured, direction):
+    once = ratchet(None, measured, direction)
+    assert ratchet(once, measured, direction) == once
+
+
+@given(old=finite, samples=st.lists(finite, min_size=1, max_size=8))
+def test_ratchet_fold_is_order_insensitive_for_lower(old, samples):
+    forward = old
+    for s in samples:
+        forward = ratchet(forward, s, "lower")
+    assert forward == min([old] + samples)
+
+
+# -- dotted-path extraction ------------------------------------------------
+
+keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                           whitelist_characters="_"),
+    min_size=1, max_size=8)
+scalars = st.one_of(st.integers(), finite, st.booleans(),
+                    st.text(max_size=8))
+
+
+@given(path_keys=st.lists(keys, min_size=1, max_size=5),
+       value=scalars)
+def test_roundtrip_nested_dicts(path_keys, value):
+    doc = value
+    for key in reversed(path_keys):
+        doc = {key: doc}
+    got = extract_path(doc, ".".join(path_keys))
+    assert got == value or (isinstance(value, float)
+                            and math.isnan(value)
+                            and math.isnan(got))
+
+
+@given(path_keys=st.lists(keys, min_size=1, max_size=5))
+def test_split_then_join_preserves_tokens(path_keys):
+    assert split_path(".".join(path_keys)) == path_keys
+
+
+@given(path_keys=st.lists(keys, min_size=2, max_size=5),
+       value=scalars)
+def test_truncated_document_is_missing(path_keys, value):
+    # Build one level less than the path asks for: the walk bottoms
+    # out on a scalar and must report missing, never raise.
+    doc = value
+    for key in reversed(path_keys[:-1]):
+        doc = {key: doc}
+    assert is_missing(extract_path(doc, ".".join(path_keys)))
+
+
+@settings(max_examples=50)
+@given(index=st.integers(min_value=-20, max_value=20),
+       items=st.lists(st.integers(), max_size=10))
+def test_list_index_semantics_match_python(index, items):
+    got = extract_path({"xs": items}, f"xs.{index}")
+    if -len(items) <= index < len(items):
+        assert got == items[index]
+    else:
+        assert is_missing(got)

@@ -1,0 +1,38 @@
+"""Machine fingerprint / id derivation."""
+
+import re
+
+from repro.regress.machine import machine_fingerprint, machine_id
+
+
+def test_fingerprint_fields():
+    fp = machine_fingerprint()
+    assert set(fp) == {"arch", "cores", "cpu_model", "system"}
+    assert fp["cores"] >= 1
+    assert fp["arch"]
+
+
+def test_machine_id_shape():
+    mid = machine_id()
+    assert re.fullmatch(r"[\w.-]+-\d+c-[0-9a-f]{6}", mid), mid
+
+
+def test_machine_id_deterministic():
+    assert machine_id() == machine_id()
+    fp = machine_fingerprint()
+    assert machine_id(fp) == machine_id(dict(fp))
+
+
+def test_machine_id_distinguishes_cpu_model():
+    fp = machine_fingerprint()
+    other = dict(fp, cpu_model=fp["cpu_model"] + "-other")
+    assert machine_id(fp) != machine_id(other)
+    # ... but shares the human-readable prefix.
+    assert machine_id(fp).rsplit("-", 1)[0] == \
+        machine_id(other).rsplit("-", 1)[0]
+
+
+def test_machine_id_distinguishes_core_count():
+    fp = machine_fingerprint()
+    other = dict(fp, cores=fp["cores"] + 1)
+    assert machine_id(fp) != machine_id(other)

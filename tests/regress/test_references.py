@@ -1,0 +1,84 @@
+"""Reference-file storage, resolution order, and mode keying."""
+
+import json
+
+import pytest
+
+from repro.regress.references import (
+    FALLBACK_ID,
+    REFERENCES_SCHEMA,
+    load_reference_file,
+    reference_path,
+    resolve_references,
+    store_references,
+)
+
+
+def test_store_then_load_roundtrip(tmp_path):
+    path = store_references(tmp_path, "archy-4c-abc123", "full",
+                            {"a.seconds": 1.5, "b.rate": 0.9},
+                            fingerprint={"arch": "archy"})
+    assert path == reference_path(tmp_path, "archy-4c-abc123")
+    doc = load_reference_file(path)
+    assert doc["schema"] == REFERENCES_SCHEMA
+    assert doc["machine_id"] == "archy-4c-abc123"
+    assert doc["values"]["full"] == {"a.seconds": 1.5, "b.rate": 0.9}
+
+
+def test_store_keeps_other_mode(tmp_path):
+    store_references(tmp_path, "m1", "full", {"x": 1.0})
+    store_references(tmp_path, "m1", "quick", {"x": 0.5})
+    doc = load_reference_file(reference_path(tmp_path, "m1"))
+    assert doc["values"] == {"full": {"x": 1.0}, "quick": {"x": 0.5}}
+
+
+def test_store_drops_none_values(tmp_path):
+    store_references(tmp_path, "m1", "full", {"x": 1.0, "y": None})
+    values, _ = resolve_references(tmp_path, "m1", "full")
+    assert values == {"x": 1.0}
+
+
+def test_resolution_prefers_exact_machine(tmp_path):
+    store_references(tmp_path, FALLBACK_ID, "full", {"x": 9.0})
+    store_references(tmp_path, "m1", "full", {"x": 1.0})
+    values, source = resolve_references(tmp_path, "m1", "full")
+    assert (values, source) == ({"x": 1.0}, "m1")
+
+
+def test_resolution_falls_back_to_ci_default(tmp_path):
+    store_references(tmp_path, FALLBACK_ID, "full", {"x": 9.0})
+    values, source = resolve_references(tmp_path, "unknown-1c-ffffff",
+                                        "full")
+    assert (values, source) == ({"x": 9.0}, FALLBACK_ID)
+
+
+def test_resolution_missing_everything(tmp_path):
+    values, source = resolve_references(tmp_path, "m1", "full")
+    assert values == {} and source is None
+
+
+def test_modes_do_not_mix(tmp_path):
+    store_references(tmp_path, "m1", "full", {"x": 1.0})
+    values, source = resolve_references(tmp_path, "m1", "quick")
+    assert values == {} and source == "m1"
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "other/v1", "values": {}}))
+    with pytest.raises(ValueError):
+        load_reference_file(path)
+
+
+def test_load_rejects_missing_values(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": REFERENCES_SCHEMA}))
+    with pytest.raises(ValueError):
+        load_reference_file(path)
+
+
+def test_values_sorted_for_stable_diffs(tmp_path):
+    path = store_references(tmp_path, "m1", "full",
+                            {"z": 1.0, "a": 2.0, "m": 3.0})
+    text = path.read_text()
+    assert text.index('"a"') < text.index('"m"') < text.index('"z"')

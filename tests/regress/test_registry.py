@@ -1,0 +1,153 @@
+"""The bench-emitter registry: completeness, presets, CLI hoisting."""
+
+import argparse
+import importlib
+from pathlib import Path
+
+import pytest
+
+from repro.regress.registry import (
+    COMMON_FLAGS,
+    EMITTER_ORDER,
+    REGISTRY,
+    BenchEmitter,
+    add_common_bench_args,
+    get_emitter,
+    resolve_common_kwargs,
+    run_emitter,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+EXPECTED_EMITTERS = {"runtime", "serve", "chaos", "trace", "shard",
+                     "gateway", "gateway-chaos"}
+
+
+def test_registry_covers_all_seven_emitters():
+    assert set(REGISTRY) == EXPECTED_EMITTERS
+    assert set(EMITTER_ORDER) == EXPECTED_EMITTERS
+
+
+def test_collector_specs_import():
+    for emitter in REGISTRY.values():
+        fn = emitter.collector()
+        assert callable(fn), emitter.name
+
+
+def test_quick_kwargs_are_accepted_by_collectors():
+    import inspect
+
+    for emitter in REGISTRY.values():
+        params = inspect.signature(emitter.collector()).parameters
+        for key in emitter.quick_kwargs:
+            assert key in params, f"{emitter.name}: {key}"
+        if emitter.supports_seed:
+            assert "seed" in params, emitter.name
+        if emitter.supports_backend:
+            assert "backend" in params, emitter.name
+
+
+def test_schema_paths_exist():
+    for emitter in REGISTRY.values():
+        assert (REPO_ROOT / emitter.schema_path).is_file(), \
+            emitter.schema_path
+
+
+def test_out_defaults_unique():
+    outs = [e.out_default for e in REGISTRY.values()]
+    assert len(outs) == len(set(outs))
+
+
+def test_global_state_emitters_are_exclusive():
+    # Installing the tracer / arming the fault injector is global;
+    # these three must never run concurrently with anything.
+    exclusive = {n for n, e in REGISTRY.items() if e.exclusive}
+    assert exclusive == {"trace", "chaos", "gateway-chaos"}
+
+
+def test_cli_commands_match_cli_parser():
+    from repro.cli import build_parser
+
+    sub = next(a for a in build_parser()._actions
+               if isinstance(a, argparse._SubParsersAction))
+    for emitter in REGISTRY.values():
+        assert emitter.cli_command in sub.choices, emitter.cli_command
+
+
+def test_get_emitter_unknown():
+    with pytest.raises(KeyError):
+        get_emitter("zzz")
+
+
+def test_run_emitter_with_callable_and_overrides():
+    seen = {}
+
+    def fake(seed=0, nx=1, backend="numpy-fast"):
+        seen.update(seed=seed, nx=nx, backend=backend)
+        return {"ok": True}
+
+    table = {"fake": BenchEmitter(
+        name="fake", cli_command="fake", out_default="x.json",
+        schema_path="nope.json", collect=fake,
+        quick_kwargs={"nx": 2}, supports_backend=True)}
+    report = run_emitter("fake", quick=True, seed=7,
+                         backend="numpy-counted", registry=table,
+                         overrides={"nx": 3})
+    assert report == {"ok": True}
+    assert seen == {"seed": 7, "nx": 3, "backend": "numpy-counted"}
+
+
+def test_seed_backend_not_forwarded_when_unsupported():
+    seen = {}
+
+    def fake(**kwargs):
+        seen.update(kwargs)
+        return {}
+
+    table = {"fake": BenchEmitter(
+        name="fake", cli_command="fake", out_default="x.json",
+        schema_path="nope.json", collect=fake,
+        supports_seed=False, supports_backend=False)}
+    run_emitter("fake", seed=7, backend="numba", registry=table)
+    assert seen == {}
+
+
+def test_add_common_bench_args_flags():
+    for emitter in REGISTRY.values():
+        parser = argparse.ArgumentParser()
+        add_common_bench_args(parser, emitter)
+        flags = {a for action in parser._actions
+                 for a in action.option_strings}
+        assert "--out" in flags
+        assert ("--seed" in flags) == emitter.supports_seed
+        assert ("--backend" in flags) == emitter.supports_backend
+        assert flags - {"-h", "--help"} <= set(COMMON_FLAGS)
+        args = parser.parse_args([])
+        assert args.out == emitter.out_default
+        kwargs = resolve_common_kwargs(emitter, args)
+        if emitter.supports_seed:
+            assert kwargs["seed"] == 2024
+        if emitter.supports_backend:
+            assert kwargs["backend"] == "numpy-fast"
+
+
+def test_every_bench_cli_command_has_uniform_flags():
+    """The satellite pin: no bench subcommand hand-rolls --out/--seed."""
+    from repro.cli import build_parser
+
+    sub = next(a for a in build_parser()._actions
+               if isinstance(a, argparse._SubParsersAction))
+    for emitter in REGISTRY.values():
+        sp = sub.choices[emitter.cli_command]
+        flags = {a for action in sp._actions
+                 for a in action.option_strings}
+        assert "--out" in flags, emitter.cli_command
+        if emitter.supports_seed:
+            assert "--seed" in flags, emitter.cli_command
+        if emitter.supports_backend:
+            assert "--backend" in flags, emitter.cli_command
+        defaults = {action.dest: action.default
+                    for action in sp._actions}
+        assert defaults.get("out") == emitter.out_default
+        if emitter.supports_seed:
+            assert defaults.get("seed") == 2024

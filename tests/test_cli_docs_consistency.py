@@ -52,3 +52,41 @@ def test_every_subcommand_has_help_text():
     helps = {ca.dest: ca.help for ca in action._choices_actions}
     for name in _subcommands():
         assert helps.get(name), f"subcommand {name!r} has no help text"
+
+
+def test_bench_all_documented():
+    assert "bench" in _subcommands()
+    assert "bench all" in (cli.__doc__ or "")
+    with open(os.path.join(DOCS, "usage.md")) as fh:
+        assert "bench all" in fh.read()
+    with open(os.path.join(DOCS, "regression.md")) as fh:
+        text = fh.read()
+    # The regression doc must cover the whole workflow surface.
+    for needle in ("--update-references", "machine", "tolerance",
+                   "references/", "ratchet"):
+        assert needle in text, f"docs/regression.md misses {needle!r}"
+
+
+def test_bench_subcommands_use_registry_flags():
+    """Satellite pin: the shared --out/--seed/--backend flags come
+    from the registry helper, with uniform help text and defaults."""
+    from repro.regress.registry import REGISTRY
+
+    parser = cli.build_parser()
+    action = [a for a in parser._actions
+              if isinstance(a, argparse._SubParsersAction)][0]
+    for emitter in REGISTRY.values():
+        sp = action.choices[emitter.cli_command]
+        by_flag = {opt: a for a in sp._actions
+                   for opt in a.option_strings}
+        assert by_flag["--out"].default == emitter.out_default
+        assert "output path" in by_flag["--out"].help
+        if emitter.supports_seed:
+            assert by_flag["--seed"].default == 2024
+            assert "seed" in by_flag["--seed"].help
+        else:
+            assert "--seed" not in by_flag
+        if emitter.supports_backend:
+            assert by_flag["--backend"].default == "numpy-fast"
+        else:
+            assert "--backend" not in by_flag
