@@ -72,6 +72,10 @@ class KernelBackend:
         X = np.zeros_like(Bp)
         return self.symgs_dbsr_multi(plan.dbsr, plan.diag, X, Bp)
 
+    def ilu_apply(self, plan, Bp: np.ndarray) -> np.ndarray:
+        """Apply an :class:`~repro.serve.ilu_plan.ILUPlan`'s factors."""
+        return self.ilu_apply_dbsr_multi(plan.factors, Bp)
+
     # Format-level multi-RHS kernels -----------------------------------
     def sptrsv_dbsr_multi(self, matrix, Bp: np.ndarray,
                           diag: np.ndarray | None,
@@ -92,6 +96,10 @@ class KernelBackend:
                           diag: np.ndarray | None,
                           forward: bool) -> np.ndarray:
         """Column-wise SELL triangular solve over an ``(n, k)`` block."""
+        raise NotImplementedError
+
+    def ilu_apply_dbsr_multi(self, factors, Bp: np.ndarray) -> np.ndarray:
+        """Solve ``L U Z = B`` over factored DBSR ILU(0) artifacts."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -112,6 +112,38 @@ def _symgs_dbsr_body(blk_ptr, anchors, values, Bk, Xp, diag):
                         Xp[j, bs + row0 + lane] + corr
 
 
+def _ilu_apply_dbsr_body(blk_ptr, dia_ptr, anchors, values, Bk, Yp, Zp):
+    k = Bk.shape[0]
+    brow = blk_ptr.shape[0] - 1
+    bs = values.shape[1]
+    # Forward: (L + I) Y = B over the strictly-lower tiles.
+    for i in range(brow):
+        row0 = i * bs
+        for j in range(k):
+            acc = Bk[j, row0:row0 + bs].copy()
+            for t in range(blk_ptr[i], dia_ptr[i]):
+                a = anchors[t]
+                for lane in range(bs):
+                    prod = values[t, lane] * Yp[j, a + lane]
+                    acc[lane] = acc[lane] - prod
+            for lane in range(bs):
+                Yp[j, bs + row0 + lane] = acc[lane]
+    # Backward: (D + U) Z = Y over the diagonal + upper tiles.
+    for i in range(brow - 1, -1, -1):
+        row0 = i * bs
+        for j in range(k):
+            acc = Yp[j, bs + row0:bs + row0 + bs].copy()
+            for t in range(dia_ptr[i] + 1, blk_ptr[i + 1]):
+                a = anchors[t]
+                for lane in range(bs):
+                    prod = values[t, lane] * Zp[j, a + lane]
+                    acc[lane] = acc[lane] - prod
+            for lane in range(bs):
+                acc[lane] = acc[lane] / values[dia_ptr[i], lane]
+            for lane in range(bs):
+                Zp[j, bs + row0 + lane] = acc[lane]
+
+
 def _sptrsv_sell_body(chunk_ptr, widths, colidx, vals, diag, use_diag,
                       b, x, chunk, forward):
     n = x.shape[0]
@@ -144,6 +176,7 @@ _BODIES = {
     "spmv_dbsr": _spmv_dbsr_body,
     "symgs_dbsr": _symgs_dbsr_body,
     "sptrsv_sell": _sptrsv_sell_body,
+    "ilu_apply_dbsr": _ilu_apply_dbsr_body,
 }
 
 
@@ -232,6 +265,21 @@ class NumbaBackend(KernelBackend):
         kern(blk_ptr, anchors, values, Bk, Xp, d)
         X[:] = Xp[:, bs:bs + n].T
         return X
+
+    def ilu_apply_dbsr_multi(self, factors, Bp):
+        kern = _kernels(self._jit)["ilu_apply_dbsr"]
+        m = factors.matrix
+        B = np.asarray(Bp)
+        n, k = B.shape
+        bs = m.bsize
+        dtype = np.result_type(m.values, B)
+        blk_ptr, anchors, values = self._dbsr_args(m, dtype)
+        dia_ptr = np.ascontiguousarray(factors.dia_ptr, dtype=np.int64)
+        Bk = np.ascontiguousarray(B.T, dtype=dtype)
+        Yp = np.zeros((k, n + 2 * bs), dtype=dtype)
+        Zp = np.zeros((k, n + 2 * bs), dtype=dtype)
+        kern(blk_ptr, dia_ptr, anchors, values, Bk, Yp, Zp)
+        return np.ascontiguousarray(Zp[:, bs:bs + n].T)
 
     def sptrsv_sell_multi(self, sell, Bp, diag, forward):
         kern = _kernels(self._jit)["sptrsv_sell"]

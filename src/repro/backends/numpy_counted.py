@@ -61,6 +61,13 @@ class NumpyCountedBackend(KernelBackend):
         engine = self._engine(matrix.bsize, matrix.values.dtype)
         return symgs_dbsr_multi_counted(matrix, diag, X, Bp, engine)
 
+    def ilu_apply_dbsr_multi(self, factors, Bp):
+        from repro.serve.batch import ilu_apply_dbsr_multi_counted
+
+        m = factors.matrix
+        engine = self._engine(m.bsize, m.values.dtype)
+        return ilu_apply_dbsr_multi_counted(factors, Bp, engine)
+
     def sptrsv_sell_multi(self, sell, Bp, diag, forward):
         from repro.kernels.sptrsv_sell import (
             sptrsv_sell_lower,

@@ -50,3 +50,8 @@ class NumpyFastBackend(KernelBackend):
         for j in range(Bp.shape[1]):
             out[:, j] = kern(sell, Bp[:, j], diag=diag)
         return out
+
+    def ilu_apply_dbsr_multi(self, factors, Bp):
+        from repro.serve.batch import ilu_apply_dbsr_multi
+
+        return ilu_apply_dbsr_multi(factors, Bp)

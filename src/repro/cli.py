@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli bench all --update-references
     python -m repro.cli bench-runtime --nx 8 --workers 4
     python -m repro.cli serve-bench --nx 8 --requests 24
+    python -m repro.cli ilu-bench --nx 8 --values 4
     python -m repro.cli shard-bench --nx 9 --ranks 27
     python -m repro.cli gateway-bench --nx 6 --requests 18
     python -m repro.cli gateway-chaos-bench --nx 5 --requests 8
@@ -219,6 +220,42 @@ def _cmd_serve_bench(args) -> int:
     print(f"value bytes/solve strictly decreasing: "
           f"{'yes' if scaling['value_bytes_per_solve_decreasing'] else 'NO'}")
     print(f"[written to {path}]")
+    return 0 if ok else 1
+
+
+def _cmd_ilu_bench(args) -> int:
+    from repro.runtime.metrics import write_bench_json
+    from repro.serve.ilu_bench import collect_bench_ilu
+
+    report = collect_bench_ilu(
+        nx=args.nx, stencil=args.stencil, n_values=args.values,
+        n_requests=args.requests, max_batch=args.max_batch,
+        n_workers=args.workers, dtype=args.dtype,
+        machine=args.machine, seed=args.seed, backend=args.backend)
+    path = write_bench_json(report, args.out)
+    rp = report["repack"]
+    print(f"cold compile {rp['cold_compile_seconds'] * 1e3:.1f} ms, "
+          f"value-only repack "
+          f"{rp['refresh_seconds_mean'] * 1e3:.1f} ms mean over "
+          f"{rp['n_refreshes']} refreshes "
+          f"(ratio {rp['amortization_ratio']:.3f}, gate "
+          f"{'pass' if rp['refresh_le_half_cold'] else 'FAIL'})")
+    print(f"repack bitwise == cold: "
+          f"{'yes' if rp['repack_bitwise_equals_cold'] else 'NO'}; "
+          f"DBSR apply bitwise == CSR rung: "
+          f"{'yes' if rp['apply_bitwise_equals_csr_rung'] else 'NO'}")
+    iso = report["sibling_isolation"]
+    print(f"sibling isolation under invalidate+refresh: "
+          f"{'yes' if iso['isolated'] else 'NO'}")
+    svc = report["service"]
+    print(f"service: {svc['completed']}/{svc['submitted']} completed "
+          f"in {svc['batches_executed']} batches, "
+          f"{svc['failed']} failed")
+    print(f"[written to {path}]")
+    ok = (rp["refresh_le_half_cold"]
+          and rp["repack_bitwise_equals_cold"]
+          and rp["apply_bitwise_equals_csr_rung"]
+          and iso["isolated"] and svc["failed"] == 0)
     return 0 if ok else 1
 
 
@@ -586,6 +623,23 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("intel", "kp920", "thunderx2", "phytium"))
     add_common_bench_args(p, get_emitter("serve"))
     p.set_defaults(func=_cmd_serve_bench)
+
+    p = sub.add_parser("ilu-bench",
+                       help="run the ILU(0) serving benchmark "
+                            "(value-only repack amortization + "
+                            "bitwise gates) and emit BENCH_ilu.json")
+    p.add_argument("--nx", type=int, default=8)
+    p.add_argument("--stencil", default="27pt")
+    p.add_argument("--values", type=int, default=4,
+                   help="number of coefficient refreshes to time")
+    p.add_argument("--requests", type=int, default=16)
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--dtype", default="f64", choices=("f64", "f32"))
+    p.add_argument("--machine", default="kp920",
+                   choices=("intel", "kp920", "thunderx2", "phytium"))
+    add_common_bench_args(p, get_emitter("ilu"))
+    p.set_defaults(func=_cmd_ilu_bench)
 
     p = sub.add_parser("shard-bench",
                        help="run the sharded-serving benchmark "

@@ -102,6 +102,10 @@ class ServiceTimeEstimator:
         self._latency: dict[tuple, Ewma] = {}
         self._calibration = Ewma(alpha)
         self._compile = Ewma(alpha)
+        # Value-only ILU repacks are a small fraction of a cold
+        # compile; charging them the cold EWMA would over-reject
+        # feasible deadlines, so they get their own series.
+        self._refresh = Ewma(alpha)
 
     # Analytic model -----------------------------------------------------
     def _counter(self, grid, stencil, config, op: str,
@@ -123,6 +127,11 @@ class ServiceTimeEstimator:
             sweeps, divide = 1, True
         elif op == "spmv":
             nnz_op, sweeps, divide = nnz, 1, False
+        elif op == "ilu_apply":
+            # Forward + backward factor sweeps over the triangular
+            # halves; the divide prices the backward diagonal solve.
+            nnz_op = max(1, (nnz - n) // 2)
+            sweeps, divide = 2, True
         else:  # symgs: both triangular sweeps + corrections
             nnz_op = max(1, (nnz - n) // 2)
             sweeps, divide = 2, True
@@ -174,9 +183,21 @@ class ServiceTimeEstimator:
                 self._calibration.update(
                     min(max(ratio, self._lo), self._hi))
 
-    def observe_compile(self, seconds: float) -> None:
+    def observe_compile(self, seconds: float,
+                        kind: str = "cold") -> None:
+        """Feed one compile observation; ``kind`` picks the series.
+
+        ``"cold"`` is a full structural compile, ``"refresh"`` a
+        value-only ILU repack — keeping them separate is what stops
+        warm repack traffic from being priced (and rejected) as if
+        every request re-ran reordering + autotune.
+        """
+        if kind not in ("cold", "refresh"):
+            raise ValueError(
+                f"kind must be 'cold' or 'refresh', got {kind!r}")
         with self._lock:
-            self._compile.update(float(seconds))
+            target = self._compile if kind == "cold" else self._refresh
+            target.update(float(seconds))
 
     def latency(self, fingerprint: str, op: str) -> float | None:
         """Current per-solve EWMA for ``(fingerprint, op)``, if any."""
@@ -190,6 +211,18 @@ class ServiceTimeEstimator:
                     if self._compile.value is not None
                     else self.default_compile_seconds)
 
+    def refresh_seconds(self) -> float:
+        """Warm value-only repack estimate.
+
+        Before any repack has been observed, assume half a cold
+        compile — still conservative (measured repacks are far
+        cheaper) but never *more* expensive than the cold path.
+        """
+        with self._lock:
+            if self._refresh.value is not None:
+                return self._refresh.value
+        return 0.5 * self.compile_seconds()
+
     def calibration(self) -> float:
         with self._lock:
             return (self._calibration.value
@@ -198,14 +231,17 @@ class ServiceTimeEstimator:
     # Admission ----------------------------------------------------------
     def estimate(self, grid, stencil, config, op: str, k: int,
                  fingerprint: str, cold: bool = False,
-                 backlog_chunks: int = 0, n_shards: int = 1) -> dict:
+                 backlog_chunks: int = 0, n_shards: int = 1,
+                 warm_refresh: bool = False) -> dict:
         """Full pre-compile estimate of one request's completion time.
 
         Returns a breakdown dict (every term in seconds): per-solve
         service time (EWMA when live, calibrated model otherwise),
         compile cost when the structure is ``cold`` in every shard
         cache, and queue wait modeled as the backlog spread over the
-        shard pool.
+        shard pool. ``warm_refresh`` marks a warm ILU structure whose
+        value digest changed: it is charged the (much cheaper) repack
+        EWMA instead of the cold-compile one.
         """
         model = self.model_seconds(grid, stencil, config, op, k)
         live = self.latency(fingerprint, op)
@@ -218,14 +254,18 @@ class ServiceTimeEstimator:
         queue_wait = (backlog_chunks * per_chunk
                       / max(1, int(n_shards)))
         compile_s = self.compile_seconds() if cold else 0.0
+        refresh_s = (self.refresh_seconds()
+                     if warm_refresh and not cold else 0.0)
         return {
             "service_seconds": float(service),
             "model_seconds": float(model),
             "source": source,
             "calibration": self.calibration(),
             "compile_seconds": float(compile_s),
+            "refresh_seconds": float(refresh_s),
             "queue_wait_seconds": float(queue_wait),
-            "total_seconds": float(service + compile_s + queue_wait),
+            "total_seconds": float(service + compile_s + refresh_s
+                                   + queue_wait),
         }
 
     def stats(self) -> dict:
@@ -237,4 +277,5 @@ class ServiceTimeEstimator:
                                 else 1.0),
                 "calibration_samples": self._calibration.n,
                 "compile_ewma_seconds": self._compile.value,
+                "refresh_ewma_seconds": self._refresh.value,
             }

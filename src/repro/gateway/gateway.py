@@ -212,6 +212,10 @@ class SolveGateway:
         self._dispatcher: asyncio.Task | None = None
         self._tasks: set = set()
         self._warm: set = set()  # fingerprints with queued/past work
+        # Last accepted ILU value digest per fingerprint: a warm
+        # structure arriving with a *different* digest takes the
+        # value-only repack path, priced by the refresh EWMA.
+        self._value_digests: dict[str, str] = {}
         self._accepted = self.metrics.counter(
             "gateway.accepted", "requests admitted")
         self._rejected = self.metrics.counter(
@@ -254,13 +258,19 @@ class SolveGateway:
     async def submit(self, grid, stencil, rhs, op: str = "lower",
                      config: PlanConfig | None = None,
                      tenant: str = "default",
-                     deadline: float | None = None) -> GatewayTicket:
+                     deadline: float | None = None,
+                     values=None,
+                     value_digest: str | None = None) -> GatewayTicket:
         """Admit one request (or refuse it) and enqueue its chunks.
 
         Returns a :class:`GatewayTicket` whose column futures resolve
         as chunks complete. Raises :class:`AdmissionRejected` (deadline
         infeasible), :class:`QuotaExceeded` (tenant limits) or
         :class:`GatewayClosed` — all *before* any engine work.
+
+        ``values``/``value_digest`` (``op="ilu_apply"`` only) carry the
+        coefficient snapshot: a warm structure with a changed digest is
+        charged the repack EWMA, not the cold-compile one.
         """
         if self._closed:
             raise GatewayClosed("submit after close")
@@ -272,7 +282,20 @@ class SolveGateway:
             [np.ascontiguousarray(rhs[:, j])
              for j in range(rhs.shape[1])]
         k = len(columns)
-        fingerprint = structural_fingerprint(grid, stencil, config)
+        if op == "ilu_apply":
+            from repro.serve.ilu_plan import (
+                ilu_structural_fingerprint,
+                value_digest as _digest_of,
+            )
+
+            fingerprint = ilu_structural_fingerprint(grid, stencil,
+                                                     config)
+            if values is not None:
+                values = np.asarray(
+                    values, dtype=config.np_dtype).reshape(-1)
+                value_digest = _digest_of(values)
+        else:
+            fingerprint = structural_fingerprint(grid, stencil, config)
         request_id = next(self._ids)
         with trace.span("gateway.admit", tenant=tenant, op=op, k=k,
                         fingerprint=fingerprint[:12]):
@@ -294,11 +317,15 @@ class SolveGateway:
                         stage=self.brownout.stage, queue_wait=wait)
             cold = (fingerprint not in self._warm
                     and not self.pool.has_plan(fingerprint))
+            warm_refresh = (not cold and value_digest is not None
+                            and self._value_digests.get(fingerprint)
+                            not in (None, value_digest))
             estimate = self.estimator.estimate(
                 grid, stencil, config, op, k, fingerprint, cold=cold,
                 backlog_chunks=self.scheduler.depth
                 + self.scheduler.in_flight,
-                n_shards=self.pool.n_shards)
+                n_shards=self.pool.n_shards,
+                warm_refresh=warm_refresh)
             if deadline is not None and \
                     estimate["total_seconds"] \
                     > float(deadline) * self.admission_slack:
@@ -325,6 +352,8 @@ class SolveGateway:
                 chunks.append(_Chunk(
                     ticket, cols, [columns[i] for i in cols]))
             ticket._work = (grid, stencil, config)
+            ticket._values = values
+            ticket._value_digest = value_digest
             try:
                 self.scheduler.push_many(tenant, chunks)
             except QuotaExceeded:
@@ -334,6 +363,8 @@ class SolveGateway:
                             reason="quota")
                 raise
         self._warm.add(fingerprint)
+        if value_digest is not None:
+            self._value_digests[fingerprint] = value_digest
         self._accepted.inc()
         self._tenant_counter(tenant, "accepted").inc()
         self._width.observe(k)
@@ -487,19 +518,25 @@ class SolveGateway:
                             shard=shard.index, op=ticket.op,
                             hedge_of=hedge_of):
                 c0, s0 = shard.compile_stats()
+                r0, rs0 = shard.refresh_stats()
                 t0 = time.monotonic()
                 results = await asyncio.to_thread(
                     shard.execute, grid, stencil, ticket.op, config,
-                    chunk.columns)
+                    chunk.columns,
+                    getattr(ticket, "_values", None),
+                    getattr(ticket, "_value_digest", None))
                 dt = time.monotonic() - t0
                 c1, s1 = shard.compile_stats()
+                r1, rs1 = shard.refresh_stats()
         except BaseException as exc:
             await self._dispose_failed(shard, exc)
             raise
         self._latency.observe(dt)
         if c1 > c0:
             self.estimator.observe_compile(s1 - s0)
-        exec_seconds = max(1e-9, dt - (s1 - s0))
+        if r1 > r0:
+            self.estimator.observe_compile(rs1 - rs0, kind="refresh")
+        exec_seconds = max(1e-9, dt - (s1 - s0) - (rs1 - rs0))
         self.estimator.observe(
             ticket.fingerprint, ticket.op, exec_seconds, k=kk,
             model_seconds=self.estimator.model_seconds(

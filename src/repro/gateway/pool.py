@@ -76,17 +76,27 @@ class GatewayShard:
         self.poisoned = True
 
     def execute(self, grid, stencil, op: str, config,
-                columns: list) -> list:
+                columns: list, values=None,
+                value_digest: str | None = None) -> list:
         """Solve ``columns`` (same structure + op) as one coalesced
-        batch; returns one result *or exception* per column."""
+        batch; returns one result *or exception* per column.
+
+        ``values``/``value_digest`` forward ILU coefficient snapshots
+        to the service (``op="ilu_apply"`` only).
+        """
         hooks.fire("gateway.shard", shard=self, op=op)
         if self.poisoned:
             raise FaultInjected(
                 "gateway.shard", "shard_poison",
                 f"shard {self.index} is poisoned until restart")
+        extra = {}
+        if values is not None:
+            extra["values"] = values
+        if value_digest is not None:
+            extra["value_digest"] = value_digest
         try:
             tickets = [self.service.submit(grid, stencil, rhs, op=op,
-                                           config=config)
+                                           config=config, **extra)
                        for rhs in columns]
             self.service.drain()
         except NON_RECOVERABLE_ERRORS:
@@ -113,6 +123,13 @@ class GatewayShard:
         if cache is None:
             return (0, 0.0)
         return (cache.compiles, cache.compile_seconds)
+
+    def refresh_stats(self) -> tuple:
+        """(refreshes, refresh_seconds) of this shard's cache, if any."""
+        cache = getattr(self.service, "cache", None)
+        if cache is None:
+            return (0, 0.0)
+        return (cache.refreshes, cache.refresh_seconds)
 
     def has_plan(self, fingerprint: str) -> bool:
         cache = getattr(self.service, "cache", None)
@@ -299,6 +316,13 @@ class ElasticShardPool:
     @property
     def n_draining(self) -> int:
         return sum(1 for s in self._shards if s.draining)
+
+    def refresh_stats(self) -> tuple:
+        """(refreshes, refresh_seconds) of this shard's cache, if any."""
+        cache = getattr(self.service, "cache", None)
+        if cache is None:
+            return (0, 0.0)
+        return (cache.refreshes, cache.refresh_seconds)
 
     def has_plan(self, fingerprint: str) -> bool:
         """True when any shard's cache already holds this structure."""

@@ -14,7 +14,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
-from repro.kernels.sptrsv_csr import sptrsv_csr, sptrsv_csr_upper
+from repro.kernels.sptrsv_csr import (
+    sptrsv_csr_ordered,
+    sptrsv_csr_upper_ordered,
+)
 from repro.utils.validation import require
 
 
@@ -113,10 +116,17 @@ def ilu0_apply_csr(factors: ILUFactors, r: np.ndarray) -> np.ndarray:
     """Apply the preconditioner: solve ``L U z = r``.
 
     Forward unit-lower solve then backward upper solve (two SpTRSVs —
-    the smoothing-phase kernel the paper's Fig. 9 measures).
+    the smoothing-phase kernel the paper's Fig. 9 measures). Both
+    sweeps subtract term by term in column order (the ``_ordered``
+    twins), so on the same operator this apply is **bit-identical** to
+    :func:`repro.ilu.ilu0_dbsr.ilu0_apply_dbsr` and to the served
+    :meth:`repro.serve.ilu_plan.ILUPlan.apply` — the reference the
+    serving tier's DBSR/CSR rung differential pins with
+    ``np.array_equal``.
     """
-    y = sptrsv_csr(factors.lower, factors.diag, r, unit_diag=True)
-    return sptrsv_csr_upper(factors.upper, factors.diag, y)
+    y = sptrsv_csr_ordered(factors.lower, factors.diag, r,
+                           unit_diag=True)
+    return sptrsv_csr_upper_ordered(factors.upper, factors.diag, y)
 
 
 def split_lu(factors: ILUFactors) -> tuple:

@@ -60,6 +60,33 @@ class DBSRILUFactors:
         """The ``U`` diagonal as a dense length-``n`` vector."""
         return self.matrix.values[self.dia_ptr].ravel()
 
+    def to_csr_factors(self):
+        """Project the block factors onto scalar CSR
+        :class:`~repro.ilu.ilu0_csr.ILUFactors`.
+
+        On padded structures the block algorithm produces genuine
+        fill-in inside zero-padding lanes, so re-running the *scalar*
+        factorization on the padded CSR operator is **not** a bitwise
+        reference for these factors. Projecting the factored values
+        themselves is: per scalar row the tiles are stored in
+        increasing-anchor order, so the CSR columns come out in the
+        exact order the DBSR sweeps subtract them, and dropping the
+        remaining zero lanes only removes bitwise no-op terms. Applying
+        the result through :func:`repro.ilu.ilu0_csr.ilu0_apply_csr`
+        therefore matches :func:`ilu0_apply_dbsr` under
+        ``np.array_equal`` on every grid, padded or not — this is the
+        CSR rung of the serving fallback ladder.
+        """
+        from repro.ilu.ilu0_csr import ILUFactors
+
+        factored = self.matrix.to_csr()
+        return ILUFactors(
+            factored=factored,
+            lower=factored.tril(strict=True),
+            upper=factored.triu(strict=True),
+            diag=self.diag_vector(),
+        )
+
 
 def ilu0_factorize_dbsr(matrix: DBSRMatrix,
                         counter: OpCounter | None = None
@@ -150,6 +177,136 @@ def ilu0_factorize_dbsr(matrix: DBSRMatrix,
         nnz_hint=matrix.nnz,
     )
     return DBSRILUFactors(matrix=factored, dia_ptr=dia_ptr.copy())
+
+
+@dataclass
+class ILU0Schedule:
+    """Structural replay schedule for value-only refactorization.
+
+    :func:`ilu0_factorize_dbsr` spends most of its time *finding* the
+    line-11 tile matches (per-row dict builds plus a candidate scan
+    that mostly misses), all of which depends only on the skeleton.
+    The schedule records the outcome once — one entry per eliminated
+    lower tile, with the matched update pairs in the exact order the
+    factorization performs them — so a value-only repack replays just
+    the floating-point ops. Within one eliminated tile the update
+    targets are distinct (distinct ``r`` give distinct ``(blk_ind,
+    blk_offset)`` and hence distinct ``q``), which is what makes the
+    batched fancy-indexed replay bitwise-identical to the scalar loop.
+
+    Attributes
+    ----------
+    p / off / dia_k:
+        Eliminated lower tile, its ``blk_offset``, and the tile index
+        of its pivot row's diagonal tile (elimination order).
+    upd_ptr / q / r:
+        CSR-style update lists: entry ``t`` updates tiles
+        ``q[upd_ptr[t]:upd_ptr[t+1]]`` from row-``k`` tiles
+        ``r[upd_ptr[t]:upd_ptr[t+1]]``.
+    """
+
+    p: np.ndarray
+    off: np.ndarray
+    dia_k: np.ndarray
+    upd_ptr: np.ndarray
+    q: np.ndarray
+    r: np.ndarray
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.p)
+
+
+def build_ilu0_schedule(matrix: DBSRMatrix) -> ILU0Schedule:
+    """Resolve Algorithm 4's tile matches once, structurally.
+
+    Runs the same scan order as :func:`ilu0_factorize_dbsr` without
+    touching a single value, so replaying the result performs the
+    identical floating-point op sequence.
+    """
+    brow = matrix.brow
+    dia_ptr = matrix.dia_ptr
+    require(bool(np.all(dia_ptr >= 0)),
+            "every block-row needs a main-diagonal tile")
+    blk_ptr = matrix.blk_ptr
+    blk_ind = matrix.blk_ind
+    blk_offset = matrix.blk_offset
+
+    ps, offs, dia_ks, ptr, qs, rs = [], [], [], [0], [], []
+    for i in range(brow):
+        lo, hi = int(blk_ptr[i]), int(blk_ptr[i + 1])
+        dp = int(dia_ptr[i])
+        row_lookup = {
+            (int(blk_ind[t]), int(blk_offset[t])): t
+            for t in range(lo, hi)
+        }
+        for p in range(lo, dp):
+            k = int(blk_ind[p])
+            off_p = int(blk_offset[p])
+            ps.append(p)
+            offs.append(off_p)
+            dia_ks.append(int(dia_ptr[k]))
+            for r in range(int(dia_ptr[k]) + 1, int(blk_ptr[k + 1])):
+                q = row_lookup.get(
+                    (int(blk_ind[r]), off_p + int(blk_offset[r]))
+                )
+                if q is None or q <= p:
+                    continue
+                qs.append(q)
+                rs.append(r)
+            ptr.append(len(qs))
+    return ILU0Schedule(
+        p=np.asarray(ps, dtype=np.int64),
+        off=np.asarray(offs, dtype=np.int64),
+        dia_k=np.asarray(dia_ks, dtype=np.int64),
+        upd_ptr=np.asarray(ptr, dtype=np.int64),
+        q=np.asarray(qs, dtype=np.int64),
+        r=np.asarray(rs, dtype=np.int64),
+    )
+
+
+def ilu0_refactorize_dbsr(matrix: DBSRMatrix,
+                          schedule: ILU0Schedule) -> DBSRILUFactors:
+    """Replay a prebuilt schedule over fresh values (Algorithm 4).
+
+    Bitwise-identical to :func:`ilu0_factorize_dbsr` on the skeleton
+    the schedule was built from — the repack fast path of the serving
+    tier's incremental recompilation (pinned by the property suite).
+    """
+    bs = matrix.bsize
+    vflat = np.zeros((matrix.n_tiles + 2) * bs,
+                     dtype=matrix.values.dtype)
+    vflat[bs:bs + matrix.n_tiles * bs] = matrix.values.ravel()
+    tiles = vflat[bs:bs + matrix.n_tiles * bs].reshape(-1, bs)
+    lane = np.arange(bs)
+
+    upd_ptr = schedule.upd_ptr
+    for t in range(schedule.n_ops):
+        p = int(schedule.p[t])
+        off = int(schedule.off[t])
+        a_ik = tiles[p]
+        start = bs + int(schedule.dia_k[t]) * bs + off
+        a_kk = vflat[start:start + bs]
+        np.divide(a_ik, a_kk, out=a_ik, where=a_ik != 0)
+        lo, hi = int(upd_ptr[t]), int(upd_ptr[t + 1])
+        if hi == lo:
+            continue
+        q = schedule.q[lo:hi]
+        r = schedule.r[lo:hi]
+        # Shifted loads of every matched row-k tile at once; the
+        # targets q are distinct per eliminated tile, so the fancy-
+        # indexed subtract performs the same scalar ops as the loop.
+        a_kj = vflat[(bs + r * bs + off)[:, None] + lane]
+        tiles[q] -= a_ik[None, :] * a_kj
+
+    values = tiles.copy()
+    factored = DBSRMatrix(
+        matrix.blk_ptr.copy(), matrix.blk_ind.copy(),
+        matrix.blk_offset.copy(), values, matrix.shape,
+        nnz_hint=matrix.nnz,
+    )
+    return DBSRILUFactors(matrix=factored,
+                          dia_ptr=matrix.dia_ptr.copy())
 
 
 def ilu0_apply_dbsr(factors: DBSRILUFactors, r: np.ndarray,

@@ -137,6 +137,35 @@ def symgs_dbsr_multi_counts(dbsr: DBSRMatrix, k: int) -> OpCounter:
     return two
 
 
+def ilu_apply_dbsr_multi_counts(factors, k: int) -> OpCounter:
+    """Multi-RHS block ILU(0) application over an ``(n, k)`` block.
+
+    Matches :func:`repro.serve.batch.ilu_apply_dbsr_multi_counted`: two
+    Algorithm-2 sweeps over the factored skeleton — the forward sweep
+    covers the ``t_l`` strictly-lower tiles, the backward sweep the
+    ``t_u`` strictly-upper tiles plus one diagonal value load and ``k``
+    lane divisions per block-row. One value load per tile serves all
+    ``k`` columns, so value-stream bytes are independent of ``k``.
+    """
+    m = factors.matrix
+    c = OpCounter(bsize=m.bsize)
+    brow, bs = m.brow, m.bsize
+    t = m.n_tiles - brow  # strict lower + strict upper tiles
+    item = m.values.itemsize
+    c.vload = t * (1 + k) + 2 * k * brow + brow
+    c.vfma = t * k
+    c.vdiv = k * brow
+    c.vstore = 2 * k * brow
+    c.sload = 2 * t
+    c.bytes_values = (t + brow) * bs * item
+    c.bytes_index = (
+        t * (m.blk_ind.itemsize + m.blk_offset.itemsize)
+        + 2 * m.blk_ptr.itemsize
+        + 2 * brow * (m.blk_ptr.itemsize + factors.dia_ptr.itemsize))
+    c.bytes_vector = k * (t + 4 * brow) * bs * item
+    return c
+
+
 def sptrsv_csr_counts(csr: CSRMatrix, divide: bool = True) -> OpCounter:
     """Algorithm 1: scalar row loop with indirect x accesses."""
     c = OpCounter(bsize=1)

@@ -63,7 +63,8 @@ def sptrsv_csr_upper(upper: CSRMatrix, diag: np.ndarray, b: np.ndarray,
 
 
 def sptrsv_csr_ordered(lower: CSRMatrix, diag: np.ndarray,
-                       b: np.ndarray) -> np.ndarray:
+                       b: np.ndarray,
+                       unit_diag: bool = False) -> np.ndarray:
     """Forward solve with Algorithm 2's exact floating-point op order.
 
     :func:`sptrsv_csr` accumulates each row with a dot product
@@ -74,7 +75,8 @@ def sptrsv_csr_ordered(lower: CSRMatrix, diag: np.ndarray,
     sequentially in CSR column order, making its result bit-identical
     to the DBSR and SELL sweeps on the same permuted operator — it is
     the CSR rung of the resilience fallback ladder and the reference of
-    the golden-trace differential suite.
+    the golden-trace differential suite. ``unit_diag`` skips the final
+    division (the ILU unit-lower solve).
     """
     n = lower.n_rows
     b = np.asarray(b)
@@ -86,12 +88,13 @@ def sptrsv_csr_ordered(lower: CSRMatrix, diag: np.ndarray,
         temp = x.dtype.type(b[i])
         for p in range(indptr[i], indptr[i + 1]):
             temp = temp - data[p] * x[indices[p]]
-        x[i] = temp / diag[i]
+        x[i] = temp if unit_diag else temp / diag[i]
     return x
 
 
 def sptrsv_csr_upper_ordered(upper: CSRMatrix, diag: np.ndarray,
-                             b: np.ndarray) -> np.ndarray:
+                             b: np.ndarray,
+                             unit_diag: bool = False) -> np.ndarray:
     """Backward solve, sequential-subtraction twin of
     :func:`sptrsv_csr_upper` (see :func:`sptrsv_csr_ordered`)."""
     n = upper.n_rows
@@ -104,7 +107,7 @@ def sptrsv_csr_upper_ordered(upper: CSRMatrix, diag: np.ndarray,
         temp = x.dtype.type(b[i])
         for p in range(indptr[i], indptr[i + 1]):
             temp = temp - data[p] * x[indices[p]]
-        x[i] = temp / diag[i]
+        x[i] = temp if unit_diag else temp / diag[i]
     return x
 
 

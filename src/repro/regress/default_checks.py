@@ -53,6 +53,21 @@ def default_checks() -> list:
                   **_TIME),
         PerfCheck("serve.batch.bitwise", "serve",
                   "batch_scaling.all_bitwise_equal", kind="gate"),
+        # -- ILU serving ----------------------------------------------------
+        PerfCheck("ilu.cold_compile.seconds", "ilu",
+                  "repack.cold_compile_seconds", **_TIME),
+        PerfCheck("ilu.refresh.seconds", "ilu",
+                  "repack.refresh_seconds_mean", **_TIME),
+        PerfCheck("ilu.cache.hit_rate", "ilu",
+                  "cache.hit_rate", **_RATE),
+        PerfCheck("ilu.repack.amortized", "ilu",
+                  "repack.refresh_le_half_cold", kind="gate"),
+        PerfCheck("ilu.repack.bitwise", "ilu",
+                  "repack.repack_bitwise_equals_cold", kind="gate"),
+        PerfCheck("ilu.rung.bitwise", "ilu",
+                  "repack.apply_bitwise_equals_csr_rung", kind="gate"),
+        PerfCheck("ilu.sibling.isolated", "ilu",
+                  "sibling_isolation.isolated", kind="gate"),
         # -- chaos ----------------------------------------------------------
         PerfCheck("chaos.recovery_rate", "chaos",
                   "recovery_rate", kind="gate", equals=1.0),

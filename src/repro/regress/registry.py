@@ -1,7 +1,7 @@
 """Unified registry of every bench emitter in the repo.
 
-Seven subsystems each grew their own ``BENCH_*.json`` emitter across
-PRs 1–8; this registry is the single table describing all of them —
+Eight subsystems each grew their own ``BENCH_*.json`` emitter across
+the PR stack; this registry is the single table describing all of them —
 how to import the collector lazily, which CLI command fronts it,
 where its artifact lands, which schema validates it, and the
 *full*/*quick* kwarg presets — so ``repro bench all`` (and the CI
@@ -116,6 +116,15 @@ register(BenchEmitter(
     schema_path="tests/gateway/bench_gateway.schema.json",
     collect="repro.gateway.bench:collect_bench_gateway",
     quick_kwargs={"nx": 5, "n_requests": 10, "k_stream": 4},
+))
+register(BenchEmitter(
+    name="ilu",
+    cli_command="ilu-bench",
+    out_default="BENCH_ilu.json",
+    schema_path="tests/serve/bench_ilu.schema.json",
+    collect="repro.serve.ilu_bench:collect_bench_ilu",
+    quick_kwargs={"nx": 6, "n_values": 2, "n_requests": 8},
+    supports_backend=True,
 ))
 register(BenchEmitter(
     name="gateway-chaos",

@@ -11,6 +11,8 @@ semantics instead of parsing messages:
 * :class:`PlanValidationError` — a compiled plan's artifacts failed a
   structural or integrity check (corrupt permutation, out-of-range
   block index, non-finite value, digest mismatch).
+* :class:`StaleValuesError` — a request's declared value digest does
+  not match the cached plan's sealed one (serve-path staleness guard).
 * :class:`DrainTimeout` / :class:`DeadlineExceeded` — service-level
   deadlines, naming the tickets left behind.
 * :class:`CircuitOpen` / :class:`FallbackExhausted` — the self-healing
@@ -87,6 +89,29 @@ class PlanValidationError(ResilienceError):
         super().__init__(f"{message}{loc}")
         self.artifact = artifact
         self.index = index
+
+
+class StaleValuesError(ResilienceError):
+    """A cached plan's sealed value digest no longer matches the caller.
+
+    Raised on the serve path when a request declares (via its
+    ``value_digest``) which coefficient snapshot it expects and the
+    cached :class:`~repro.serve.ilu_plan.ILUPlan` was factorized from a
+    different one. The caller must either resubmit carrying the new
+    ``values`` (which routes through the cheap
+    :meth:`~repro.serve.cache.PlanCache.refresh_values` repack) or
+    accept the cached snapshot explicitly — the service never silently
+    solves with old coefficients.
+    """
+
+    def __init__(self, fingerprint: str, expected: str, found: str):
+        super().__init__(
+            f"cached plan for {fingerprint[:12]}… was factorized from "
+            f"value digest {found[:12]}…, request expects "
+            f"{expected[:12]}…; resubmit with values to repack")
+        self.fingerprint = fingerprint
+        self.expected = expected
+        self.found = found
 
 
 class DrainTimeout(ResilienceError):

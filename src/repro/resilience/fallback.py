@@ -351,11 +351,17 @@ class FallbackChain:
         Chaos tests compare recovered solutions against this — a
         recovery that lands on the CSR rung is bit-identical to it.
         """
+        if getattr(plan, "kind", "") == "ilu":
+            return self._run_ilu_csr(plan, op, B, fire=False)
         return self._run_csr(plan, op, B, fire=False)
 
     # Internals -------------------------------------------------------------
     @staticmethod
     def _ladder_for(plan) -> tuple:
+        if getattr(plan, "kind", "") == "ilu":
+            # ILU factors exist only in DBSR form; the CSR rung applies
+            # their bitwise projection (no SELL middle rung).
+            return ("dbsr", "csr")
         strategy = plan.config.strategy
         start = LADDER.index(strategy) if strategy in LADDER else 0
         return LADDER[start:]
@@ -394,11 +400,25 @@ class FallbackChain:
                 return None
             plan._heal_attempts = self.recompiles_used_for(plan) + 1
             self.recompiles += 1
+        is_ilu = getattr(plan, "kind", "") == "ilu"
         try:
             if self.cache is not None:
                 self.cache.invalidate(plan.fingerprint)
-                fresh, _ = self.cache.get_or_compile(
-                    plan.grid, plan.stencil, plan.config)
+                if is_ilu:
+                    # Recompile from the same coefficient snapshot so
+                    # the healed factors carry the same value digest.
+                    fresh, _ = self.cache.get_or_compile_ilu(
+                        plan.grid, plan.stencil, plan.config,
+                        values=plan.values_src)
+                else:
+                    fresh, _ = self.cache.get_or_compile(
+                        plan.grid, plan.stencil, plan.config)
+            elif is_ilu:
+                from repro.serve.ilu_plan import compile_ilu_plan
+
+                fresh = compile_ilu_plan(plan.grid, plan.stencil,
+                                         plan.config,
+                                         values=plan.values_src)
             else:
                 from repro.serve.plan import compile_plan
 
@@ -418,6 +438,21 @@ class FallbackChain:
 
     # Rung validation -------------------------------------------------------
     def _validate_rung(self, plan, rung: str) -> None:
+        if getattr(plan, "kind", "") == "ilu":
+            # Both rungs execute through the DBSR factors (the CSR rung
+            # applies their projection), so both validate them.
+            validate_permutation(plan.ordering.old_to_new,
+                                 plan.n_padded)
+            validate_diag(plan.factors.diag_vector(), "ilu_diag")
+            validate_dbsr(plan.factors.matrix, "ilu_factors")
+            scope = ("ordering.old_to_new", "ilu_diag", "ilu_factors",
+                     "ilu_dia_ptr")
+            if rung != "dbsr":
+                validate_csr(plan.matrix, "matrix")
+                scope += ("matrix",)
+            if self.integrity:
+                check_integrity(plan, artifacts=scope)
+            return
         validate_permutation(plan.ordering.old_to_new, plan.n_padded)
         validate_diag(plan.diag)
         if rung == "dbsr":
@@ -446,6 +481,8 @@ class FallbackChain:
                   B: np.ndarray) -> np.ndarray:
         if rung == plan.config.strategy:
             return plan.execute(op, B)
+        if getattr(plan, "kind", "") == "ilu":
+            return self._run_ilu_csr(plan, op, B)
         if rung == "sell":
             return self._run_sell(plan, op, B)
         return self._run_csr(plan, op, B)
@@ -551,7 +588,52 @@ class FallbackChain:
             return spmv_csr_counts(plan.matrix).scaled(k)
         return symgs_csr_counts(plan.matrix).scaled(k)
 
+    def _run_ilu_csr(self, plan, op: str, B: np.ndarray,
+                     fire: bool = True) -> np.ndarray:
+        """ILU CSR rung: apply the bitwise projection of the factors.
+
+        The block factorization fills zero-padding lanes in, so a
+        scalar re-factorization of the padded operator is *not* a
+        bitwise twin of the DBSR factors — projecting the factored
+        values themselves (:meth:`DBSRILUFactors.to_csr_factors`) is,
+        which keeps this rung ``np.array_equal`` to the native one.
+        """
+        from repro.ilu.ilu0_csr import ilu0_apply_csr
+
+        with (trace.span("plan.execute", op=op, strategy="csr",
+                         backend="reference",
+                         fingerprint=plan.fingerprint[:12])
+              if fire else trace.null_span()) as sp:
+            if fire:
+                hooks.fire("plan.execute", strategy="csr", op=op,
+                           fingerprint=plan.fingerprint)
+            factors = self._ilu_csr_factors(plan)
+            single, Bp = self._extend(plan, B)
+            if sp is not None:
+                k = int(Bp.shape[1])
+                sp.attrs["k"] = k
+                sp.set_counts(self._ilu_csr_counts(factors, k))
+            out = np.empty_like(Bp)
+            for j in range(Bp.shape[1]):
+                out[:, j] = ilu0_apply_csr(factors, Bp[:, j])
+            return self._restrict(plan, out, single)
+
+    @staticmethod
+    def _ilu_csr_counts(factors, k: int):
+        from repro.kernels.counts import sptrsv_csr_counts
+
+        return sptrsv_csr_counts(factors.lower, divide=False).merge(
+            sptrsv_csr_counts(factors.upper, divide=True)).scaled(k)
+
     # Derived artifacts, built once per plan object and cached on it.
+    @staticmethod
+    def _ilu_csr_factors(plan):
+        cached = getattr(plan, "_fallback_ilu_csr", None)
+        if cached is None:
+            cached = plan.factors.to_csr_factors()
+            plan._fallback_ilu_csr = cached
+        return cached
+
     @staticmethod
     def _csr_artifacts(plan):
         cached = getattr(plan, "_fallback_csr", None)

@@ -162,7 +162,26 @@ def _digest(*arrays: np.ndarray) -> str:
 
 
 def _plan_artifacts(plan) -> dict:
-    """Digestable artifact map of a compiled plan."""
+    """Digestable artifact map of a compiled plan.
+
+    Dispatches on the plan's ``kind``: ILU plans
+    (:class:`~repro.serve.ilu_plan.ILUPlan`) seal the permutation, the
+    permuted CSR operator, the factored DBSR skeleton + values, the
+    diagonal pivots, and the value scatter maps (a corrupted scatter
+    map would silently misplace every future repack's coefficients).
+    """
+    if getattr(plan, "kind", "") == "ilu":
+        f = plan.factors.matrix
+        return {
+            "ordering.old_to_new": (plan.ordering.old_to_new,),
+            "matrix": (plan.matrix.indptr, plan.matrix.indices,
+                       plan.matrix.data),
+            "ilu_factors": (f.blk_ptr, f.blk_ind, f.blk_offset,
+                            f.values),
+            "ilu_dia_ptr": (plan.factors.dia_ptr,),
+            "ilu_diag": (plan.factors.diag_vector(),),
+            "scatter": (plan.csr_scatter, plan.dbsr_scatter),
+        }
     artifacts = {
         "ordering.old_to_new": (plan.ordering.old_to_new,),
         "matrix": (plan.matrix.indptr, plan.matrix.indices,
@@ -224,6 +243,14 @@ def validate_plan(plan, level: str = "structural") -> None:
     digests (catching in-range corruption the structural checks cannot
     see). Raises :class:`PlanValidationError` on the first problem.
     """
+    if getattr(plan, "kind", "") == "ilu":
+        validate_permutation(plan.ordering.old_to_new, plan.n_padded)
+        validate_csr(plan.matrix, "matrix")
+        validate_dbsr(plan.factors.matrix, "ilu_factors")
+        validate_diag(plan.factors.diag_vector(), "ilu_diag")
+        if level == "integrity":
+            check_integrity(plan)
+        return
     validate_permutation(plan.ordering.old_to_new, plan.n_padded)
     validate_csr(plan.matrix, "matrix")
     validate_dbsr(plan.dbsr, "dbsr")

@@ -15,8 +15,13 @@ The paper's one-time preprocessing (BMC reorder + DBSR conversion,
 * :mod:`repro.serve.service` — :class:`SolveService`: submit/drain
   with per-structure coalescing, bounded-queue backpressure, and
   per-request error isolation.
-* :mod:`repro.serve.bench` — the ``repro serve-bench`` collection
-  behind ``BENCH_serve.json``.
+* :mod:`repro.serve.ilu_plan` — :class:`ILUPlan` /
+  :func:`compile_ilu_plan`: the ILU(0) preconditioner as a cacheable
+  plan with a split (structure hash, value digest) fingerprint, plus
+  :func:`repack_ilu_plan` for bitwise value-only refreshes.
+* :mod:`repro.serve.bench` / :mod:`repro.serve.ilu_bench` — the
+  ``repro serve-bench`` / ``repro ilu-bench`` collections behind
+  ``BENCH_serve.json`` / ``BENCH_ilu.json``.
 """
 
 from repro.serve.batch import (
@@ -30,6 +35,15 @@ from repro.serve.batch import (
     symgs_dbsr_multi_counted,
 )
 from repro.serve.cache import PlanCache
+from repro.serve.ilu_plan import (
+    ILU_OPS,
+    ILUPlan,
+    compile_ilu_plan,
+    ilu_pcg,
+    ilu_structural_fingerprint,
+    repack_ilu_plan,
+    value_digest,
+)
 from repro.serve.plan import (
     PLAN_OPS,
     PlanConfig,
@@ -45,6 +59,8 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ILU_OPS",
+    "ILUPlan",
     "PLAN_OPS",
     "Backpressure",
     "PlanCache",
@@ -53,7 +69,12 @@ __all__ = [
     "SolvePlan",
     "SolveService",
     "SolveTicket",
+    "compile_ilu_plan",
     "compile_plan",
+    "ilu_pcg",
+    "ilu_structural_fingerprint",
+    "repack_ilu_plan",
+    "value_digest",
     "spmv_dbsr_multi",
     "spmv_dbsr_multi_counted",
     "sptrsv_dbsr_lower_multi",

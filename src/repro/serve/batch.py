@@ -152,6 +152,49 @@ def symgs_dbsr_multi(matrix: DBSRMatrix, diag: np.ndarray,
     return X
 
 
+def ilu_apply_dbsr_multi(factors, B: np.ndarray) -> np.ndarray:
+    """Apply block ILU(0): solve ``L U Z = B`` over an ``(n, k)`` block.
+
+    Two Algorithm-2 sweeps over the factored skeleton of a
+    :class:`~repro.ilu.ilu0_dbsr.DBSRILUFactors` — a forward unit-lower
+    solve over tiles before ``dia_ptr`` and a backward solve over the
+    diagonal + upper tiles — with each tile's value vector loaded once
+    per sweep and reused across all ``k`` columns. Column ``j`` of the
+    result is bit-identical to
+    ``ilu0_apply_dbsr(factors, B[:, j])``: batching reorders no
+    floating-point operation within a column.
+    """
+    m = factors.matrix
+    B = _check_rhs_block(m, B)
+    n, k = B.shape
+    bs = m.bsize
+    dtype = np.result_type(m.values, B)
+    blk_ptr, values = m.blk_ptr, m.values
+    dia_ptr = factors.dia_ptr
+    anchors = m.anchors + bs
+    b3 = np.ascontiguousarray(B.T).reshape(k, -1, bs)
+
+    # Forward: (L + I) Y = B.
+    Yp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    for i in range(m.brow):
+        acc = b3[:, i, :].astype(dtype, copy=True)   # (k, bs)
+        for t in range(int(blk_ptr[i]), int(dia_ptr[i])):
+            a = anchors[t]
+            acc -= values[t] * Yp[:, a:a + bs]
+        Yp[:, bs + i * bs:bs + (i + 1) * bs] = acc
+
+    # Backward: (D + U) Z = Y.
+    Zp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    for i in range(m.brow - 1, -1, -1):
+        acc = Yp[:, bs + i * bs:bs + (i + 1) * bs].copy()
+        for t in range(int(dia_ptr[i]) + 1, int(blk_ptr[i + 1])):
+            a = anchors[t]
+            acc -= values[t] * Zp[:, a:a + bs]
+        acc /= values[int(dia_ptr[i])]
+        Zp[:, bs + i * bs:bs + (i + 1) * bs] = acc
+    return np.ascontiguousarray(Zp[:, bs:bs + n].T)
+
+
 # Instrumented twins ------------------------------------------------------
 
 def _sptrsv_multi_counted(matrix: DBSRMatrix, B: np.ndarray,
@@ -254,6 +297,73 @@ def spmv_dbsr_multi_counted(matrix: DBSRMatrix, X: np.ndarray,
         for j in range(k):
             engine.store(Yk[j], i * bs, accs[j])
     return np.ascontiguousarray(Yk[:, :matrix.n_rows].T)
+
+
+def ilu_apply_dbsr_multi_counted(factors, B: np.ndarray,
+                                 engine: VectorEngine) -> np.ndarray:
+    """Instrumented multi-RHS ILU(0) application twin.
+
+    Mirrors :func:`ilu_apply_dbsr_multi` operation for operation — one
+    ``load_values`` per tile serves all ``k`` columns in each sweep,
+    and the backward sweep charges the diagonal tile's value load
+    before the ``k`` lane divisions — so results are **bitwise** equal
+    and tallies match
+    :func:`repro.kernels.counts.ilu_apply_dbsr_multi_counts` exactly.
+    """
+    m = factors.matrix
+    B = _check_rhs_block(m, B)
+    require(bool(np.all(factors.dia_ptr >= 0)),
+            "every block-row needs a diagonal tile")
+    n, k = B.shape
+    bs = m.bsize
+    require(engine.bsize == bs, "engine width must equal bsize")
+    dtype = np.result_type(m.values, B)
+    Bk = np.ascontiguousarray(B.T)
+    vals_flat = m.values.reshape(-1)
+    anchors = m.anchors + bs
+    blk_ptr = m.blk_ptr
+    dia_ptr = factors.dia_ptr
+
+    # Forward: (L + I) Y = B.
+    Yp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    engine.counter.bytes_index += blk_ptr.itemsize
+    for i in range(m.brow):
+        engine.counter.bytes_index += (
+            blk_ptr.itemsize + dia_ptr.itemsize)
+        accs = [engine.load(Bk[j], i * bs).astype(dtype)
+                for j in range(k)]
+        for t in range(int(blk_ptr[i]), int(dia_ptr[i])):
+            engine.counter.bytes_index += (
+                m.blk_ind.itemsize + m.blk_offset.itemsize)
+            vec_vals = engine.load_values(vals_flat, t * bs)
+            a = int(anchors[t])
+            for j in range(k):
+                vec_y = engine.load(Yp[j], a)
+                accs[j] = engine.fnma(accs[j], vec_vals, vec_y)
+        for j in range(k):
+            engine.store(Yp[j], bs + i * bs, accs[j])
+
+    # Backward: (D + U) Z = Y.
+    Zp = np.zeros((k, n + 2 * bs), dtype=dtype)
+    engine.counter.bytes_index += blk_ptr.itemsize
+    for i in range(m.brow - 1, -1, -1):
+        engine.counter.bytes_index += (
+            blk_ptr.itemsize + dia_ptr.itemsize)
+        accs = [engine.load(Yp[j], bs + i * bs).astype(dtype)
+                for j in range(k)]
+        for t in range(int(dia_ptr[i]) + 1, int(blk_ptr[i + 1])):
+            engine.counter.bytes_index += (
+                m.blk_ind.itemsize + m.blk_offset.itemsize)
+            vec_vals = engine.load_values(vals_flat, t * bs)
+            a = int(anchors[t])
+            for j in range(k):
+                vec_z = engine.load(Zp[j], a)
+                accs[j] = engine.fnma(accs[j], vec_vals, vec_z)
+        vec_d = engine.load_values(vals_flat, int(dia_ptr[i]) * bs)
+        for j in range(k):
+            accs[j] = engine.div(accs[j], vec_d)
+            engine.store(Zp[j], bs + i * bs, accs[j])
+    return np.ascontiguousarray(Zp[:, bs:bs + n].T)
 
 
 def symgs_dbsr_multi_counted(matrix: DBSRMatrix, diag: np.ndarray,

@@ -18,6 +18,21 @@ fingerprint in a small JSON file, and later processes (whose caches
 start cold) skip the autotune sweep on their first compile of that
 structure. Only the pick is persisted, never the plan itself — matrices
 re-derive deterministically from the structure.
+
+Two serving-tier extensions share the map:
+
+* **ILU plans** (:class:`~repro.serve.ilu_plan.ILUPlan`) cache under
+  their domain-tagged structure hash via :meth:`get_or_compile_ilu`,
+  and time-dependent coefficients on a fixed structure take
+  :meth:`refresh_values` — a value-only repack that reuses the stored
+  permutation/tiling/autotune pick and only re-runs the numeric
+  factorization. Invalidation stays **fingerprint-scoped** throughout:
+  structural drift on one structure never flushes siblings.
+* **Generation-counted invalidation** closes the resurrection race: an
+  :meth:`invalidate` landing while a compile for the same fingerprint
+  is in flight bumps that fingerprint's generation, and the compile's
+  eventual insert is dropped (counted in ``stale_drops``) instead of
+  resurrecting the just-poisoned entry.
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ from repro.serve.plan import (
     compile_plan,
     structural_fingerprint,
 )
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, require
 
 #: Pick-file schema. v2 added the plan's requested ``backend`` to each
 #: entry (the fingerprint keying changed with it); files carrying any
@@ -76,6 +91,11 @@ class PlanCache:
         #: the map is bounded by concurrency, not by distinct
         #: structures ever seen.
         self._compile_locks: dict[str, list] = {}
+        #: fp -> invalidation generation. Entries exist only while a
+        #: compile/refresh for that fingerprint is in flight (same
+        #: lifetime as ``_compile_locks``): an invalidate with nothing
+        #: in flight has nothing to race, so the map stays bounded.
+        self._generations: dict[str, int] = {}
         #: Serializes pick-file writes without blocking ``_lock``.
         self._persist_lock = threading.Lock()
         self.hits = 0
@@ -84,6 +104,9 @@ class PlanCache:
         self.compiles = 0
         self.invalidations = 0
         self.compile_seconds = 0.0
+        self.refreshes = 0
+        self.refresh_seconds = 0.0
+        self.stale_drops = 0
         self._picks = self._load_picks()
 
     # Persistence -------------------------------------------------------
@@ -190,11 +213,20 @@ class PlanCache:
         self-healing fallback chain
         (:class:`repro.resilience.fallback.FallbackChain`) when a
         cached plan fails validation.
+
+        Scope is strictly this fingerprint: siblings keep their entries
+        *and* their hit-rate statistics. If a compile or refresh for
+        this fingerprint is in flight, its generation is bumped so the
+        concurrent worker's eventual ``put`` is dropped instead of
+        resurrecting the plan being poisoned right now.
         """
         with self._lock:
             removed = self._plans.pop(fingerprint, None) is not None
             if removed:
                 self.invalidations += 1
+            if fingerprint in self._compile_locks:
+                self._generations[fingerprint] = \
+                    self._generations.get(fingerprint, 0) + 1
         if removed:
             trace.event("cache.invalidate", fingerprint=fingerprint[:12])
         return removed
@@ -236,6 +268,51 @@ class PlanCache:
         with self._lock:
             return fingerprint in self._plans
 
+    # Per-fingerprint serialization --------------------------------------
+    def _acquire_flock(self, fp: str) -> list:
+        """Refcount-acquire the per-fingerprint compile/refresh lock.
+
+        The entry lives exactly as long as compiles for this
+        fingerprint are in flight, so ``_compile_locks`` (and the
+        generation map scoped to it) stays bounded by live compiles
+        instead of growing with every structure ever requested.
+        """
+        with self._lock:
+            entry = self._compile_locks.get(fp)
+            if entry is None:
+                entry = self._compile_locks[fp] = [threading.Lock(), 0]
+            entry[1] += 1
+        return entry
+
+    def _release_flock(self, fp: str, entry: list) -> None:
+        with self._lock:
+            entry[1] -= 1
+            if entry[1] == 0:
+                self._compile_locks.pop(fp, None)
+                self._generations.pop(fp, None)
+
+    def _guarded_put(self, plan, generation: int) -> bool:
+        """Insert unless the fingerprint was invalidated meanwhile.
+
+        ``generation`` is the fingerprint's invalidation generation
+        snapshotted *before* the compile/repack started. A concurrent
+        :meth:`invalidate` bumps it, in which case this plan is stale —
+        built from state the invalidator declared poisoned — and must
+        not resurrect the entry. Returns whether the plan was inserted.
+        """
+        with self._lock:
+            if self._generations.get(plan.fingerprint, 0) != generation:
+                self.stale_drops += 1
+                stale = True
+            else:
+                stale = False
+        if stale:
+            trace.event("cache.stale_put_dropped",
+                        fingerprint=plan.fingerprint[:12])
+            return False
+        self.put(plan)
+        return True
+
     # Compile-through ----------------------------------------------------
     def get_or_compile(self, grid: StructuredGrid, stencil,
                        config: PlanConfig | None = None
@@ -251,24 +328,12 @@ class PlanCache:
         plan = self.get(fp)
         if plan is not None:
             return plan, True
-        # Refcounted per-fingerprint lock: the entry lives exactly as
-        # long as compiles for this fingerprint are in flight, so
-        # ``_compile_locks`` stays bounded by live compiles instead of
-        # growing with every structure ever requested.
-        with self._lock:
-            entry = self._compile_locks.get(fp)
-            if entry is None:
-                entry = self._compile_locks[fp] = [threading.Lock(), 0]
-            entry[1] += 1
-            flock = entry[0]
+        entry = self._acquire_flock(fp)
         try:
-            with flock:
+            with entry[0]:
                 return self._compile_locked(grid, stencil, config, fp)
         finally:
-            with self._lock:
-                entry[1] -= 1
-                if entry[1] == 0:
-                    self._compile_locks.pop(fp, None)
+            self._release_flock(fp, entry)
 
     def _compile_locked(self, grid, stencil, config,
                         fp: str) -> tuple[SolvePlan, bool]:
@@ -283,6 +348,7 @@ class PlanCache:
                 self._plans.move_to_end(fp)
                 self.misses -= 1
                 self.hits += 1
+            generation = self._generations.get(fp, 0)
         if plan is not None:
             trace.event("cache.coalesced_hit", fingerprint=fp[:12])
             return plan, True
@@ -291,6 +357,15 @@ class PlanCache:
         t0 = time.perf_counter()
         plan = compile_plan(grid, stencil, config, bsize_hint=hint)
         seconds = time.perf_counter() - t0
+        self._record_compile(fp, plan, seconds)
+        # Guarded against a concurrent invalidate: inserting would
+        # resurrect the plan the invalidator just poisoned. The caller
+        # still gets the freshly compiled plan either way.
+        self._guarded_put(plan, generation)
+        return plan, False
+
+    def _record_compile(self, fp: str, plan, seconds: float) -> None:
+        """Count a compile and persist its autotune pick, if any."""
         snapshot = None
         with self._lock:
             self.compiles += 1
@@ -308,8 +383,152 @@ class PlanCache:
                 snapshot = dict(self._picks)
         if snapshot is not None:
             self._save_picks(snapshot)
-        self.put(plan)
+
+    # ILU compile-through ------------------------------------------------
+    def get_or_compile_ilu(self, grid: StructuredGrid, stencil,
+                           config: PlanConfig | None = None,
+                           values=None, expect_digest: str | None = None
+                           ) -> tuple:
+        """Return ``(ilu_plan, was_hit)``; structure hits may repack.
+
+        The split fingerprint resolves here: the *structure hash* keys
+        the lookup, the *value digest* decides what a hit means.
+
+        * Digest matches (or the caller sent no values) — serve the
+          cached factors as-is.
+        * ``values`` provided with a different digest — the structure
+          is unchanged, so this is still a hit, but the numeric factors
+          are refreshed through the cheap :meth:`refresh_values` repack
+          (permutation/tiling/autotune all reused).
+        * ``expect_digest`` declared without values and the cached plan
+          was factorized from something else — raise
+          :class:`~repro.resilience.errors.StaleValuesError`; the
+          service must never silently solve with old coefficients.
+        """
+        import numpy as np
+
+        from repro.serve.ilu_plan import (
+            ilu_structural_fingerprint,
+            value_digest,
+        )
+
+        config = config if config is not None else PlanConfig()
+        fp = ilu_structural_fingerprint(grid, stencil, config)
+        vd = None
+        if values is not None:
+            values = np.asarray(values,
+                                dtype=config.np_dtype).reshape(-1)
+            vd = value_digest(values)
+            require(expect_digest is None or expect_digest == vd,
+                    "expect_digest contradicts the provided values")
+        plan = self.get(fp)
+        if plan is not None:
+            return self._serve_ilu_hit(plan, fp, values, vd,
+                                       expect_digest), True
+        entry = self._acquire_flock(fp)
+        try:
+            with entry[0]:
+                return self._compile_ilu_locked(
+                    grid, stencil, config, fp, values, vd, expect_digest)
+        finally:
+            self._release_flock(fp, entry)
+
+    def _serve_ilu_hit(self, plan, fp: str, values, vd,
+                       expect_digest: str | None):
+        """Verify-on-hit: digest compare, then repack or raise."""
+        from repro.resilience.errors import StaleValuesError
+
+        if vd is not None and vd != plan.value_digest:
+            plan, _ = self.refresh_values(fp, values)
+            return plan
+        if expect_digest is not None \
+                and expect_digest != plan.value_digest:
+            raise StaleValuesError(fp, expect_digest, plan.value_digest)
+        return plan
+
+    def _compile_ilu_locked(self, grid, stencil, config, fp: str,
+                            values, vd, expect_digest: str | None
+                            ) -> tuple:
+        """ILU compile-or-coalesce under the per-fingerprint lock."""
+        from repro.serve.ilu_plan import compile_ilu_plan
+
+        with self._lock:
+            plan = self._plans.get(fp)
+            if plan is not None:
+                self._plans.move_to_end(fp)
+                self.misses -= 1
+                self.hits += 1
+            generation = self._generations.get(fp, 0)
+        if plan is not None:
+            trace.event("cache.coalesced_hit", fingerprint=fp[:12])
+            return self._serve_ilu_hit(plan, fp, values, vd,
+                                       expect_digest), True
+        hint = self.persisted_bsize(fp) if config.bsize is None \
+            else None
+        t0 = time.perf_counter()
+        plan = compile_ilu_plan(grid, stencil, config, values=values,
+                                bsize_hint=hint)
+        seconds = time.perf_counter() - t0
+        self._record_compile(fp, plan, seconds)
+        self._guarded_put(plan, generation)
+        if expect_digest is not None \
+                and expect_digest != plan.value_digest:
+            from repro.resilience.errors import StaleValuesError
+
+            # A cold compile from canonical values cannot satisfy the
+            # declared snapshot; the plan stays cached (a resubmit
+            # carrying values repacks it) but this request must fail
+            # typed rather than solve with the wrong coefficients.
+            raise StaleValuesError(fp, expect_digest, plan.value_digest)
         return plan, False
+
+    def refresh_values(self, fingerprint: str, values) -> tuple:
+        """Value-only repack of a cached ILU plan; ``(plan, repacked)``.
+
+        The incremental-recompilation fast path: detects an unchanged
+        numeric snapshot by digest (returning the cached plan
+        untouched), otherwise re-scatters the DBSR value arrays and
+        re-runs the numeric ILU(0) factorization under the same
+        per-fingerprint lock compiles use — the permutation, tiling and
+        autotune pick are all reused, never recomputed. Raises
+        ``KeyError`` when the fingerprint is not resident (repack needs
+        a skeleton; callers fall back to :meth:`get_or_compile_ilu`).
+        """
+        import numpy as np
+
+        from repro.serve.ilu_plan import repack_ilu_plan, value_digest
+
+        plan = self.peek(fingerprint)
+        if plan is None:
+            raise KeyError(
+                f"no cached plan for {fingerprint[:12]}…; repack needs "
+                f"a resident structure (use get_or_compile_ilu)")
+        require(getattr(plan, "kind", "") == "ilu",
+                f"plan {fingerprint[:12]}… is not an ILU plan")
+        values = np.asarray(values,
+                            dtype=plan.config.np_dtype).reshape(-1)
+        if value_digest(values) == plan.value_digest:
+            return plan, False
+        entry = self._acquire_flock(fingerprint)
+        try:
+            with entry[0]:
+                # Re-read under the lock: a concurrent refresh may have
+                # already installed this exact snapshot.
+                current = self.peek(fingerprint) or plan
+                if value_digest(values) == current.value_digest:
+                    return current, False
+                with self._lock:
+                    generation = self._generations.get(fingerprint, 0)
+                t0 = time.perf_counter()
+                fresh = repack_ilu_plan(current, values)
+                seconds = time.perf_counter() - t0
+                with self._lock:
+                    self.refreshes += 1
+                    self.refresh_seconds += seconds
+                self._guarded_put(fresh, generation)
+                return fresh, True
+        finally:
+            self._release_flock(fingerprint, entry)
 
     # Reporting ----------------------------------------------------------
     @property
@@ -344,6 +563,9 @@ class PlanCache:
                 "invalidations": self.invalidations,
                 "compiles": self.compiles,
                 "compile_seconds": self.compile_seconds,
+                "refreshes": self.refreshes,
+                "refresh_seconds": self.refresh_seconds,
+                "stale_drops": self.stale_drops,
                 "persisted_picks": len(self._picks),
             }
         return snap

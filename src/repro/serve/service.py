@@ -46,6 +46,7 @@ from repro.resilience.errors import (
     DeadlineExceeded,
     DrainTimeout,
     ServiceClosed,
+    StaleValuesError,
 )
 from repro.runtime.session import SolverSession
 from repro.serve.cache import PlanCache
@@ -56,6 +57,10 @@ from repro.serve.plan import (
     structural_fingerprint,
 )
 from repro.utils.validation import check_positive
+
+#: Ops :meth:`SolveService.submit` accepts: the triangular/SpMV/SymGS
+#: plan ops plus the preconditioner apply served by ILU plans.
+SERVICE_OPS = PLAN_OPS + ("ilu_apply",)
 
 
 class Backpressure(RuntimeError):
@@ -123,6 +128,12 @@ class _Pending:
     #: Absolute monotonic expiry (``None`` = no deadline).
     deadline_at: float | None = None
     deadline_seconds: float = 0.0
+    #: ILU-only: coefficient snapshot to factorize/repack from.
+    values: np.ndarray | None = None
+    #: ILU-only: digest the served factors must have been built from.
+    expect_digest: str | None = None
+    #: Digest component of the coalescing key (``None`` for plan ops).
+    group_digest: str | None = None
 
 
 class SolveService:
@@ -206,7 +217,9 @@ class SolveService:
     def submit(self, grid: StructuredGrid, stencil, rhs: np.ndarray,
                op: str = "lower",
                config: PlanConfig | None = None,
-               deadline: float | None = None) -> SolveTicket:
+               deadline: float | None = None,
+               values: np.ndarray | None = None,
+               value_digest: str | None = None) -> SolveTicket:
         """Queue one request; returns its ticket.
 
         Shape and op validation happens here, synchronously, so a
@@ -219,17 +232,47 @@ class SolveService:
         failed with
         :class:`~repro.resilience.errors.DeadlineExceeded` at drain
         time instead of being executed.
+
+        ``values``/``value_digest`` are legal only for
+        ``op="ilu_apply"``: ``values`` is the coefficient snapshot the
+        served factors must be built from (a structure hit with a
+        different digest triggers the value-only repack path), while
+        ``value_digest`` alone *declares* the expected snapshot — the
+        request fails with
+        :class:`~repro.resilience.errors.StaleValuesError` at drain
+        time if the cached factors were built from anything else.
         """
         config = config if config is not None else self.config
-        if op not in PLAN_OPS:
-            raise RequestError(f"unknown op {op!r}; known: {PLAN_OPS}")
+        if op not in SERVICE_OPS:
+            raise RequestError(
+                f"unknown op {op!r}; known: {SERVICE_OPS}")
         if deadline is not None and deadline <= 0:
             raise RequestError(f"deadline must be > 0, got {deadline}")
+        if op != "ilu_apply" and (values is not None
+                                  or value_digest is not None):
+            raise RequestError(
+                "values/value_digest are only valid for op='ilu_apply'")
         rhs = np.asarray(rhs)
         if rhs.ndim != 1 or rhs.shape[0] != grid.n_points:
             raise RequestError(
                 f"rhs must be ({grid.n_points},), got {rhs.shape}")
-        fp = structural_fingerprint(grid, stencil, config)
+        if op == "ilu_apply":
+            from repro.serve.ilu_plan import (
+                ilu_structural_fingerprint,
+                value_digest as _digest_of,
+            )
+
+            fp = ilu_structural_fingerprint(grid, stencil, config)
+            if values is not None:
+                values = np.asarray(values,
+                                    dtype=config.np_dtype).reshape(-1)
+                vd = _digest_of(values)
+                if value_digest is not None and value_digest != vd:
+                    raise RequestError(
+                        "value_digest contradicts the provided values")
+                value_digest = vd
+        else:
+            fp = structural_fingerprint(grid, stencil, config)
         ticket = SolveTicket(request_id=next(self._ids),
                              fingerprint=fp, op=op)
         entry = _Pending(ticket=ticket, grid=grid, stencil=stencil,
@@ -237,7 +280,11 @@ class SolveService:
                          rhs=rhs.astype(config.np_dtype, copy=True),
                          deadline_at=(time.monotonic() + deadline
                                       if deadline is not None else None),
-                         deadline_seconds=deadline or 0.0)
+                         deadline_seconds=deadline or 0.0,
+                         values=values,
+                         expect_digest=(value_digest if values is None
+                                        else None),
+                         group_digest=value_digest)
         with self._lock:
             if self._closed:
                 raise ServiceClosed()
@@ -295,13 +342,17 @@ class SolveService:
                       timeout: float | None, sp) -> int:
         groups: dict[tuple, list[_Pending]] = {}
         for entry in pending:
-            key = (entry.ticket.fingerprint, entry.ticket.op)
+            # ILU requests also coalesce on the declared value digest:
+            # two snapshots of the same structure must not share a
+            # batch (each would need different factors).
+            key = (entry.ticket.fingerprint, entry.ticket.op,
+                   entry.group_digest)
             groups.setdefault(key, []).append(entry)
         n_done = 0
         work: list[tuple[object, str, list[bool], list[_Pending]]] = []
         leftover: list[_Pending] = []
         group_items = list(groups.items())
-        for gi, ((fp, op), entries) in enumerate(group_items):
+        for gi, ((fp, op, _vd), entries) in enumerate(group_items):
             if self._closed:
                 # close() raced this drain: everything not yet
                 # executed (staged batches included) fails typed.
@@ -328,7 +379,18 @@ class SolveService:
             # One cache transaction per request: the first may compile,
             # coalesced followers count (and are served) as hits — the
             # per-request hit rate is what serve-bench reports.
-            lookups = [self._plan_for(e) for e in entries]
+            try:
+                lookups = [self._plan_for(e) for e in entries]
+            except StaleValuesError as exc:
+                # This group declared a value snapshot the cache cannot
+                # honor; its tickets fail typed while every other group
+                # (other structures, other snapshots) drains normally.
+                trace.event("serve.stale_values", fingerprint=fp[:12],
+                            n_requests=len(entries))
+                for e in entries:
+                    e.ticket._finish(None, exc)
+                    self._failed.inc()
+                continue
             plan = lookups[0][0]
             hits = [hit for _, hit in lookups]
             for lo in range(0, len(entries), self.max_batch):
@@ -379,6 +441,11 @@ class SolveService:
 
     def _plan_for(self, entry: _Pending) -> tuple[SolvePlan, bool]:
         with self.session.phase("compile"):
+            if entry.ticket.op == "ilu_apply":
+                return self.cache.get_or_compile_ilu(
+                    entry.grid, entry.stencil, entry.config,
+                    values=entry.values,
+                    expect_digest=entry.expect_digest)
             return self.cache.get_or_compile(entry.grid, entry.stencil,
                                              entry.config)
 
@@ -476,10 +543,15 @@ class SolveService:
     @staticmethod
     def _op_counts(plan: SolvePlan, op: str, k: int):
         """Closed-form batch op counts (DBSR strategy only)."""
-        from repro.kernels.counts import sptrsv_dbsr_multi_counts
+        from repro.kernels.counts import (
+            ilu_apply_dbsr_multi_counts,
+            sptrsv_dbsr_multi_counts,
+        )
 
         if plan.config.strategy != "dbsr":
             return None
+        if op == "ilu_apply":
+            return ilu_apply_dbsr_multi_counts(plan.factors, k)
         if op == "lower":
             return sptrsv_dbsr_multi_counts(plan.lower, k, divide=True)
         if op == "upper":

@@ -12,7 +12,12 @@ from repro.ilu.ilu0_csr import (
     ilu0_factorize_csr,
     split_lu,
 )
-from repro.ilu.ilu0_dbsr import ilu0_apply_dbsr, ilu0_factorize_dbsr
+from repro.ilu.ilu0_dbsr import (
+    build_ilu0_schedule,
+    ilu0_apply_dbsr,
+    ilu0_factorize_dbsr,
+    ilu0_refactorize_dbsr,
+)
 
 
 @st.composite
@@ -67,6 +72,60 @@ def test_block_ilu_finite_and_consistent(A):
     r = rng.standard_normal(A.n_rows)
     z = ilu0_apply_dbsr(f, r)
     assert np.all(np.isfinite(z))
+
+
+@given(dd_matrices(multiple_of=4))
+@settings(max_examples=20, deadline=None)
+def test_schedule_replay_matches_factorization_bitwise(A):
+    """A structural schedule built once must replay Algorithm 4 bit
+    for bit on any coefficient snapshot with the same pattern."""
+    dbsr = DBSRMatrix.from_csr(A, 4)
+    if np.any(dbsr.dia_ptr < 0):
+        return
+    schedule = build_ilu0_schedule(dbsr)
+    slow = ilu0_factorize_dbsr(dbsr)
+    fast = ilu0_refactorize_dbsr(dbsr, schedule)
+    assert np.array_equal(slow.matrix.values, fast.matrix.values)
+    assert np.array_equal(slow.dia_ptr, fast.dia_ptr)
+
+
+@st.composite
+def grid_snapshots(draw):
+    """A small structured grid, a DBSR plan config, and a value
+    perturbation seed — the serving tier's repack domain."""
+    nx = draw(st.integers(3, 5))
+    stencil = draw(st.sampled_from(["7pt", "27pt"]))
+    bsize = draw(st.sampled_from([4, 8]))
+    seed = draw(st.integers(0, 2**16))
+    scale = draw(st.floats(0.01, 0.2))
+    return nx, stencil, bsize, seed, scale
+
+
+@given(grid_snapshots())
+@settings(max_examples=10, deadline=None)
+def test_repack_bitwise_equals_cold_compile(snap):
+    """The serving-tier invariant: a value-only repack of a warm plan
+    is indistinguishable, bit for bit, from compiling cold with the
+    same snapshot."""
+    from repro.grids.grid import StructuredGrid
+    from repro.serve.ilu_plan import compile_ilu_plan, repack_ilu_plan
+    from repro.serve.plan import PlanConfig
+
+    nx, stencil, bsize, seed, scale = snap
+    grid = StructuredGrid((nx, nx, nx))
+    config = PlanConfig(strategy="dbsr", bsize=bsize)
+    plan = compile_ilu_plan(grid, stencil, config)
+    rng = np.random.default_rng(seed)
+    v2 = plan.values_src * (
+        1.0 + scale * rng.uniform(-1.0, 1.0, plan.values_src.shape))
+    warm = repack_ilu_plan(plan, v2)
+    cold = compile_ilu_plan(grid, stencil, config, values=v2)
+    assert warm.value_digest == cold.value_digest
+    assert np.array_equal(warm.factors.matrix.values,
+                          cold.factors.matrix.values)
+    assert np.array_equal(warm.matrix.data, cold.matrix.data)
+    b = np.random.default_rng(seed + 1).standard_normal(plan.n)
+    assert np.array_equal(warm.apply(b), cold.apply(b))
 
 
 @given(dd_matrices())

@@ -158,8 +158,8 @@ def test_committed_bench_all_is_schema_valid():
     report = json.loads(bench_all.read_text())
     validate_report(report, str(SCHEMA_PATH))
     assert set(report["reports"]) == {
-        "runtime", "serve", "chaos", "trace", "shard", "gateway",
-        "gateway-chaos"}
+        "runtime", "serve", "ilu", "chaos", "trace", "shard",
+        "gateway", "gateway-chaos"}
     assert report["ok"]
     auto = report["autotune"]
     assert auto["gates"]["picks_match"]

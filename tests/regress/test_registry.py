@@ -20,10 +20,10 @@ from repro.regress.registry import (
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 EXPECTED_EMITTERS = {"runtime", "serve", "chaos", "trace", "shard",
-                     "gateway", "gateway-chaos"}
+                     "gateway", "ilu", "gateway-chaos"}
 
 
-def test_registry_covers_all_seven_emitters():
+def test_registry_covers_all_emitters():
     assert set(REGISTRY) == EXPECTED_EMITTERS
     assert set(EMITTER_ORDER) == EXPECTED_EMITTERS
 

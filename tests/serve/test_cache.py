@@ -143,7 +143,8 @@ def test_stats_schema():
     assert s["compiles"] == 1
     assert set(s) == {"capacity", "size", "hits", "misses", "hit_rate",
                       "evictions", "invalidations", "compiles",
-                      "compile_seconds", "persisted_picks"}
+                      "compile_seconds", "persisted_picks", "refreshes",
+                      "refresh_seconds", "stale_drops"}
     json.dumps(s)
 
 
