@@ -318,11 +318,9 @@ class ElasticShardPool:
         return sum(1 for s in self._shards if s.draining)
 
     def refresh_stats(self) -> tuple:
-        """(refreshes, refresh_seconds) of this shard's cache, if any."""
-        cache = getattr(self.service, "cache", None)
-        if cache is None:
-            return (0, 0.0)
-        return (cache.refreshes, cache.refresh_seconds)
+        """Pool-wide ``(refreshes, refresh_seconds)`` across live shards."""
+        stats = [s.refresh_stats() for s in self._shards]
+        return (sum(r for r, _ in stats), sum(s for _, s in stats))
 
     def has_plan(self, fingerprint: str) -> bool:
         """True when any shard's cache already holds this structure."""

@@ -423,23 +423,42 @@ class PlanCache:
                     "expect_digest contradicts the provided values")
         plan = self.get(fp)
         if plan is not None:
-            return self._serve_ilu_hit(plan, fp, values, vd,
-                                       expect_digest), True
+            try:
+                return self._serve_ilu_hit(plan, fp, values, vd,
+                                           expect_digest), True
+            except KeyError:
+                # LRU-evicted or invalidated between the get() and the
+                # repack's residency re-check (plausible under capacity
+                # pressure) — recompile below instead of leaking the
+                # KeyError to the caller and failing the request.
+                pass
         entry = self._acquire_flock(fp)
         try:
             with entry[0]:
                 return self._compile_ilu_locked(
-                    grid, stencil, config, fp, values, vd, expect_digest)
+                    grid, stencil, config, fp, values, vd, expect_digest,
+                    counted_hit=plan is not None)
         finally:
             self._release_flock(fp, entry)
 
     def _serve_ilu_hit(self, plan, fp: str, values, vd,
-                       expect_digest: str | None):
-        """Verify-on-hit: digest compare, then repack or raise."""
+                       expect_digest: str | None,
+                       flock_held: bool = False):
+        """Verify-on-hit: digest compare, then repack or raise.
+
+        ``flock_held`` says the caller already holds this fingerprint's
+        compile/refresh lock (``_compile_ilu_locked``'s coalesced-hit
+        path); the repack then runs its lock-assumed body directly —
+        re-entering :meth:`refresh_values` would self-deadlock on the
+        non-reentrant per-fingerprint lock.
+        """
         from repro.resilience.errors import StaleValuesError
 
         if vd is not None and vd != plan.value_digest:
-            plan, _ = self.refresh_values(fp, values)
+            if flock_held:
+                plan, _ = self._refresh_locked(fp, values)
+            else:
+                plan, _ = self.refresh_values(fp, values)
             return plan
         if expect_digest is not None \
                 and expect_digest != plan.value_digest:
@@ -447,22 +466,42 @@ class PlanCache:
         return plan
 
     def _compile_ilu_locked(self, grid, stencil, config, fp: str,
-                            values, vd, expect_digest: str | None
-                            ) -> tuple:
-        """ILU compile-or-coalesce under the per-fingerprint lock."""
+                            values, vd, expect_digest: str | None,
+                            counted_hit: bool = False) -> tuple:
+        """ILU compile-or-coalesce under the per-fingerprint lock.
+
+        ``counted_hit`` says the caller's lookup already counted a hit
+        (the serve-on-hit path fell through here on a KeyError), so a
+        coalesced hit must not reclassify a miss that never happened.
+        """
         from repro.serve.ilu_plan import compile_ilu_plan
 
         with self._lock:
             plan = self._plans.get(fp)
             if plan is not None:
                 self._plans.move_to_end(fp)
-                self.misses -= 1
-                self.hits += 1
-            generation = self._generations.get(fp, 0)
+                if not counted_hit:
+                    self.misses -= 1
+                    self.hits += 1
+                    counted_hit = True
         if plan is not None:
             trace.event("cache.coalesced_hit", fingerprint=fp[:12])
-            return self._serve_ilu_hit(plan, fp, values, vd,
-                                       expect_digest), True
+            try:
+                return self._serve_ilu_hit(plan, fp, values, vd,
+                                           expect_digest,
+                                           flock_held=True), True
+            except KeyError:
+                # Invalidated between the double-check and the repack's
+                # residency re-check; fall through to a cold compile.
+                pass
+        if counted_hit:
+            # The lookup was counted as a hit but ends in a compile —
+            # keep one-hit-or-miss-per-request accounting honest.
+            with self._lock:
+                self.hits -= 1
+                self.misses += 1
+        with self._lock:
+            generation = self._generations.get(fp, 0)
         hint = self.persisted_bsize(fp) if config.bsize is None \
             else None
         t0 = time.perf_counter()
@@ -496,7 +535,7 @@ class PlanCache:
         """
         import numpy as np
 
-        from repro.serve.ilu_plan import repack_ilu_plan, value_digest
+        from repro.serve.ilu_plan import value_digest
 
         plan = self.peek(fingerprint)
         if plan is None:
@@ -512,23 +551,51 @@ class PlanCache:
         entry = self._acquire_flock(fingerprint)
         try:
             with entry[0]:
-                # Re-read under the lock: a concurrent refresh may have
-                # already installed this exact snapshot.
-                current = self.peek(fingerprint) or plan
-                if value_digest(values) == current.value_digest:
-                    return current, False
-                with self._lock:
-                    generation = self._generations.get(fingerprint, 0)
-                t0 = time.perf_counter()
-                fresh = repack_ilu_plan(current, values)
-                seconds = time.perf_counter() - t0
-                with self._lock:
-                    self.refreshes += 1
-                    self.refresh_seconds += seconds
-                self._guarded_put(fresh, generation)
-                return fresh, True
+                return self._refresh_locked(fingerprint, values)
         finally:
             self._release_flock(fingerprint, entry)
+
+    def _refresh_locked(self, fingerprint: str, values) -> tuple:
+        """Repack body; the caller holds this fingerprint's flock.
+
+        Residency is re-checked *under* the lock and a ``KeyError``
+        raised when the plan is gone — an invalidate or eviction
+        landing between the caller's lookup and the lock acquisition
+        must never be papered over by repacking from the caller's stale
+        plan object (that would resurrect a just-poisoned entry and
+        violate the documented not-resident contract). The generation
+        is snapshotted *before* that re-check: an invalidate landing
+        after the snapshot bumps it (the flock entry is live) and
+        :meth:`_guarded_put` drops the repack; one landing before it
+        already evicted the plan and trips the KeyError.
+        """
+        import numpy as np
+
+        from repro.serve.ilu_plan import repack_ilu_plan, value_digest
+
+        with self._lock:
+            generation = self._generations.get(fingerprint, 0)
+        current = self.peek(fingerprint)
+        if current is None:
+            raise KeyError(
+                f"no cached plan for {fingerprint[:12]}…; it was "
+                f"evicted or invalidated before the repack started")
+        require(getattr(current, "kind", "") == "ilu",
+                f"plan {fingerprint[:12]}… is not an ILU plan")
+        values = np.asarray(values,
+                            dtype=current.config.np_dtype).reshape(-1)
+        # A concurrent refresh may have installed this exact snapshot
+        # while we waited on the lock.
+        if value_digest(values) == current.value_digest:
+            return current, False
+        t0 = time.perf_counter()
+        fresh = repack_ilu_plan(current, values)
+        seconds = time.perf_counter() - t0
+        with self._lock:
+            self.refreshes += 1
+            self.refresh_seconds += seconds
+        self._guarded_put(fresh, generation)
+        return fresh, True
 
     # Reporting ----------------------------------------------------------
     @property

@@ -5,6 +5,7 @@ gateway submit/completion/poll), so every scenario here is a
 deterministic sequence of observations — no wall-clock sleeps."""
 
 import asyncio
+from types import SimpleNamespace
 
 import pytest
 
@@ -193,5 +194,18 @@ def test_shard_execute_not_needed_for_pool_logic():
     # GatewayShard over a FakeService still reports stats/compiles.
     shard = GatewayShard(0, FakeService())
     assert shard.compile_stats() == (0, 0.0)
+    assert shard.refresh_stats() == (0, 0.0)
     assert shard.has_plan("deadbeef") is False
     assert shard.stats()["index"] == 0
+
+
+def test_pool_refresh_stats_aggregates_across_shards():
+    # Regression: the pool-level method referenced a nonexistent
+    # self.service (copy-paste from GatewayShard) and raised
+    # AttributeError; it must sum over the live shards instead.
+    pool, services = make_pool(min_shards=2, max_shards=2)
+    assert pool.refresh_stats() == (0, 0.0)
+    for i, svc in enumerate(services):
+        svc.cache = SimpleNamespace(refreshes=i + 1,
+                                    refresh_seconds=0.5 * (i + 1))
+    assert pool.refresh_stats() == (3, 1.5)

@@ -233,6 +233,130 @@ def test_invalidate_during_cold_ilu_compile_drops_stale_put():
     assert cache.stale_drops == 1
 
 
+# Coalesced-repack deadlock and residency races -----------------------------
+
+def test_coalesced_hit_with_new_snapshot_does_not_deadlock():
+    """Two concurrent first requests, same structure, different values.
+
+    The follower coalesces on the leader's compile, sees a mismatched
+    value digest and must repack — while already holding the
+    per-fingerprint lock. The repack used to re-enter
+    ``refresh_values`` and re-acquire that same non-reentrant lock,
+    hanging the drain thread forever; it now runs the lock-assumed
+    repack body directly.
+    """
+    from repro.serve import ilu_plan as ilu_mod
+    from repro.serve.ilu_plan import value_digest
+
+    donor, _ = PlanCache(capacity=1).get_or_compile_ilu(
+        GRID, "27pt", CONFIG)
+    v1 = donor.values_src
+    v2 = _perturbed(donor, seed=11)
+
+    cache = PlanCache(capacity=4)
+    fp = ilu_structural_fingerprint(GRID, "27pt", CONFIG)
+    in_compile = threading.Event()
+    release = threading.Event()
+    real_compile = ilu_mod.compile_ilu_plan
+
+    def slow_compile(grid, stencil, config, values=None,
+                     bsize_hint=None):
+        in_compile.set()
+        assert release.wait(10)
+        return real_compile(grid, stencil, config, values=values,
+                            bsize_hint=bsize_hint)
+
+    results = {}
+
+    def worker(name, vals):
+        results[name] = cache.get_or_compile_ilu(GRID, "27pt", CONFIG,
+                                                 values=vals)
+
+    try:
+        ilu_mod.compile_ilu_plan = slow_compile
+        leader = threading.Thread(target=worker, args=("a", v1),
+                                  daemon=True)
+        leader.start()
+        assert in_compile.wait(10)
+        follower = threading.Thread(target=worker, args=("b", v2),
+                                    daemon=True)
+        follower.start()
+        # Park the follower on the per-fingerprint lock (refcount 2)
+        # before releasing the leader's compile.
+        for _ in range(500):
+            if cache._compile_locks.get(fp, [None, 0])[1] == 2:
+                break
+            threading.Event().wait(0.01)
+        assert cache._compile_locks.get(fp, [None, 0])[1] == 2
+        release.set()
+        leader.join(15)
+        follower.join(15)
+        assert not leader.is_alive() and not follower.is_alive(), \
+            "coalesced repack deadlocked on the per-fingerprint lock"
+    finally:
+        ilu_mod.compile_ilu_plan = real_compile
+
+    plan_a, hit_a = results["a"]
+    plan_b, hit_b = results["b"]
+    assert not hit_a and hit_b
+    assert plan_b.refreshed and cache.refreshes == 1
+    assert plan_b.value_digest == value_digest(
+        np.asarray(v2, dtype=plan_b.config.np_dtype).reshape(-1))
+    assert cache.peek(fp) is plan_b
+
+
+def test_invalidate_before_flock_raises_not_resurrects(monkeypatch):
+    """Invalidate landing between the peek and the lock acquisition.
+
+    No compile is in flight at invalidate time, so no generation bump
+    happens; ``refresh_values`` used to fall back to the caller's
+    stale plan object, repack it, and reinsert — resurrecting the
+    just-poisoned entry. It must instead honor the documented contract
+    and raise ``KeyError``.
+    """
+    cache = PlanCache(capacity=4)
+    plan, _ = cache.get_or_compile_ilu(GRID, "27pt", CONFIG)
+    fp = plan.fingerprint
+    real_acquire = cache._acquire_flock
+
+    def invalidate_then_acquire(f):
+        assert cache.invalidate(f)
+        return real_acquire(f)
+
+    monkeypatch.setattr(cache, "_acquire_flock",
+                        invalidate_then_acquire)
+    with pytest.raises(KeyError):
+        cache.refresh_values(fp, _perturbed(plan, seed=3))
+    assert cache.peek(fp) is None
+    assert cache.refreshes == 0
+
+
+def test_eviction_between_hit_and_repack_falls_back_to_compile(
+        monkeypatch):
+    """A hit whose plan vanishes before the repack recompiles instead
+    of leaking ``KeyError`` (plausible under LRU capacity pressure)."""
+    cache = PlanCache(capacity=4)
+    plan, _ = cache.get_or_compile_ilu(GRID, "27pt", CONFIG)
+    fp = plan.fingerprint
+    real_refresh = cache.refresh_values
+
+    def evict_then_refresh(fingerprint, values):
+        with cache._lock:
+            cache._plans.pop(fingerprint, None)
+        return real_refresh(fingerprint, values)
+
+    monkeypatch.setattr(cache, "refresh_values", evict_then_refresh)
+    served, hit = cache.get_or_compile_ilu(GRID, "27pt", CONFIG,
+                                           values=_perturbed(plan,
+                                                             seed=5))
+    assert not hit and served is not plan and served.kind == "ilu"
+    assert cache.peek(fp) is served
+    # The lookup was first counted a hit, then reclassified when it
+    # ended in a compile: one hit-or-miss event per request.
+    assert cache.stats()["hits"] == 0
+    assert cache.stats()["misses"] == 2
+
+
 # Sibling isolation ---------------------------------------------------------
 
 def test_invalidation_and_refresh_are_fingerprint_scoped():

@@ -144,6 +144,37 @@ def test_ilu_metrics_report_counts(service):
     assert t.metrics["counts_per_solve"]["ops"]["vfma"] > 0
 
 
+def test_eviction_race_does_not_abort_drain(service, monkeypatch):
+    """A plan evicted between the hit lookup and the repack's
+    residency check used to leak ``KeyError`` out of ``_drain_groups``,
+    aborting the whole drain and failing every pending group untyped;
+    the cache now falls back to a cold compile and the drain completes.
+    """
+    rng = np.random.default_rng(10)
+    warm = service.submit(GRID, "27pt", rng.standard_normal(N),
+                          op="ilu_apply")
+    service.drain()
+    warm.result(timeout=0)
+    plan = service.cache.get(warm.fingerprint)
+    cache = service.cache
+    real_refresh = cache.refresh_values
+
+    def evict_then_refresh(fingerprint, values):
+        with cache._lock:
+            cache._plans.pop(fingerprint, None)
+        return real_refresh(fingerprint, values)
+
+    monkeypatch.setattr(cache, "refresh_values", evict_then_refresh)
+    racy = service.submit(GRID, "27pt", rng.standard_normal(N),
+                          op="ilu_apply",
+                          values=_perturbed(plan, seed=11))
+    other = service.submit(GRID, "27pt", rng.standard_normal(N),
+                           op="lower")
+    assert service.drain() == 2
+    assert racy.result(timeout=0) is not None
+    assert other.result(timeout=0) is not None
+
+
 def test_stale_failure_leaves_sibling_groups_draining(service):
     """A stale ilu group must fail alone; other ops still complete."""
     rng = np.random.default_rng(9)
